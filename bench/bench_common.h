@@ -1,0 +1,68 @@
+// Shared plumbing for the table/figure reproduction harnesses. Each bench
+// binary regenerates one table or figure of the paper: same axes, same
+// parameter sweeps, printed as aligned rows.
+//
+// Scale: by default sweeps run at a reduced scale so the full `for b in
+// build/bench/*` loop finishes in minutes on a laptop. Set
+// STABLETEXT_BENCH_FULL=1 for the paper's exact parameters.
+
+#ifndef STABLETEXT_BENCH_BENCH_COMMON_H_
+#define STABLETEXT_BENCH_BENCH_COMMON_H_
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "gen/cluster_graph_generator.h"
+#include "stable/finder.h"
+#include "util/timer.h"
+
+namespace stabletext {
+namespace bench {
+
+/// True when the paper's full-scale parameters were requested.
+inline bool FullScale() {
+  const char* env = std::getenv("STABLETEXT_BENCH_FULL");
+  return env != nullptr && env[0] == '1';
+}
+
+/// Picks the reduced or full value.
+template <typename T>
+T Pick(T reduced, T full) {
+  return FullScale() ? full : reduced;
+}
+
+inline void Header(const char* title, const char* paper_ref,
+                   const char* setting) {
+  std::printf("== %s ==\n", title);
+  std::printf("paper: %s\n", paper_ref);
+  std::printf("setting: %s%s\n\n", setting,
+              FullScale() ? " [FULL SCALE]" : " [reduced scale; set "
+                                              "STABLETEXT_BENCH_FULL=1 "
+                                              "for paper parameters]");
+}
+
+inline ClusterGraph Generate(uint32_t m, uint32_t n, uint32_t d, uint32_t g,
+                             uint64_t seed = 42) {
+  ClusterGraphGenOptions opt;
+  opt.m = m;
+  opt.n = n;
+  opt.d = d;
+  opt.g = g;
+  opt.seed = seed;
+  return ClusterGraphGenerator::Generate(opt);
+}
+
+/// Wall-clock of one finder invocation, in seconds.
+template <typename Fn>
+double TimeSeconds(Fn&& fn) {
+  WallTimer timer;
+  fn();
+  return timer.ElapsedSeconds();
+}
+
+}  // namespace bench
+}  // namespace stabletext
+
+#endif  // STABLETEXT_BENCH_BENCH_COMMON_H_

@@ -1,0 +1,44 @@
+// Figure 10: BFS running time seeking top-5 subpaths of length l over
+// m = 15 intervals as n grows from 500 to 2500, for several l. d = 5,
+// g = 2. Shape: time increases with l (more heaps per node) and is
+// linear in n.
+
+#include "bench_common.h"
+#include "stable/bfs_finder.h"
+
+namespace stabletext {
+namespace {
+
+void Run() {
+  bench::Header("Figure 10: BFS subpaths of length l",
+                "Section 5.2, Figure 10", "m=15, d=5, g=2, k=5");
+  const double scale = bench::Pick<double>(0.4, 1.0);
+
+  std::printf("%-8s %12s %12s %12s\n", "n", "l=4 (s)", "l=8 (s)",
+              "l=12 (s)");
+  for (uint32_t base = 500; base <= 2500; base += 500) {
+    const uint32_t n = static_cast<uint32_t>(base * scale);
+    std::printf("%-8u", n);
+    for (uint32_t l : {4u, 8u, 12u}) {
+      ClusterGraph graph = bench::Generate(15, n, 5, 2);
+      BfsFinderOptions opt;
+      opt.k = 5;
+      opt.l = l;
+      const double s = bench::TimeSeconds(
+          [&] { BfsStableFinder(opt).Find(graph).ok(); });
+      std::printf(" %12.3f", s);
+    }
+    std::printf("\n");
+  }
+  std::printf(
+      "\nshape check (paper Figure 10): running times increase with l "
+      "(more heaps\nmaintained per node) and are linear in n.\n");
+}
+
+}  // namespace
+}  // namespace stabletext
+
+int main() {
+  stabletext::Run();
+  return 0;
+}

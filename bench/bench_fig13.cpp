@@ -1,0 +1,47 @@
+// Figure 13: DFS running time seeking top-5 subpaths of length l for
+// l = 2, 3, 4 as n grows. m = 6, d = 5, g = 1. Shape: time grows with l
+// and with n.
+
+#include "bench_common.h"
+#include "stable/dfs_finder.h"
+
+namespace stabletext {
+namespace {
+
+void Run() {
+  bench::Header("Figure 13: DFS subpaths of length l",
+                "Section 5.2, Figure 13", "m=6, d=5, g=1, k=5");
+  const double scale = bench::Pick<double>(0.25, 1.0);
+
+  std::printf("%-8s %12s %12s %12s\n", "n", "l=2 (s)", "l=3 (s)",
+              "l=4 (s)");
+  for (uint32_t base = 200; base <= 1000; base += 200) {
+    const uint32_t n = static_cast<uint32_t>(base * scale);
+    std::printf("%-8u", n);
+    for (uint32_t l : {2u, 3u, 4u}) {
+      ClusterGraph graph = bench::Generate(6, n, 5, 1);
+      DfsFinderOptions opt;
+      opt.k = 5;
+      opt.l = l;
+      const double s = bench::TimeSeconds(
+          [&] { DfsStableFinder(opt).Find(graph).ok(); });
+      std::printf(" %12.3f", s);
+    }
+    std::printf("\n");
+  }
+  std::printf(
+      "\nshape check (paper Figure 13): running times increase with n. "
+      "The paper also\nshows times increasing with l; our corrected "
+      "CanPrune includes the x=0\n(path-may-start-here) term — required "
+      "for correctness by the paper's own Table 2\nwalkthrough — which "
+      "weakens pruning at small l and reverses that trend\n(see "
+      "EXPERIMENTS.md).\n");
+}
+
+}  // namespace
+}  // namespace stabletext
+
+int main() {
+  stabletext::Run();
+  return 0;
+}

@@ -1,0 +1,41 @@
+// Figure 9: BFS scalability — running time seeking top-5 full paths as
+// the number of nodes per interval n grows from 2000 to 14000, for
+// m = 25 and m = 50. d = 5, g = 1. Shape: linear in n.
+
+#include "bench_common.h"
+#include "stable/bfs_finder.h"
+
+namespace stabletext {
+namespace {
+
+void Run() {
+  bench::Header("Figure 9: BFS scalability in n",
+                "Section 5.2, Figure 9", "d=5, g=1, k=5, l=m-1");
+  const double scale = bench::Pick<double>(0.25, 1.0);
+
+  std::printf("%-8s %12s %12s\n", "n", "m=25 (s)", "m=50 (s)");
+  for (uint32_t base = 2000; base <= 14000; base += 4000) {
+    const uint32_t n = static_cast<uint32_t>(base * scale);
+    std::printf("%-8u", n);
+    for (uint32_t m : {25u, 50u}) {
+      ClusterGraph graph = bench::Generate(m, n, 5, 1);
+      BfsFinderOptions opt;
+      opt.k = 5;
+      const double s = bench::TimeSeconds(
+          [&] { BfsStableFinder(opt).Find(graph).ok(); });
+      std::printf(" %12.3f", s);
+    }
+    std::printf("\n");
+  }
+  std::printf(
+      "\nshape check (paper Figure 9): running times are linear in the "
+      "number of\nnodes per interval, establishing scalability.\n");
+}
+
+}  // namespace
+}  // namespace stabletext
+
+int main() {
+  stabletext::Run();
+  return 0;
+}

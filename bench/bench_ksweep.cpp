@@ -1,0 +1,43 @@
+// Section 5.2 (text): "The impact of k, the number of top results
+// required, on the performance of all the algorithms is minimal, and as
+// k increases running times increase slowly." This harness sweeps k for
+// the BFS and DFS finders.
+
+#include "bench_common.h"
+#include "stable/bfs_finder.h"
+#include "stable/dfs_finder.h"
+
+namespace stabletext {
+namespace {
+
+void Run() {
+  bench::Header("k sensitivity of BFS and DFS",
+                "Section 5.2 (text): impact of k is minimal",
+                "m=9, n=400, d=5, g=0, l=m-1");
+  const uint32_t n = bench::Pick<uint32_t>(150, 400);
+  ClusterGraph graph = bench::Generate(9, n, 5, 0);
+
+  std::printf("%-6s %12s %12s\n", "k", "BFS (s)", "DFS (s)");
+  for (size_t k : {1, 5, 10, 20, 50}) {
+    BfsFinderOptions bopt;
+    bopt.k = k;
+    const double bfs_s = bench::TimeSeconds(
+        [&] { BfsStableFinder(bopt).Find(graph).ok(); });
+    DfsFinderOptions dopt;
+    dopt.k = k;
+    const double dfs_s = bench::TimeSeconds(
+        [&] { DfsStableFinder(dopt).Find(graph).ok(); });
+    std::printf("%-6zu %12.3f %12.3f\n", k, bfs_s, dfs_s);
+  }
+  std::printf(
+      "\nshape check (paper Section 5.2): running times increase only "
+      "slowly with k.\n");
+}
+
+}  // namespace
+}  // namespace stabletext
+
+int main() {
+  stabletext::Run();
+  return 0;
+}

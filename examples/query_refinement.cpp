@@ -1,0 +1,71 @@
+// query_refinement: the search application motivated in Sections 1 and 3
+// of the paper — "If a search query for a specific interval falls in a
+// cluster, the rest of the keywords in that cluster are good candidates
+// for query refinement." Builds a week of clusters, then answers
+// refinement queries per day, showing how suggestions for the same query
+// change as the story evolves.
+//
+// Build & run:  ./build/examples/query_refinement
+
+#include <cstdio>
+
+#include "core/query_refiner.h"
+#include "gen/corpus_generator.h"
+
+using namespace stabletext;
+
+int main() {
+  CorpusGenOptions corpus_options;
+  corpus_options.days = 7;
+  corpus_options.posts_per_day = 1500;
+  corpus_options.vocabulary = 4000;
+  corpus_options.min_words_per_post = 12;
+  corpus_options.max_words_per_post = 28;
+  corpus_options.script = EventScript::PaperWeek();
+  CorpusGenerator generator(corpus_options);
+
+  PipelineOptions options;
+  options.clustering.pruning.min_pair_support = 5;
+  StableClusterPipeline pipeline(options);
+  std::printf("building clusters for 7 days...\n");
+  for (uint32_t day = 0; day < 7; ++day) {
+    if (!pipeline.AddIntervalText(generator.GenerateDay(day)).ok()) {
+      return 1;
+    }
+  }
+
+  QueryRefiner refiner(&pipeline);
+  auto show = [&](const char* query, uint32_t day) {
+    auto suggestions = refiner.Suggest(query, day, 6);
+    std::printf("query \"%s\" on day %u:", query, day);
+    if (suggestions.empty()) {
+      std::printf(" (no cluster for this keyword)\n");
+      return;
+    }
+    for (const Refinement& r : suggestions) {
+      std::printf(" %s(%.2f)", r.keyword.c_str(), r.score);
+    }
+    std::printf("\n");
+  };
+
+  // The iphone story drifts: launch vocabulary on day 3, lawsuit
+  // vocabulary by day 6 — refinements follow the chatter.
+  std::printf("\n-- tracking the iphone story --\n");
+  show("iphone", 2);  // Before the launch: nothing.
+  show("iphone", 3);  // Launch day: macworld, touchscreen...
+  show("iphone", 6);  // Lawsuit days: cisco, trademark...
+
+  std::printf("\n-- single-day events --\n");
+  show("beckham", 5);  // Day before the news: nothing.
+  show("beckham", 6);  // The announcement day.
+  show("amniotic", 2);
+
+  std::printf("\n-- persistent story --\n");
+  show("somalia", 0);
+  show("somalia", 5);  // Keyword set has grown by now.
+
+  std::printf("\n-- queries that are stop words or unknown --\n");
+  show("the", 3);
+  show("qwertyuiop", 3);
+  return 0;
+}

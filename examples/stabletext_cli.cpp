@@ -1,0 +1,225 @@
+// stabletext_cli: command-line driver for the full system. Subcommands:
+//
+//   gen <out.corpus> [days] [posts_per_day] [micro_events] [seed]
+//       Generate a synthetic planted-event corpus (PaperWeek script).
+//   cluster <corpus> <out_prefix>
+//       Run Section 3 per interval; writes <out_prefix>.dayN.clusters
+//       (cluster_io format) and <out_prefix>.dict.
+//   stable <corpus> [k] [l] [gap] [bfs|dfs]
+//       End-to-end kl-stable clusters; l = 0 means full paths.
+//   normalized <corpus> [k] [lmin] [gap]
+//       Normalized stable clusters.
+//   refine <corpus> <keyword> <day>
+//       Query-refinement suggestions for a keyword on a given day.
+//   savegraph <corpus> <out.graph> [gap]
+//       Build and persist the cluster graph.
+//   topk <in.graph> [k] [l] [bfs|dfs]
+//       Query a persisted cluster graph.
+//
+// Build & run:  ./build/examples/stabletext_cli gen /tmp/week.corpus
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "cluster/cluster_io.h"
+#include "core/pipeline.h"
+#include "core/query_refiner.h"
+#include "gen/corpus_generator.h"
+#include "stable/cluster_graph_io.h"
+#include "stable/dfs_finder.h"
+
+namespace {
+
+using namespace stabletext;
+
+int Fail(const Status& s) {
+  std::fprintf(stderr, "error: %s\n", s.ToString().c_str());
+  return 1;
+}
+
+PipelineOptions DefaultPipelineOptions(uint32_t gap) {
+  PipelineOptions options;
+  options.gap = gap;
+  options.clustering.pruning.rho_threshold = 0.2;
+  options.clustering.pruning.min_pair_support = 5;
+  options.affinity.theta = 0.1;
+  return options;
+}
+
+Status LoadPipeline(const std::string& corpus, uint32_t gap,
+                    StableClusterPipeline* pipeline) {
+  ST_RETURN_IF_ERROR(pipeline->AddCorpusFile(corpus));
+  std::fprintf(stderr, "clustered %u interval(s)\n",
+               pipeline->interval_count());
+  return Status::OK();
+}
+
+int CmdGen(int argc, char** argv) {
+  if (argc < 1) return 2;
+  CorpusGenOptions options;
+  options.days = argc > 1 ? std::atoi(argv[1]) : 7;
+  options.posts_per_day = argc > 2 ? std::atoi(argv[2]) : 2000;
+  options.micro_events = argc > 3 ? std::atoi(argv[3]) : 200;
+  options.seed = argc > 4 ? std::atoll(argv[4]) : 7;
+  options.min_words_per_post = 12;
+  options.max_words_per_post = 28;
+  options.script = EventScript::PaperWeek();
+  CorpusGenerator generator(options);
+  Status s = generator.GenerateToFile(argv[0]);
+  if (!s.ok()) return Fail(s);
+  std::printf("wrote %u days x %u posts to %s\n", options.days,
+              options.posts_per_day, argv[0]);
+  return 0;
+}
+
+int CmdCluster(int argc, char** argv) {
+  if (argc < 2) return 2;
+  StableClusterPipeline pipeline(DefaultPipelineOptions(0));
+  Status s = LoadPipeline(argv[0], 0, &pipeline);
+  if (!s.ok()) return Fail(s);
+  const std::string prefix = argv[1];
+  for (uint32_t day = 0; day < pipeline.interval_count(); ++day) {
+    const auto& result = pipeline.interval_result(day);
+    const std::string path =
+        prefix + ".day" + std::to_string(day) + ".clusters";
+    s = SaveClusters(result.clusters, path);
+    if (!s.ok()) return Fail(s);
+    std::printf("day %u: %zu clusters -> %s\n", day,
+                result.clusters.size(), path.c_str());
+  }
+  s = pipeline.dict().Save(prefix + ".dict");
+  if (!s.ok()) return Fail(s);
+  std::printf("dictionary (%zu keywords) -> %s.dict\n",
+              pipeline.dict().size(), prefix.c_str());
+  return 0;
+}
+
+int CmdStable(int argc, char** argv) {
+  if (argc < 1) return 2;
+  const size_t k = argc > 1 ? std::atoi(argv[1]) : 5;
+  const uint32_t l = argc > 2 ? std::atoi(argv[2]) : 0;
+  const uint32_t gap = argc > 3 ? std::atoi(argv[3]) : 1;
+  const FinderKind kind =
+      (argc > 4 && std::strcmp(argv[4], "dfs") == 0) ? FinderKind::kDfs
+                                                     : FinderKind::kBfs;
+  StableClusterPipeline pipeline(DefaultPipelineOptions(gap));
+  Status s = LoadPipeline(argv[0], gap, &pipeline);
+  if (!s.ok()) return Fail(s);
+  s = pipeline.BuildClusterGraph();
+  if (!s.ok()) return Fail(s);
+  auto chains = pipeline.FindStableClusters(k, l, kind);
+  if (!chains.ok()) return Fail(chains.status());
+  for (const auto& chain : chains.value()) {
+    std::printf("%s\n", pipeline.RenderChain(chain).c_str());
+  }
+  return 0;
+}
+
+int CmdNormalized(int argc, char** argv) {
+  if (argc < 1) return 2;
+  const size_t k = argc > 1 ? std::atoi(argv[1]) : 5;
+  const uint32_t lmin = argc > 2 ? std::atoi(argv[2]) : 2;
+  const uint32_t gap = argc > 3 ? std::atoi(argv[3]) : 1;
+  StableClusterPipeline pipeline(DefaultPipelineOptions(gap));
+  Status s = LoadPipeline(argv[0], gap, &pipeline);
+  if (!s.ok()) return Fail(s);
+  s = pipeline.BuildClusterGraph();
+  if (!s.ok()) return Fail(s);
+  auto chains = pipeline.FindNormalizedStableClusters(k, lmin);
+  if (!chains.ok()) return Fail(chains.status());
+  for (const auto& chain : chains.value()) {
+    std::printf("%s\n", pipeline.RenderChain(chain).c_str());
+  }
+  return 0;
+}
+
+int CmdRefine(int argc, char** argv) {
+  if (argc < 3) return 2;
+  StableClusterPipeline pipeline(DefaultPipelineOptions(0));
+  Status s = LoadPipeline(argv[0], 0, &pipeline);
+  if (!s.ok()) return Fail(s);
+  QueryRefiner refiner(&pipeline);
+  const uint32_t day = std::atoi(argv[2]);
+  auto suggestions = refiner.Suggest(argv[1], day);
+  if (suggestions.empty()) {
+    std::printf("no refinements for \"%s\" on day %u\n", argv[1], day);
+    return 0;
+  }
+  for (const Refinement& r : suggestions) {
+    std::printf("%-20s %.3f\n", r.keyword.c_str(), r.score);
+  }
+  return 0;
+}
+
+int CmdSaveGraph(int argc, char** argv) {
+  if (argc < 2) return 2;
+  const uint32_t gap = argc > 2 ? std::atoi(argv[2]) : 1;
+  StableClusterPipeline pipeline(DefaultPipelineOptions(gap));
+  Status s = LoadPipeline(argv[0], gap, &pipeline);
+  if (!s.ok()) return Fail(s);
+  s = pipeline.BuildClusterGraph();
+  if (!s.ok()) return Fail(s);
+  s = SaveClusterGraph(*pipeline.cluster_graph(), argv[1]);
+  if (!s.ok()) return Fail(s);
+  std::printf("cluster graph (%zu nodes, %zu edges) -> %s\n",
+              pipeline.cluster_graph()->node_count(),
+              pipeline.cluster_graph()->edge_count(), argv[1]);
+  return 0;
+}
+
+int CmdTopK(int argc, char** argv) {
+  if (argc < 1) return 2;
+  const size_t k = argc > 1 ? std::atoi(argv[1]) : 5;
+  const uint32_t l = argc > 2 ? std::atoi(argv[2]) : 0;
+  const bool dfs = argc > 3 && std::strcmp(argv[3], "dfs") == 0;
+  auto graph = LoadClusterGraph(argv[0]);
+  if (!graph.ok()) return Fail(graph.status());
+  StableFinderResult result;
+  if (dfs) {
+    DfsFinderOptions options;
+    options.k = k;
+    options.l = l;
+    auto r = DfsStableFinder(options).Find(graph.value());
+    if (!r.ok()) return Fail(r.status());
+    result = std::move(r).value();
+  } else {
+    BfsFinderOptions options;
+    options.k = k;
+    options.l = l;
+    auto r = BfsStableFinder(options).Find(graph.value());
+    if (!r.ok()) return Fail(r.status());
+    result = std::move(r).value();
+  }
+  for (const StablePath& p : result.paths) {
+    std::printf("%s\n", p.ToString().c_str());
+  }
+  std::printf("io: %s\n", result.io.ToString().c_str());
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    std::fprintf(
+        stderr,
+        "usage: %s <gen|cluster|stable|normalized|refine|savegraph|topk> "
+        "...\n(see the header comment of stabletext_cli.cpp)\n",
+        argv[0]);
+    return 2;
+  }
+  const std::string cmd = argv[1];
+  int rc = 2;
+  if (cmd == "gen") rc = CmdGen(argc - 2, argv + 2);
+  else if (cmd == "cluster") rc = CmdCluster(argc - 2, argv + 2);
+  else if (cmd == "stable") rc = CmdStable(argc - 2, argv + 2);
+  else if (cmd == "normalized") rc = CmdNormalized(argc - 2, argv + 2);
+  else if (cmd == "refine") rc = CmdRefine(argc - 2, argv + 2);
+  else if (cmd == "savegraph") rc = CmdSaveGraph(argc - 2, argv + 2);
+  else if (cmd == "topk") rc = CmdTopK(argc - 2, argv + 2);
+  else std::fprintf(stderr, "unknown command: %s\n", cmd.c_str());
+  if (rc == 2) std::fprintf(stderr, "bad arguments for %s\n", cmd.c_str());
+  return rc;
+}

@@ -1,0 +1,77 @@
+// streaming_monitor: the Section 4.6 online scenario. Intervals arrive
+// one at a time (as from a crawler); after every arrival the monitor
+// reports the current top-k stable clusters without recomputing history.
+// Uses the OnlineStableFinder on cluster graphs, simulating a feed where
+// each "tick" delivers the next interval's clusters and affinities.
+//
+// Build & run:  ./build/examples/streaming_monitor
+
+#include <cstdio>
+
+#include "gen/cluster_graph_generator.h"
+#include "stable/online_finder.h"
+
+using namespace stabletext;
+
+int main() {
+  // A synthetic feed: 12 intervals, 50 clusters per interval, average
+  // out degree 4, gap 1 — the same workload model as the paper's
+  // Section 5 generator.
+  ClusterGraphGenOptions gen_options;
+  gen_options.m = 12;
+  gen_options.n = 50;
+  gen_options.d = 4;
+  gen_options.g = 1;
+  gen_options.seed = 20070106;
+  ClusterGraph feed = ClusterGraphGenerator::Generate(gen_options);
+
+  OnlineFinderOptions options;
+  options.k = 3;
+  options.l = 4;  // Watch for stories stable across 4 intervals.
+  options.gap = 1;
+  OnlineStableFinder monitor(options);
+
+  std::printf(
+      "streaming %u intervals; reporting top-%zu stable paths of length "
+      "%u after each arrival\n\n",
+      feed.interval_count(), options.k, options.l);
+
+  for (uint32_t interval = 0; interval < feed.interval_count();
+       ++interval) {
+    // A new batch arrives from the crawler.
+    monitor.BeginInterval();
+    for (size_t j = 0; j < feed.IntervalNodes(interval).size(); ++j) {
+      auto node = monitor.AddNode();
+      if (!node.ok()) return 1;
+    }
+    for (NodeId c : feed.IntervalNodes(interval)) {
+      for (const ClusterGraphEdge& pe : feed.Parents(c)) {
+        if (!monitor.AddEdge(pe.target, c, pe.weight).ok()) return 1;
+      }
+    }
+    Status s = monitor.EndInterval();
+    if (!s.ok()) {
+      std::printf("EndInterval failed: %s\n", s.ToString().c_str());
+      return 1;
+    }
+
+    std::printf("tick %2u: ", interval);
+    if (monitor.TopK().empty()) {
+      std::printf("(no length-%u paths yet)\n", options.l);
+      continue;
+    }
+    std::printf("best ");
+    for (const StablePath& p : monitor.TopK()) {
+      std::printf(" %s", p.ToString().c_str());
+    }
+    std::printf("\n");
+  }
+
+  std::printf(
+      "\ntotal node reads: %llu, node writes: %llu — each tick only "
+      "touched its\ng+1-interval window; no past work was redone "
+      "(Section 4.6).\n",
+      static_cast<unsigned long long>(monitor.io().page_reads),
+      static_cast<unsigned long long>(monitor.io().page_writes));
+  return 0;
+}

@@ -1,0 +1,97 @@
+#include "affinity/affinity.h"
+
+#include <algorithm>
+
+namespace stabletext {
+
+size_t KeywordIntersectionSize(const Cluster& a, const Cluster& b) {
+  size_t count = 0;
+  auto ia = a.keywords.begin();
+  auto ib = b.keywords.begin();
+  while (ia != a.keywords.end() && ib != b.keywords.end()) {
+    if (*ia < *ib) {
+      ++ia;
+    } else if (*ib < *ia) {
+      ++ib;
+    } else {
+      ++count;
+      ++ia;
+      ++ib;
+    }
+  }
+  return count;
+}
+
+namespace {
+
+double WeightedJaccard(const Cluster& a, const Cluster& b) {
+  // Shared edges (same endpoints) contribute min weight to the
+  // numerator; the denominator accumulates max over matched edges plus
+  // all unmatched ones — the weighted generalization of Jaccard.
+  double num = 0, den = 0;
+  auto ea = a.edges.begin();
+  auto eb = b.edges.begin();
+  auto edge_less = [](const WeightedEdge& x, const WeightedEdge& y) {
+    return x.u != y.u ? x.u < y.u : x.v < y.v;
+  };
+  while (ea != a.edges.end() && eb != b.edges.end()) {
+    if (edge_less(*ea, *eb)) {
+      den += ea->weight;
+      ++ea;
+    } else if (edge_less(*eb, *ea)) {
+      den += eb->weight;
+      ++eb;
+    } else {
+      num += std::min(ea->weight, eb->weight);
+      den += std::max(ea->weight, eb->weight);
+      ++ea;
+      ++eb;
+    }
+  }
+  for (; ea != a.edges.end(); ++ea) den += ea->weight;
+  for (; eb != b.edges.end(); ++eb) den += eb->weight;
+  return den > 0 ? num / den : 0;
+}
+
+}  // namespace
+
+double ClusterAffinity(const Cluster& a, const Cluster& b,
+                       AffinityMeasure measure) {
+  switch (measure) {
+    case AffinityMeasure::kJaccard: {
+      const size_t inter = KeywordIntersectionSize(a, b);
+      const size_t uni = a.keywords.size() + b.keywords.size() - inter;
+      return uni > 0 ? static_cast<double>(inter) /
+                           static_cast<double>(uni)
+                     : 0;
+    }
+    case AffinityMeasure::kIntersection:
+      return static_cast<double>(KeywordIntersectionSize(a, b));
+    case AffinityMeasure::kOverlap: {
+      const size_t inter = KeywordIntersectionSize(a, b);
+      const size_t denom = std::min(a.keywords.size(), b.keywords.size());
+      return denom > 0 ? static_cast<double>(inter) /
+                             static_cast<double>(denom)
+                       : 0;
+    }
+    case AffinityMeasure::kWeightedJaccard:
+      return WeightedJaccard(a, b);
+  }
+  return 0;
+}
+
+const char* AffinityMeasureName(AffinityMeasure measure) {
+  switch (measure) {
+    case AffinityMeasure::kJaccard:
+      return "jaccard";
+    case AffinityMeasure::kIntersection:
+      return "intersection";
+    case AffinityMeasure::kOverlap:
+      return "overlap";
+    case AffinityMeasure::kWeightedJaccard:
+      return "weighted-jaccard";
+  }
+  return "unknown";
+}
+
+}  // namespace stabletext

@@ -1,0 +1,47 @@
+// Cluster-affinity functions (Section 4): quantify keyword overlap between
+// clusters of different temporal intervals. "For example, |ckj ∩ ck′j′| or
+// Jaccard(ckj, ck′j′) are candidate choices. Other choices are possible
+// taking into account the strength of the correlation between the common
+// pairs of keywords. Our framework can easily incorporate any of these
+// choices."
+
+#ifndef STABLETEXT_AFFINITY_AFFINITY_H_
+#define STABLETEXT_AFFINITY_AFFINITY_H_
+
+#include <cstddef>
+
+#include "cluster/cluster.h"
+
+namespace stabletext {
+
+/// Available affinity measures.
+enum class AffinityMeasure {
+  kJaccard,          ///< |A ∩ B| / |A ∪ B|; already in (0, 1].
+  kIntersection,     ///< |A ∩ B|; needs normalization for path weights.
+  kOverlap,          ///< |A ∩ B| / min(|A|, |B|); in (0, 1].
+  kWeightedJaccard,  ///< Weight of shared edges over weight of all edges.
+};
+
+/// Options for affinity evaluation.
+struct AffinityOptions {
+  AffinityMeasure measure = AffinityMeasure::kJaccard;
+  /// Minimum affinity for an edge in the cluster graph ("clusters with
+  /// affinity values greater than a specific threshold θ (θ = 0.1) to
+  /// ensure a minimum level of keyword persistence").
+  double theta = 0.1;
+};
+
+/// Number of shared keywords (both keyword lists are sorted).
+size_t KeywordIntersectionSize(const Cluster& a, const Cluster& b);
+
+/// Computes the chosen affinity between two clusters. Intersection is
+/// returned raw (callers normalize, see NormalizeIntersectionWeights).
+double ClusterAffinity(const Cluster& a, const Cluster& b,
+                       AffinityMeasure measure);
+
+/// Name for reports.
+const char* AffinityMeasureName(AffinityMeasure measure);
+
+}  // namespace stabletext
+
+#endif  // STABLETEXT_AFFINITY_AFFINITY_H_

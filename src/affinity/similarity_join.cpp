@@ -1,0 +1,91 @@
+#include "affinity/similarity_join.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_map>
+#include <unordered_set>
+
+namespace stabletext {
+
+namespace {
+
+// Prefix length under the standard prefix-filtering principle: two sets
+// with Jaccard >= theta must share a token among the first
+// |c| - ceil(theta * |c|) + 1 tokens in any global token order.
+size_t JaccardPrefixLength(size_t size, double theta) {
+  const size_t required =
+      static_cast<size_t>(std::ceil(theta * static_cast<double>(size)));
+  if (required == 0) return size;
+  return size - required + 1;
+}
+
+}  // namespace
+
+std::vector<AffinityMatch> SimilarityJoin::Join(
+    const std::vector<Cluster>& left, const std::vector<Cluster>& right,
+    SimilarityJoinStats* stats) const {
+  const bool jaccard = options_.measure == AffinityMeasure::kJaccard;
+  SimilarityJoinStats local;
+
+  // Inverted index over the right side. For Jaccard only the filtering
+  // prefix of each cluster is indexed; any measure with affinity > theta
+  // >= 0 requires at least one shared keyword, so the index is a complete
+  // candidate generator in all cases.
+  std::unordered_map<KeywordId, std::vector<uint32_t>> index;
+  for (uint32_t r = 0; r < right.size(); ++r) {
+    const auto& kws = right[r].keywords;
+    const size_t prefix =
+        jaccard ? JaccardPrefixLength(kws.size(), options_.theta)
+                : kws.size();
+    for (size_t i = 0; i < prefix; ++i) index[kws[i]].push_back(r);
+  }
+
+  std::vector<AffinityMatch> out;
+  std::unordered_set<uint32_t> seen;
+  for (uint32_t lidx = 0; lidx < left.size(); ++lidx) {
+    const auto& kws = left[lidx].keywords;
+    const size_t prefix =
+        jaccard ? JaccardPrefixLength(kws.size(), options_.theta)
+                : kws.size();
+    seen.clear();
+    for (size_t i = 0; i < prefix; ++i) {
+      auto it = index.find(kws[i]);
+      if (it == index.end()) continue;
+      for (uint32_t r : it->second) {
+        if (!seen.insert(r).second) continue;
+        ++local.candidate_pairs;
+        const double affinity =
+            ClusterAffinity(left[lidx], right[r], options_.measure);
+        if (affinity > options_.theta) {
+          out.push_back(AffinityMatch{lidx, r, affinity});
+        }
+      }
+    }
+  }
+  std::sort(out.begin(), out.end(),
+            [](const AffinityMatch& a, const AffinityMatch& b) {
+              return a.left != b.left ? a.left < b.left
+                                      : a.right < b.right;
+            });
+  local.result_pairs = out.size();
+  if (stats != nullptr) *stats = local;
+  return out;
+}
+
+std::vector<AffinityMatch> SimilarityJoin::JoinBruteForce(
+    const std::vector<Cluster>& left,
+    const std::vector<Cluster>& right) const {
+  std::vector<AffinityMatch> out;
+  for (uint32_t lidx = 0; lidx < left.size(); ++lidx) {
+    for (uint32_t r = 0; r < right.size(); ++r) {
+      const double affinity =
+          ClusterAffinity(left[lidx], right[r], options_.measure);
+      if (affinity > options_.theta) {
+        out.push_back(AffinityMatch{lidx, r, affinity});
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace stabletext

@@ -1,0 +1,107 @@
+#include "cluster/articulation.h"
+
+#include <algorithm>
+
+namespace stabletext {
+
+std::vector<KeywordId> FindArticulationPoints(const KeywordGraph& graph) {
+  const size_t n = graph.vertex_count();
+  std::vector<uint32_t> un(n, 0), low(n, 0);
+  std::vector<bool> is_art(n, false);
+  uint32_t time = 0;
+
+  struct Frame {
+    KeywordId vertex;
+    KeywordId parent;
+    size_t next_neighbor;
+    bool parent_edge_skipped;
+  };
+  std::vector<Frame> frames;
+
+  for (size_t root = 0; root < n; ++root) {
+    const KeywordId r = static_cast<KeywordId>(root);
+    if (un[r] != 0 || graph.Degree(r) == 0) continue;
+    size_t root_children = 0;
+    un[r] = low[r] = ++time;
+    frames.push_back(Frame{r, kInvalidKeyword, 0, false});
+    while (!frames.empty()) {
+      Frame& f = frames.back();
+      const KeywordId u = f.vertex;
+      if (f.next_neighbor < graph.Degree(u)) {
+        const size_t i = f.next_neighbor++;
+        const KeywordId w = graph.Neighbors(u)[i];
+        if (w == f.parent && !f.parent_edge_skipped) {
+          f.parent_edge_skipped = true;
+          continue;
+        }
+        if (un[w] == 0) {
+          un[w] = low[w] = ++time;
+          if (u == r) ++root_children;
+          frames.push_back(Frame{w, u, 0, false});
+        } else if (un[w] < un[u]) {
+          low[u] = std::min(low[u], un[w]);
+        }
+        continue;
+      }
+      frames.pop_back();
+      if (f.parent == kInvalidKeyword) continue;
+      const KeywordId p = f.parent;
+      low[p] = std::min(low[p], low[u]);
+      if (low[u] >= un[p] && (p != r || root_children >= 2)) {
+        is_art[p] = true;
+      }
+    }
+  }
+
+  std::vector<KeywordId> out;
+  for (size_t v = 0; v < n; ++v) {
+    if (is_art[v]) out.push_back(static_cast<KeywordId>(v));
+  }
+  return out;
+}
+
+size_t CountConnectedComponents(const KeywordGraph& graph, KeywordId skip) {
+  const size_t n = graph.vertex_count();
+  std::vector<bool> visited(n, false);
+  std::vector<KeywordId> stack;
+  size_t components = 0;
+  for (size_t s = 0; s < n; ++s) {
+    const KeywordId sv = static_cast<KeywordId>(s);
+    if (visited[s] || sv == skip || graph.Degree(sv) == 0) continue;
+    // A vertex whose only edges lead to `skip` still counts as reachable
+    // residue; treat it as its own component.
+    ++components;
+    visited[s] = true;
+    stack.push_back(sv);
+    while (!stack.empty()) {
+      const KeywordId u = stack.back();
+      stack.pop_back();
+      for (size_t i = 0; i < graph.Degree(u); ++i) {
+        const KeywordId w = graph.Neighbors(u)[i];
+        if (w == skip || visited[w]) continue;
+        visited[w] = true;
+        stack.push_back(w);
+      }
+    }
+  }
+  return components;
+}
+
+std::vector<KeywordId> FindArticulationPointsBruteForce(
+    const KeywordGraph& graph) {
+  std::vector<KeywordId> out;
+  const size_t base = CountConnectedComponents(graph);
+  for (size_t v = 0; v < graph.vertex_count(); ++v) {
+    const KeywordId kv = static_cast<KeywordId>(v);
+    if (graph.Degree(kv) == 0) continue;
+    // Removing v also strands its degree-1 neighbors as singleton
+    // components; the classic definition says v is an articulation point
+    // iff the remaining graph splits into MORE pieces than it contributes
+    // boundary to. Compare component counts excluding v from both sides.
+    const size_t without = CountConnectedComponents(graph, kv);
+    if (without > base) out.push_back(kv);
+  }
+  return out;
+}
+
+}  // namespace stabletext

@@ -1,0 +1,33 @@
+// Standalone articulation-point computation, independent of the
+// biconnected-component finder. Having two implementations of the same
+// graph property (this one, and BiconnectedFinder::ArticulationPoints)
+// gives the test suite an internal cross-check in addition to the
+// brute-force oracle.
+
+#ifndef STABLETEXT_CLUSTER_ARTICULATION_H_
+#define STABLETEXT_CLUSTER_ARTICULATION_H_
+
+#include <vector>
+
+#include "graph/keyword_graph.h"
+
+namespace stabletext {
+
+/// Computes all articulation points of `graph` with an iterative DFS
+/// (un/low numbers). Returns sorted vertex ids.
+std::vector<KeywordId> FindArticulationPoints(const KeywordGraph& graph);
+
+/// Brute-force articulation-point oracle: v is an articulation point iff
+/// removing v increases the number of connected components among the
+/// remaining non-isolated vertices. O(V * (V + E)); test use only.
+std::vector<KeywordId> FindArticulationPointsBruteForce(
+    const KeywordGraph& graph);
+
+/// Counts connected components over vertices with at least one edge,
+/// optionally ignoring vertex `skip` (kInvalidKeyword = ignore none).
+size_t CountConnectedComponents(const KeywordGraph& graph,
+                                KeywordId skip = kInvalidKeyword);
+
+}  // namespace stabletext
+
+#endif  // STABLETEXT_CLUSTER_ARTICULATION_H_

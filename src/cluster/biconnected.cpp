@@ -1,0 +1,137 @@
+#include "cluster/biconnected.h"
+
+#include <algorithm>
+
+namespace stabletext {
+
+namespace {
+
+// Pending edge on the Algorithm 1 stack.
+struct EdgeEntry {
+  KeywordId u;
+  KeywordId v;
+  double weight;
+};
+
+// Explicit DFS frame replacing recursion in Art(u).
+struct Frame {
+  KeywordId vertex;
+  KeywordId parent;        // kInvalidKeyword at roots.
+  size_t next_neighbor;    // Index into the adjacency list.
+  bool parent_edge_skipped;
+};
+
+}  // namespace
+
+Status BiconnectedFinder::Run(const KeywordGraph& graph,
+                              const ComponentFn& fn,
+                              BiconnectedStats* stats) {
+  const size_t n = graph.vertex_count();
+  std::vector<uint32_t> un(n, 0);   // Visit order; 0 = unvisited.
+  std::vector<uint32_t> low(n, 0);
+  uint32_t time = 0;
+
+  SpillableStackOptions stack_options;
+  stack_options.memory_entries = options_.stack_memory_entries;
+  stack_options.block_entries = options_.stack_block_entries;
+  SpillableStack<EdgeEntry> edge_stack(stack_options, options_.io_stats);
+
+  BiconnectedStats local;
+  std::vector<Frame> frames;
+  std::vector<bool> is_articulation(n, false);
+
+  for (size_t root = 0; root < n; ++root) {
+    const KeywordId r = static_cast<KeywordId>(root);
+    if (un[r] != 0 || graph.Degree(r) == 0) continue;
+    size_t root_children = 0;
+    un[r] = low[r] = ++time;
+    frames.push_back(Frame{r, kInvalidKeyword, 0, false});
+
+    while (!frames.empty()) {
+      Frame& f = frames.back();
+      const KeywordId u = f.vertex;
+      if (f.next_neighbor < graph.Degree(u)) {
+        const size_t i = f.next_neighbor++;
+        const KeywordId w = graph.Neighbors(u)[i];
+        const double weight = graph.Weights(u)[i];
+        if (w == f.parent && !f.parent_edge_skipped) {
+          // Skip the tree edge back to the parent exactly once; a second
+          // (u, parent) edge would be a genuine parallel edge.
+          f.parent_edge_skipped = true;
+          continue;
+        }
+        if (un[w] == 0) {
+          // Tree edge.
+          ST_RETURN_IF_ERROR(edge_stack.Push(EdgeEntry{u, w, weight}));
+          local.max_stack_entries =
+              std::max(local.max_stack_entries, edge_stack.size());
+          local.spilled_entries =
+              std::max(local.spilled_entries, edge_stack.cold_entries());
+          un[w] = low[w] = ++time;
+          if (u == r) ++root_children;
+          frames.push_back(Frame{w, u, 0, false});
+        } else if (un[w] < un[u]) {
+          // Back edge to an ancestor (the un[w] < un[u] guard of line 6 in
+          // Algorithm 1 keeps each undirected edge on the stack once).
+          ST_RETURN_IF_ERROR(edge_stack.Push(EdgeEntry{u, w, weight}));
+          local.max_stack_entries =
+              std::max(local.max_stack_entries, edge_stack.size());
+          low[u] = std::min(low[u], un[w]);
+        }
+        continue;
+      }
+      // All neighbors handled: backtrack the tree edge (parent -> u).
+      frames.pop_back();
+      if (f.parent == kInvalidKeyword) continue;
+      const KeywordId p = f.parent;
+      low[p] = std::min(low[p], low[u]);
+      if (low[u] >= un[p]) {
+        // Pop all edges up to and including (p, u): one biconnected
+        // component (line 13-14 of Algorithm 1).
+        std::vector<WeightedEdge> component;
+        EdgeEntry e;
+        do {
+          ST_RETURN_IF_ERROR(edge_stack.Pop(&e));
+          component.push_back(WeightedEdge{e.u, e.v, e.weight});
+        } while (!(e.u == p && e.v == u));
+        ++local.components;
+        if (p != r || root_children >= 2) is_articulation[p] = true;
+        fn(component);
+      }
+    }
+  }
+
+  for (size_t v = 0; v < n; ++v) {
+    if (is_articulation[v]) ++local.articulation_points;
+  }
+  if (stats != nullptr) *stats = local;
+  return Status::OK();
+}
+
+Result<std::vector<KeywordId>> BiconnectedFinder::ArticulationPoints(
+    const KeywordGraph& graph) {
+  // A vertex is an articulation point iff it appears in two or more
+  // biconnected components.
+  std::vector<uint32_t> membership(graph.vertex_count(), 0);
+  std::vector<KeywordId> result;
+  size_t component_id = 0;
+  std::vector<KeywordId> seen;
+  Status s = Run(graph, [&](const std::vector<WeightedEdge>& edges) {
+    ++component_id;
+    seen.clear();
+    for (const WeightedEdge& e : edges) {
+      seen.push_back(e.u);
+      seen.push_back(e.v);
+    }
+    std::sort(seen.begin(), seen.end());
+    seen.erase(std::unique(seen.begin(), seen.end()), seen.end());
+    for (KeywordId v : seen) ++membership[v];
+  });
+  if (!s.ok()) return s;
+  for (size_t v = 0; v < membership.size(); ++v) {
+    if (membership[v] >= 2) result.push_back(static_cast<KeywordId>(v));
+  }
+  return result;
+}
+
+}  // namespace stabletext

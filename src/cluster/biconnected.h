@@ -1,0 +1,67 @@
+// Algorithm 1 of the paper: identify all biconnected components of the
+// pruned keyword graph G' via a DFS computing un[] and low[] numbers, with
+// the pending-edge stack spillable to secondary storage (Section 3: "the
+// data structure in memory is a stack with well defined access patterns, it
+// can be efficiently paged to secondary storage").
+//
+// The implementation is iterative (explicit DFS frames) so graphs with
+// millions of vertices do not overflow the call stack.
+
+#ifndef STABLETEXT_CLUSTER_BICONNECTED_H_
+#define STABLETEXT_CLUSTER_BICONNECTED_H_
+
+#include <functional>
+#include <vector>
+
+#include "graph/keyword_graph.h"
+#include "storage/spillable_stack.h"
+
+namespace stabletext {
+
+/// Options for the biconnected-component finder.
+struct BiconnectedOptions {
+  /// In-memory entries allowed on the edge stack before spilling.
+  size_t stack_memory_entries = 1 << 20;
+  /// Spill block size (entries).
+  size_t stack_block_entries = 1 << 14;
+  /// I/O accounting for spill traffic; may be null.
+  IoStats* io_stats = nullptr;
+};
+
+/// Summary counters of one decomposition run.
+struct BiconnectedStats {
+  size_t components = 0;          ///< Biconnected components emitted.
+  size_t articulation_points = 0;
+  size_t max_stack_entries = 0;   ///< High-water mark of the edge stack.
+  size_t spilled_entries = 0;     ///< Peak entries resident on disk.
+};
+
+/// \brief Runs Algorithm 1 and reports each biconnected component.
+class BiconnectedFinder {
+ public:
+  /// Component callback: receives the member edges of one biconnected
+  /// component (each edge once, endpoints in DFS orientation).
+  using ComponentFn =
+      std::function<void(const std::vector<WeightedEdge>&)>;
+
+  explicit BiconnectedFinder(BiconnectedOptions options = {})
+      : options_(options) {}
+
+  /// Decomposes `graph`, invoking `fn` once per biconnected component.
+  /// Isolated vertices produce no component. `stats` may be null.
+  Status Run(const KeywordGraph& graph, const ComponentFn& fn,
+             BiconnectedStats* stats = nullptr);
+
+  /// Convenience: returns the articulation points of `graph` (sorted).
+  /// A non-root vertex u is an articulation point iff it has a child w
+  /// with low[w] >= un[u]; a root iff it has at least two DFS children.
+  Result<std::vector<KeywordId>> ArticulationPoints(
+      const KeywordGraph& graph);
+
+ private:
+  BiconnectedOptions options_;
+};
+
+}  // namespace stabletext
+
+#endif  // STABLETEXT_CLUSTER_BICONNECTED_H_

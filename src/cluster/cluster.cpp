@@ -1,0 +1,43 @@
+#include "cluster/cluster.h"
+
+#include <algorithm>
+
+namespace stabletext {
+
+double Cluster::TotalEdgeWeight() const {
+  double total = 0;
+  for (const WeightedEdge& e : edges) total += e.weight;
+  return total;
+}
+
+bool Cluster::Contains(KeywordId id) const {
+  return std::binary_search(keywords.begin(), keywords.end(), id);
+}
+
+std::string Cluster::ToString(const KeywordDict& dict,
+                              size_t max_keywords) const {
+  std::string out = "{";
+  for (size_t i = 0; i < keywords.size() && i < max_keywords; ++i) {
+    if (i) out += ", ";
+    out += dict.Word(keywords[i]);
+  }
+  if (keywords.size() > max_keywords) out += ", ...";
+  out += "}";
+  return out;
+}
+
+void NormalizeCluster(Cluster* cluster) {
+  for (WeightedEdge& e : cluster->edges) {
+    if (e.u > e.v) std::swap(e.u, e.v);
+  }
+  std::sort(cluster->edges.begin(), cluster->edges.end(),
+            [](const WeightedEdge& a, const WeightedEdge& b) {
+              return a.u != b.u ? a.u < b.u : a.v < b.v;
+            });
+  std::sort(cluster->keywords.begin(), cluster->keywords.end());
+  cluster->keywords.erase(
+      std::unique(cluster->keywords.begin(), cluster->keywords.end()),
+      cluster->keywords.end());
+}
+
+}  // namespace stabletext

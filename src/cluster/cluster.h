@@ -1,0 +1,42 @@
+// Cluster: a set of correlated keywords for one temporal interval, produced
+// by the biconnected-component decomposition of the pruned keyword graph.
+
+#ifndef STABLETEXT_CLUSTER_CLUSTER_H_
+#define STABLETEXT_CLUSTER_CLUSTER_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "cooccur/keyword_dict.h"
+#include "graph/keyword_graph.h"
+
+namespace stabletext {
+
+/// \brief One keyword cluster: vertices plus their member edges.
+struct Cluster {
+  uint32_t interval = 0;               ///< Temporal interval the cluster
+                                       ///< belongs to.
+  std::vector<KeywordId> keywords;     ///< Distinct, sorted ascending.
+  std::vector<WeightedEdge> edges;     ///< Member edges (u < v).
+
+  size_t size() const { return keywords.size(); }
+
+  /// Sum of member edge weights (used by weighted affinity functions).
+  double TotalEdgeWeight() const;
+
+  /// True if `id` is a member keyword (binary search).
+  bool Contains(KeywordId id) const;
+
+  /// Renders keywords as text using `dict`, comma-separated, for display.
+  std::string ToString(const KeywordDict& dict, size_t max_keywords = 12)
+      const;
+};
+
+/// Normalizes a cluster: sorts and dedups keywords, sorts edges, canonical
+/// (u < v) edge orientation.
+void NormalizeCluster(Cluster* cluster);
+
+}  // namespace stabletext
+
+#endif  // STABLETEXT_CLUSTER_CLUSTER_H_

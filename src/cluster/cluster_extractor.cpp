@@ -1,0 +1,82 @@
+#include "cluster/cluster_extractor.h"
+
+#include <algorithm>
+
+namespace stabletext {
+
+namespace {
+
+Cluster MakeCluster(uint32_t interval,
+                    const std::vector<WeightedEdge>& edges) {
+  Cluster c;
+  c.interval = interval;
+  c.edges = edges;
+  c.keywords.reserve(edges.size() * 2);
+  for (const WeightedEdge& e : edges) {
+    c.keywords.push_back(e.u);
+    c.keywords.push_back(e.v);
+  }
+  NormalizeCluster(&c);
+  return c;
+}
+
+std::vector<Cluster> ExtractConnected(const KeywordGraph& graph,
+                                      uint32_t interval) {
+  const size_t n = graph.vertex_count();
+  std::vector<bool> visited(n, false);
+  std::vector<Cluster> out;
+  std::vector<KeywordId> stack;
+  for (size_t s = 0; s < n; ++s) {
+    const KeywordId sv = static_cast<KeywordId>(s);
+    if (visited[s] || graph.Degree(sv) == 0) continue;
+    std::vector<WeightedEdge> edges;
+    visited[s] = true;
+    stack.push_back(sv);
+    while (!stack.empty()) {
+      const KeywordId u = stack.back();
+      stack.pop_back();
+      for (size_t i = 0; i < graph.Degree(u); ++i) {
+        const KeywordId w = graph.Neighbors(u)[i];
+        if (u < w) {
+          edges.push_back(WeightedEdge{u, w, graph.Weights(u)[i]});
+        }
+        if (!visited[w]) {
+          visited[w] = true;
+          stack.push_back(w);
+        }
+      }
+    }
+    out.push_back(MakeCluster(interval, edges));
+  }
+  return out;
+}
+
+}  // namespace
+
+Result<std::vector<Cluster>> ClusterExtractor::Extract(
+    const KeywordGraph& graph, uint32_t interval, BiconnectedStats* stats) {
+  std::vector<Cluster> out;
+  if (options_.mode == ClusterMode::kConnectedComponent) {
+    out = ExtractConnected(graph, interval);
+  } else {
+    BiconnectedFinder finder(options_.biconnected);
+    Status s = finder.Run(
+        graph,
+        [&](const std::vector<WeightedEdge>& edges) {
+          out.push_back(MakeCluster(interval, edges));
+        },
+        stats);
+    if (!s.ok()) return s;
+  }
+  if (options_.min_keywords > 2) {
+    out.erase(std::remove_if(out.begin(), out.end(),
+                             [&](const Cluster& c) {
+                               return c.keywords.size() <
+                                      options_.min_keywords;
+                             }),
+              out.end());
+  }
+  return out;
+}
+
+}  // namespace stabletext

@@ -1,0 +1,31 @@
+#include "cooccur/cooccurrence_counter.h"
+
+namespace stabletext {
+
+namespace {
+ExternalSorterOptions MakeSorterOptions(
+    const CooccurrenceCounterOptions& options) {
+  ExternalSorterOptions out;
+  out.memory_budget_bytes = options.sort_memory_bytes;
+  out.page_size = options.page_size;
+  return out;
+}
+}  // namespace
+
+CooccurrenceCounter::CooccurrenceCounter(
+    KeywordDict* dict, CooccurrenceCounterOptions options, IoStats* stats)
+    : dict_(dict),
+      sorter_(MakeSorterOptions(options), stats),
+      emitter_(dict, &sorter_) {}
+
+Status CooccurrenceCounter::Add(const Document& doc) {
+  return emitter_.EmitDocument(doc);
+}
+
+Status CooccurrenceCounter::Finish(CooccurrenceTable* out) {
+  ST_RETURN_IF_ERROR(sorter_.Sort());
+  return PairAggregator::Aggregate(&sorter_, emitter_.document_count(),
+                                   dict_->size(), out);
+}
+
+}  // namespace stabletext

@@ -1,0 +1,54 @@
+// CooccurrenceCounter: the full Section 3 counting pipeline for one
+// temporal interval — stream documents, emit pairs, external-sort, aggregate.
+
+#ifndef STABLETEXT_COOCCUR_COOCCURRENCE_COUNTER_H_
+#define STABLETEXT_COOCCUR_COOCCURRENCE_COUNTER_H_
+
+#include <functional>
+
+#include "cooccur/pair_aggregator.h"
+#include "storage/io_stats.h"
+
+namespace stabletext {
+
+/// Options for CooccurrenceCounter.
+struct CooccurrenceCounterOptions {
+  /// Memory budget handed to the external sorter for the pair file.
+  size_t sort_memory_bytes = 32 << 20;
+  size_t page_size = 4096;
+};
+
+/// \brief Counts keyword co-occurrences for one document collection.
+///
+/// The dictionary is shared across intervals so keyword ids are stable over
+/// the whole analysis window (needed when clusters from different intervals
+/// are compared by keyword overlap).
+class CooccurrenceCounter {
+ public:
+  /// \param dict shared dictionary; must outlive the counter.
+  /// \param stats I/O accounting; may be null.
+  CooccurrenceCounter(KeywordDict* dict,
+                      CooccurrenceCounterOptions options = {},
+                      IoStats* stats = nullptr);
+
+  /// Adds one preprocessed document.
+  Status Add(const Document& doc);
+
+  /// Finishes the pass: sorts the pair file and aggregates into *out.
+  /// The counter cannot be reused afterwards.
+  Status Finish(CooccurrenceTable* out);
+
+  uint64_t document_count() const { return emitter_.document_count(); }
+  uint64_t pair_count() const { return emitter_.pair_count(); }
+  /// Sorted runs spilled by the pair sorter (0 = stayed in memory).
+  size_t spill_runs() const { return sorter_.run_count(); }
+
+ private:
+  KeywordDict* dict_;
+  PairSorter sorter_;
+  PairEmitter emitter_;
+};
+
+}  // namespace stabletext
+
+#endif  // STABLETEXT_COOCCUR_COOCCURRENCE_COUNTER_H_

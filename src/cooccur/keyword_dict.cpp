@@ -1,0 +1,44 @@
+#include "cooccur/keyword_dict.h"
+
+#include <fstream>
+
+namespace stabletext {
+
+KeywordId KeywordDict::Intern(std::string_view word) {
+  auto it = index_.find(std::string(word));
+  if (it != index_.end()) return it->second;
+  const KeywordId id = static_cast<KeywordId>(words_.size());
+  words_.emplace_back(word);
+  index_.emplace(words_.back(), id);
+  return id;
+}
+
+KeywordId KeywordDict::Lookup(std::string_view word) const {
+  auto it = index_.find(std::string(word));
+  return it == index_.end() ? kInvalidKeyword : it->second;
+}
+
+Status KeywordDict::Save(const std::string& path) const {
+  std::ofstream out(path, std::ios::out | std::ios::trunc);
+  if (!out) return Status::IOError("cannot open " + path);
+  for (const std::string& w : words_) out << w << '\n';
+  out.flush();
+  if (!out) return Status::IOError("write failed on " + path);
+  return Status::OK();
+}
+
+Status KeywordDict::Load(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return Status::IOError("cannot open " + path);
+  index_.clear();
+  words_.clear();
+  std::string line;
+  while (std::getline(in, line)) {
+    const KeywordId id = static_cast<KeywordId>(words_.size());
+    words_.push_back(line);
+    index_.emplace(words_.back(), id);
+  }
+  return Status::OK();
+}
+
+}  // namespace stabletext

@@ -1,0 +1,52 @@
+// Keyword dictionary: bidirectional mapping between keyword strings and
+// dense uint32 ids. All downstream graph machinery works on ids; the
+// dictionary is only consulted when rendering clusters back to text.
+
+#ifndef STABLETEXT_COOCCUR_KEYWORD_DICT_H_
+#define STABLETEXT_COOCCUR_KEYWORD_DICT_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "util/status.h"
+
+namespace stabletext {
+
+/// Id type for keywords. Dense, starting at 0.
+using KeywordId = uint32_t;
+
+/// Sentinel for "not present".
+inline constexpr KeywordId kInvalidKeyword = UINT32_MAX;
+
+/// \brief Append-only keyword interning table.
+class KeywordDict {
+ public:
+  /// Returns the id of `word`, inserting it if new.
+  KeywordId Intern(std::string_view word);
+
+  /// Returns the id of `word` or kInvalidKeyword if absent.
+  KeywordId Lookup(std::string_view word) const;
+
+  /// Returns the keyword for an id. Precondition: id < size().
+  const std::string& Word(KeywordId id) const { return words_[id]; }
+
+  size_t size() const { return words_.size(); }
+
+  /// Serializes to a text file (one word per line, line number = id).
+  Status Save(const std::string& path) const;
+
+  /// Loads a dictionary previously written by Save into *this (replacing
+  /// current contents).
+  Status Load(const std::string& path);
+
+ private:
+  std::unordered_map<std::string, KeywordId> index_;
+  std::vector<std::string> words_;
+};
+
+}  // namespace stabletext
+
+#endif  // STABLETEXT_COOCCUR_KEYWORD_DICT_H_

@@ -1,0 +1,42 @@
+#include "cooccur/pair_aggregator.h"
+
+namespace stabletext {
+
+Status PairAggregator::Aggregate(PairSorter* sorter,
+                                 uint64_t document_count,
+                                 size_t keyword_count,
+                                 CooccurrenceTable* out) {
+  out->document_count = document_count;
+  out->unary.assign(keyword_count, 0);
+  out->triplets.clear();
+
+  PairRecord rec;
+  bool have_current = false;
+  PairRecord current{0, 0};
+  uint32_t count = 0;
+
+  auto flush = [&] {
+    if (!have_current) return;
+    if (current.u == current.v) {
+      out->unary[current.u] = count;
+    } else {
+      out->triplets.push_back(Triplet{current.u, current.v, count});
+    }
+  };
+
+  while (sorter->Next(&rec)) {
+    if (have_current && rec == current) {
+      ++count;
+      continue;
+    }
+    flush();
+    current = rec;
+    count = 1;
+    have_current = true;
+  }
+  ST_RETURN_IF_ERROR(sorter->status());
+  flush();
+  return Status::OK();
+}
+
+}  // namespace stabletext

@@ -1,0 +1,44 @@
+// Pair aggregation: the "single pass over the output sorted file" of
+// Section 3, turning the sorted pair stream into triplets (u, v, A(u,v))
+// plus the unary counts A(u).
+
+#ifndef STABLETEXT_COOCCUR_PAIR_AGGREGATOR_H_
+#define STABLETEXT_COOCCUR_PAIR_AGGREGATOR_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "cooccur/pair_emitter.h"
+
+namespace stabletext {
+
+/// Aggregated co-occurrence triplet: A(u,v) documents contain both u and v.
+struct Triplet {
+  KeywordId u;
+  KeywordId v;
+  uint32_t count;
+
+  friend bool operator==(const Triplet& a, const Triplet& b) {
+    return a.u == b.u && a.v == b.v && a.count == b.count;
+  }
+};
+
+/// \brief Result of aggregating one interval's pair stream.
+struct CooccurrenceTable {
+  uint64_t document_count = 0;       ///< n = |D|.
+  std::vector<uint32_t> unary;       ///< unary[u] = A(u), indexed by id.
+  std::vector<Triplet> triplets;     ///< Off-diagonal pairs, u < v, sorted.
+};
+
+/// \brief Streams a sorted PairSorter and produces a CooccurrenceTable.
+class PairAggregator {
+ public:
+  /// Consumes `sorter` (Sort() must already have been called) and fills
+  /// *out. `document_count` and `keyword_count` come from the emitter/dict.
+  static Status Aggregate(PairSorter* sorter, uint64_t document_count,
+                          size_t keyword_count, CooccurrenceTable* out);
+};
+
+}  // namespace stabletext
+
+#endif  // STABLETEXT_COOCCUR_PAIR_AGGREGATOR_H_

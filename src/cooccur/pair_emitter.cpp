@@ -1,0 +1,29 @@
+#include "cooccur/pair_emitter.h"
+
+#include <algorithm>
+
+namespace stabletext {
+
+Status PairEmitter::EmitDocument(const Document& doc) {
+  // Intern all distinct keywords of the document.
+  std::vector<KeywordId> ids;
+  ids.reserve(doc.keywords.size());
+  for (const std::string& w : doc.keywords) ids.push_back(dict_->Intern(w));
+  // Canonical pair order requires sorted ids (Document keywords are sorted
+  // as strings, which is not id order).
+  std::sort(ids.begin(), ids.end());
+
+  for (size_t i = 0; i < ids.size(); ++i) {
+    // Diagonal record for A(u).
+    ST_RETURN_IF_ERROR(sorter_->Add(PairRecord{ids[i], ids[i]}));
+    ++pairs_;
+    for (size_t j = i + 1; j < ids.size(); ++j) {
+      ST_RETURN_IF_ERROR(sorter_->Add(PairRecord{ids[i], ids[j]}));
+      ++pairs_;
+    }
+  }
+  ++documents_;
+  return Status::OK();
+}
+
+}  // namespace stabletext

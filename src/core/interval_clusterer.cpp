@@ -1,0 +1,29 @@
+#include "core/interval_clusterer.h"
+
+namespace stabletext {
+
+Result<IntervalResult> IntervalClusterer::Run(
+    uint32_t interval, const std::vector<Document>& documents) const {
+  IntervalResult result;
+  result.interval = interval;
+
+  CooccurrenceCounter counter(dict_, options_.counting, stats_);
+  for (const Document& doc : documents) {
+    ST_RETURN_IF_ERROR(counter.Add(doc));
+  }
+  CooccurrenceTable table;
+  ST_RETURN_IF_ERROR(counter.Finish(&table));
+
+  GraphBuilder builder(options_.pruning);
+  KeywordGraph graph = builder.Build(table, &result.graph_summary);
+
+  ClusterExtractorOptions extraction = options_.extraction;
+  extraction.biconnected.io_stats = stats_;
+  ClusterExtractor extractor(extraction);
+  auto clusters = extractor.Extract(graph, interval, &result.biconnected);
+  if (!clusters.ok()) return clusters.status();
+  result.clusters = std::move(clusters).value();
+  return result;
+}
+
+}  // namespace stabletext

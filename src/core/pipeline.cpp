@@ -1,0 +1,191 @@
+#include "core/pipeline.h"
+
+#include <algorithm>
+#include <map>
+
+#include "text/corpus.h"
+#include "util/strings.h"
+
+namespace stabletext {
+
+StableClusterPipeline::StableClusterPipeline(PipelineOptions options)
+    : options_(std::move(options)) {}
+
+Status StableClusterPipeline::AddIntervalText(
+    const std::vector<std::string>& posts) {
+  const uint32_t interval = interval_count();
+  DocumentProcessor processor;
+  std::vector<Document> documents;
+  documents.reserve(posts.size());
+  for (const std::string& post : posts) {
+    documents.push_back(processor.Process(interval, post));
+  }
+  return AddIntervalDocuments(documents);
+}
+
+Status StableClusterPipeline::AddIntervalDocuments(
+    const std::vector<Document>& documents) {
+  const uint32_t interval = interval_count();
+  if (graph_ != nullptr) {
+    return Status::InvalidArgument(
+        "cluster graph already built; create a new pipeline");
+  }
+  IntervalClusterer clusterer(&dict_, options_.clustering, &io_);
+  auto result = clusterer.Run(interval, documents);
+  if (!result.ok()) return result.status();
+  interval_results_.push_back(std::move(result).value());
+  return Status::OK();
+}
+
+Status StableClusterPipeline::AddCorpusFile(const std::string& path) {
+  CorpusReader reader;
+  ST_RETURN_IF_ERROR(reader.Open(path));
+  // Group posts by interval; intervals must be contiguous from 0.
+  std::map<uint32_t, std::vector<std::string>> by_interval;
+  uint32_t interval;
+  std::string text;
+  while (reader.Next(&interval, &text)) {
+    by_interval[interval].push_back(text);
+  }
+  ST_RETURN_IF_ERROR(reader.status());
+  uint32_t expected = interval_count();
+  for (const auto& [iv, posts] : by_interval) {
+    if (iv != expected) {
+      return Status::InvalidArgument(
+          "corpus intervals must be contiguous from the pipeline's next "
+          "interval");
+    }
+    ST_RETURN_IF_ERROR(AddIntervalText(posts));
+    ++expected;
+  }
+  return Status::OK();
+}
+
+Status StableClusterPipeline::BuildClusterGraph() {
+  if (graph_ != nullptr) {
+    return Status::InvalidArgument("cluster graph already built");
+  }
+  const uint32_t m = interval_count();
+  if (m == 0) return Status::InvalidArgument("no intervals added");
+  graph_ = std::make_unique<ClusterGraph>(m, options_.gap);
+
+  node_of_.assign(m, {});
+  for (uint32_t i = 0; i < m; ++i) {
+    const auto& clusters = interval_results_[i].clusters;
+    node_of_[i].reserve(clusters.size());
+    for (uint32_t j = 0; j < clusters.size(); ++j) {
+      const NodeId id = graph_->AddNode(i);
+      node_of_[i].push_back(id);
+      cluster_of_node_.emplace_back(i, j);
+    }
+  }
+
+  // Affinity joins between interval pairs within the gap window. Raw
+  // intersection weights are normalized by the running maximum, per the
+  // paper's footnote on affinity functions without a (0, 1] range.
+  const bool needs_normalization =
+      options_.affinity.measure == AffinityMeasure::kIntersection;
+  struct RawEdge {
+    NodeId from;
+    NodeId to;
+    double affinity;
+  };
+  std::vector<RawEdge> raw;
+  SimilarityJoin join(options_.affinity);
+  for (uint32_t i = 0; i < m; ++i) {
+    for (uint32_t j = i + 1; j <= std::min(m - 1, i + options_.gap + 1);
+         ++j) {
+      const auto matches = join.Join(interval_results_[i].clusters,
+                                     interval_results_[j].clusters);
+      for (const AffinityMatch& match : matches) {
+        raw.push_back(RawEdge{node_of_[i][match.left],
+                              node_of_[j][match.right], match.affinity});
+      }
+    }
+  }
+  double max_affinity = 0;
+  for (const RawEdge& e : raw) {
+    max_affinity = std::max(max_affinity, e.affinity);
+  }
+  for (const RawEdge& e : raw) {
+    double w = e.affinity;
+    if (needs_normalization && max_affinity > 0) w /= max_affinity;
+    w = std::min(w, 1.0);
+    ST_RETURN_IF_ERROR(graph_->AddEdge(e.from, e.to, w));
+  }
+  graph_->SortChildren();
+  return Status::OK();
+}
+
+const Cluster* StableClusterPipeline::NodeCluster(NodeId node) const {
+  const auto& [i, j] = cluster_of_node_[node];
+  return &interval_results_[i].clusters[j];
+}
+
+Result<std::vector<StableClusterChain>> StableClusterPipeline::ToChains(
+    const std::vector<StablePath>& paths) const {
+  std::vector<StableClusterChain> chains;
+  chains.reserve(paths.size());
+  for (const StablePath& path : paths) {
+    StableClusterChain chain;
+    chain.path = path;
+    for (NodeId node : path.nodes) {
+      chain.clusters.push_back(NodeCluster(node));
+    }
+    chains.push_back(std::move(chain));
+  }
+  return chains;
+}
+
+Result<std::vector<StableClusterChain>>
+StableClusterPipeline::FindStableClusters(size_t k, uint32_t l,
+                                          FinderKind kind) const {
+  if (graph_ == nullptr) {
+    return Status::InvalidArgument("BuildClusterGraph() not called");
+  }
+  StableFinderResult result;
+  if (kind == FinderKind::kBfs) {
+    BfsFinderOptions options;
+    options.k = k;
+    options.l = l;
+    auto r = BfsStableFinder(options).Find(*graph_);
+    if (!r.ok()) return r.status();
+    result = std::move(r).value();
+  } else {
+    DfsFinderOptions options;
+    options.k = k;
+    options.l = l;
+    auto r = DfsStableFinder(options).Find(*graph_);
+    if (!r.ok()) return r.status();
+    result = std::move(r).value();
+  }
+  return ToChains(result.paths);
+}
+
+Result<std::vector<StableClusterChain>>
+StableClusterPipeline::FindNormalizedStableClusters(size_t k,
+                                                    uint32_t lmin) const {
+  if (graph_ == nullptr) {
+    return Status::InvalidArgument("BuildClusterGraph() not called");
+  }
+  NormalizedFinderOptions options;
+  options.k = k;
+  options.lmin = lmin;
+  auto r = NormalizedBfsFinder(options).Find(*graph_);
+  if (!r.ok()) return r.status();
+  return ToChains(r.value().paths);
+}
+
+std::string StableClusterPipeline::RenderChain(
+    const StableClusterChain& chain, size_t max_keywords) const {
+  std::string out = StringPrintf(
+      "stable cluster: length=%u weight=%.3f stability=%.3f\n",
+      chain.path.length, chain.path.weight, chain.path.stability());
+  for (const Cluster* cluster : chain.clusters) {
+    out += StringPrintf("  interval %u: %s\n", cluster->interval,
+                        cluster->ToString(dict_, max_keywords).c_str());
+  }
+  return out;
+}
+
+}  // namespace stabletext

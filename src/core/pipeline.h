@@ -1,0 +1,110 @@
+// StableClusterPipeline: the library's end-to-end public API. Feed it raw
+// posts (or a corpus file); it produces per-interval keyword clusters
+// (Section 3), links them into a cluster graph via a threshold affinity
+// join (Section 4.1), and answers kl-stable and normalized stable cluster
+// queries with any of the finders (Sections 4.2-4.5).
+
+#ifndef STABLETEXT_CORE_PIPELINE_H_
+#define STABLETEXT_CORE_PIPELINE_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "affinity/similarity_join.h"
+#include "core/interval_clusterer.h"
+#include "stable/bfs_finder.h"
+#include "stable/cluster_graph.h"
+#include "stable/dfs_finder.h"
+#include "stable/normalized_bfs_finder.h"
+
+namespace stabletext {
+
+/// Which traversal answers stable-cluster queries.
+enum class FinderKind { kBfs, kDfs };
+
+/// Options for the full pipeline.
+struct PipelineOptions {
+  IntervalClustererOptions clustering;
+  AffinityOptions affinity;
+  uint32_t gap = 0;  ///< g of Section 4.
+};
+
+/// A stable cluster rendered for consumption: the chain of clusters plus
+/// the path's weight/length/stability.
+struct StableClusterChain {
+  StablePath path;
+  std::vector<const Cluster*> clusters;  ///< Borrowed from the pipeline.
+};
+
+/// \brief End-to-end blogosphere stable-cluster analysis.
+///
+/// Usage:
+///   StableClusterPipeline pipeline(options);
+///   pipeline.AddInterval(0, documents0);  // one call per interval
+///   ...
+///   pipeline.BuildClusterGraph();
+///   auto top = pipeline.FindStableClusters(k, l, FinderKind::kBfs);
+class StableClusterPipeline {
+ public:
+  explicit StableClusterPipeline(PipelineOptions options = {});
+
+  /// Preprocesses and clusters one interval's raw posts. Intervals must be
+  /// added in increasing order starting at 0.
+  Status AddIntervalText(const std::vector<std::string>& posts);
+
+  /// Same, for already-preprocessed documents.
+  Status AddIntervalDocuments(const std::vector<Document>& documents);
+
+  /// Loads a whole corpus file (CorpusWriter format; intervals contiguous
+  /// from 0) and clusters every interval.
+  Status AddCorpusFile(const std::string& path);
+
+  /// Computes cluster affinities and assembles the cluster graph. Must be
+  /// called after the last interval and before any Find*.
+  Status BuildClusterGraph();
+
+  /// Top-k stable clusters with paths of length l (0 = full). Requires
+  /// BuildClusterGraph().
+  Result<std::vector<StableClusterChain>> FindStableClusters(
+      size_t k, uint32_t l, FinderKind kind = FinderKind::kBfs) const;
+
+  /// Top-k normalized stable clusters with length >= lmin.
+  Result<std::vector<StableClusterChain>> FindNormalizedStableClusters(
+      size_t k, uint32_t lmin) const;
+
+  // Introspection.
+  uint32_t interval_count() const {
+    return static_cast<uint32_t>(interval_results_.size());
+  }
+  const IntervalResult& interval_result(uint32_t i) const {
+    return interval_results_[i];
+  }
+  const KeywordDict& dict() const { return dict_; }
+  const ClusterGraph* cluster_graph() const { return graph_.get(); }
+  const IoStats& io() const { return io_; }
+
+  /// Renders a chain like the paper's stable-cluster figures: one line per
+  /// interval with the cluster's keywords.
+  std::string RenderChain(const StableClusterChain& chain,
+                          size_t max_keywords = 8) const;
+
+ private:
+  Result<std::vector<StableClusterChain>> ToChains(
+      const std::vector<StablePath>& paths) const;
+  const Cluster* NodeCluster(NodeId node) const;
+
+  PipelineOptions options_;
+  KeywordDict dict_;
+  IoStats io_;
+  std::vector<IntervalResult> interval_results_;
+  // node_of_[i][j] = cluster graph node of cluster j in interval i.
+  std::vector<std::vector<NodeId>> node_of_;
+  // Reverse map: node -> (interval, index).
+  std::vector<std::pair<uint32_t, uint32_t>> cluster_of_node_;
+  std::unique_ptr<ClusterGraph> graph_;
+};
+
+}  // namespace stabletext
+
+#endif  // STABLETEXT_CORE_PIPELINE_H_

@@ -1,0 +1,45 @@
+// QueryRefiner: the query-refinement application motivated in Sections 1
+// and 3 — "If a search query for a specific interval falls in a cluster,
+// the rest of the keywords in that cluster are good candidates for query
+// refinement" and "for a query keyword we may suggest the strongest
+// correlation as a refinement".
+
+#ifndef STABLETEXT_CORE_QUERY_REFINER_H_
+#define STABLETEXT_CORE_QUERY_REFINER_H_
+
+#include <string>
+#include <vector>
+
+#include "core/pipeline.h"
+
+namespace stabletext {
+
+/// One refinement suggestion.
+struct Refinement {
+  std::string keyword;
+  double score;       ///< Correlation (edge weight) or cluster affinity.
+  uint32_t interval;  ///< Interval the evidence comes from.
+};
+
+/// \brief Suggests query refinements from a pipeline's interval clusters.
+class QueryRefiner {
+ public:
+  /// \param pipeline must have at least one interval; borrowed.
+  explicit QueryRefiner(const StableClusterPipeline* pipeline)
+      : pipeline_(pipeline) {}
+
+  /// Top refinements for `query` in `interval`: keywords sharing a cluster
+  /// with the query keyword, scored by the correlation (edge weight) to
+  /// it, strongest first. The query is stemmed with the same preprocessing
+  /// as the corpus. Empty if the keyword is unknown or unclustered.
+  std::vector<Refinement> Suggest(const std::string& query,
+                                  uint32_t interval,
+                                  size_t max_suggestions = 10) const;
+
+ private:
+  const StableClusterPipeline* pipeline_;
+};
+
+}  // namespace stabletext
+
+#endif  // STABLETEXT_CORE_QUERY_REFINER_H_

@@ -1,0 +1,140 @@
+#include "gen/corpus_generator.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace stabletext {
+
+namespace {
+// Consonant-vowel syllables; 'e' is excluded from the vowel set so the
+// Porter stemmer maps background words (nearly) injectively, keeping
+// synthetic unigram statistics intact through preprocessing.
+constexpr char kConsonants[] = "bcdfgklmnprstvz";
+constexpr char kVowels[] = "aiou";
+constexpr size_t kNumConsonants = sizeof(kConsonants) - 1;
+constexpr size_t kNumVowels = sizeof(kVowels) - 1;
+constexpr size_t kNumSyllables = kNumConsonants * kNumVowels;  // 60
+}  // namespace
+
+CorpusGenerator::CorpusGenerator(CorpusGenOptions options)
+    : options_(std::move(options)) {
+  assert(options_.min_words_per_post >= 2);
+  assert(options_.max_words_per_post >= options_.min_words_per_post);
+  // Synthesize the chatter tail: micro-events with dedicated vocabulary
+  // ("q"-prefixed words cannot collide with the CV-syllable background
+  // vocabulary), short spans, dense mentions.
+  Rng rng(options_.seed ^ 0xABCDEF12345ULL);
+  for (uint32_t e = 0; e < options_.micro_events; ++e) {
+    Event event;
+    event.name = "micro" + std::to_string(e);
+    EventPhase phase;
+    const uint32_t span = static_cast<uint32_t>(rng.UniformInt(1, 2));
+    phase.begin_day = static_cast<uint32_t>(
+        rng.Uniform(options_.days > span ? options_.days - span + 1 : 1));
+    phase.end_day = phase.begin_day + span - 1;
+    const uint32_t kw_count = static_cast<uint32_t>(rng.UniformInt(4, 6));
+    for (uint32_t k = 0; k < kw_count; ++k) {
+      phase.keywords.push_back(
+          "q" + BackgroundWord(e * 8 + k));  // Disjoint per event.
+    }
+    phase.post_fraction = 0.004 + 0.006 * rng.NextDouble();
+    phase.min_mentions = kw_count;  // Dense: every post mentions all.
+    event.phases.push_back(std::move(phase));
+    options_.script.events.push_back(std::move(event));
+  }
+}
+
+std::string CorpusGenerator::BackgroundWord(size_t rank) {
+  std::string word;
+  size_t n = rank;
+  // Always at least two syllables; more as rank grows.
+  for (int i = 0; i < 2 || n > 0; ++i) {
+    const size_t s = n % kNumSyllables;
+    n /= kNumSyllables;
+    word.push_back(kConsonants[s / kNumVowels]);
+    word.push_back(kVowels[s % kNumVowels]);
+  }
+  return word;
+}
+
+std::string CorpusGenerator::MakePost(
+    uint32_t day, Rng* rng, const ZipfDistribution& zipf,
+    const std::vector<const EventPhase*>& phases, size_t post_index,
+    size_t posts_today) const {
+  std::vector<std::string> words;
+  const uint32_t target = static_cast<uint32_t>(rng->UniformInt(
+      options_.min_words_per_post, options_.max_words_per_post));
+  (void)day;
+
+  // Deterministic disjoint post ranges per phase: phase p owns posts
+  // [offset_p, offset_p + count_p).
+  size_t offset = 0;
+  for (const EventPhase* phase : phases) {
+    const size_t count = static_cast<size_t>(std::llround(
+        phase->post_fraction * static_cast<double>(posts_today)));
+    if (post_index >= offset && post_index < offset + count) {
+      // Event post: mention a random subset of the phase vocabulary.
+      const size_t total = phase->keywords.size();
+      const size_t lo = std::min<size_t>(
+          phase->min_mentions > 0 ? phase->min_mentions
+                                  : options_.min_event_keywords,
+          total);
+      const size_t take = static_cast<size_t>(
+          rng->UniformInt(static_cast<int64_t>(lo),
+                          static_cast<int64_t>(total)));
+      std::vector<size_t> picks =
+          rng->SampleWithoutReplacement(total, take);
+      for (size_t p : picks) words.push_back(phase->keywords[p]);
+      break;
+    }
+    offset += count;
+  }
+
+  while (words.size() < target) {
+    words.push_back(BackgroundWord(zipf.Sample(rng)));
+  }
+  rng->Shuffle(&words);
+
+  std::string post;
+  for (size_t i = 0; i < words.size(); ++i) {
+    if (i) post += ' ';
+    post += words[i];
+  }
+  return post;
+}
+
+std::vector<std::string> CorpusGenerator::GenerateDay(uint32_t day) const {
+  Rng rng(options_.seed * 0x9e3779b97f4a7c15ULL + day);
+  ZipfDistribution zipf(options_.vocabulary, options_.zipf_exponent);
+
+  std::vector<const EventPhase*> phases;
+  for (const Event& event : options_.script.events) {
+    for (const EventPhase& phase : event.phases) {
+      if (day >= phase.begin_day && day <= phase.end_day) {
+        phases.push_back(&phase);
+      }
+    }
+  }
+
+  std::vector<std::string> posts;
+  posts.reserve(options_.posts_per_day);
+  for (size_t p = 0; p < options_.posts_per_day; ++p) {
+    posts.push_back(
+        MakePost(day, &rng, zipf, phases, p, options_.posts_per_day));
+  }
+  return posts;
+}
+
+Status CorpusGenerator::GenerateToFile(const std::string& path) const {
+  CorpusWriter writer;
+  ST_RETURN_IF_ERROR(writer.Open(path));
+  for (uint32_t day = 0; day < options_.days; ++day) {
+    for (const std::string& post : GenerateDay(day)) {
+      ST_RETURN_IF_ERROR(writer.Append(day, post));
+    }
+  }
+  return writer.Finish();
+}
+
+}  // namespace stabletext

@@ -1,0 +1,67 @@
+// Synthetic blog-corpus generator: the stand-in for the BlogScope feed
+// (see DESIGN.md, Substitutions). Posts are bags of Zipf-distributed
+// background words; scripted events inject bursts of co-occurring keywords
+// into a fraction of each day's posts, giving the downstream pipeline the
+// same statistical structure (heavy-tailed unigrams, strongly correlated
+// event vocabularies, topic drift) the real blogosphere data had — plus
+// ground truth to validate against.
+
+#ifndef STABLETEXT_GEN_CORPUS_GENERATOR_H_
+#define STABLETEXT_GEN_CORPUS_GENERATOR_H_
+
+#include <string>
+#include <vector>
+
+#include "gen/event_script.h"
+#include "text/corpus.h"
+#include "util/random.h"
+#include "util/status.h"
+
+namespace stabletext {
+
+/// Parameters of the synthetic corpus.
+struct CorpusGenOptions {
+  uint32_t days = 7;               ///< Temporal intervals.
+  uint32_t posts_per_day = 2000;   ///< Posts per interval.
+  uint32_t vocabulary = 20000;     ///< Background vocabulary size.
+  double zipf_exponent = 1.05;     ///< Background word skew.
+  uint32_t min_words_per_post = 8;
+  uint32_t max_words_per_post = 40;
+  /// Minimum event keywords co-mentioned in an event post.
+  uint32_t min_event_keywords = 3;
+  /// Number of additional random "micro-events" synthesized on top of
+  /// the script: small keyword sets bursting for 1-2 days in a small
+  /// fraction of posts. They model the long tail of blogosphere chatter
+  /// that gives the paper its ~1100-1500 clusters per day; without them
+  /// a corpus only produces the scripted headline events.
+  uint32_t micro_events = 0;
+  uint64_t seed = 7;
+  EventScript script;              ///< Planted events (may be empty).
+};
+
+/// \brief Generates synthetic blog posts.
+class CorpusGenerator {
+ public:
+  explicit CorpusGenerator(CorpusGenOptions options);
+
+  /// Writes the whole corpus to `path` in CorpusWriter format.
+  Status GenerateToFile(const std::string& path) const;
+
+  /// Returns the raw posts for one day.
+  std::vector<std::string> GenerateDay(uint32_t day) const;
+
+  /// Deterministic synthetic background word for a Zipf rank.
+  static std::string BackgroundWord(size_t rank);
+
+ private:
+  std::string MakePost(uint32_t day, Rng* rng,
+                       const ZipfDistribution& zipf,
+                       const std::vector<const EventPhase*>& phases,
+                       size_t post_index, size_t posts_today) const;
+
+  CorpusGenOptions options_;
+};
+
+}  // namespace stabletext
+
+#endif  // STABLETEXT_GEN_CORPUS_GENERATOR_H_

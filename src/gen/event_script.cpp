@@ -1,0 +1,69 @@
+#include "gen/event_script.h"
+
+namespace stabletext {
+
+EventScript EventScript::PaperWeek() {
+  EventScript script;
+
+  // Day indexing: 0 = Jan 6 2007 ... 6 = Jan 12 2007.
+
+  // Figure 1: amniotic stem-cell discovery, blogged about on Jan 8.
+  script.events.push_back(Event{
+      "stemcell",
+      {EventPhase{2, 2,
+                  {"stem", "cell", "amniotic", "fluid", "atala",
+                   "embryonic", "wake", "forest", "research"},
+                  0.03}}});
+
+  // Figure 2: Beckham announces the LA Galaxy move on Jan 11; chatter
+  // peaks Jan 12.
+  script.events.push_back(Event{
+      "beckham",
+      {EventPhase{6, 6,
+                  {"beckham", "david", "galaxy", "madrid", "real",
+                   "soccer", "mls", "angeles"},
+                  0.03}}});
+
+  // Figure 4: FA cup Liverpool vs Arsenal on Jan 6, replay Jan 9-10 —
+  // a stable cluster with a two-day gap.
+  script.events.push_back(Event{
+      "fa-cup",
+      {EventPhase{0, 0,
+                  {"liverpool", "arsenal", "cup", "rosicky", "anfield",
+                   "goal"},
+                  0.025},
+       EventPhase{3, 4,
+                  {"liverpool", "arsenal", "cup", "baptista", "fowler",
+                   "goal"},
+                  0.025}}});
+
+  // Figure 15: iPhone launch Jan 9, drift to the Cisco lawsuit Jan 10-12.
+  script.events.push_back(Event{
+      "iphone",
+      {EventPhase{3, 4,
+                  {"apple", "iphone", "macworld", "jobs", "touchscreen",
+                   "ipod", "phone"},
+                  0.04},
+       EventPhase{5, 6,
+                  {"apple", "iphone", "cisco", "lawsuit", "trademark",
+                   "infringement", "phone"},
+                  0.035}}});
+
+  // Figure 16: battle of Ras Kamboni, persistent all week, cluster grows
+  // after Jan 8-9.
+  script.events.push_back(Event{
+      "somalia",
+      {EventPhase{0, 2,
+                  {"somalia", "ethiopian", "islamist", "mogadishu",
+                   "kamboni", "militia"},
+                  0.03},
+       EventPhase{3, 6,
+                  {"somalia", "ethiopian", "islamist", "mogadishu",
+                   "kamboni", "militia", "yusuf", "abdullahi", "gunship",
+                   "qaeda"},
+                  0.035}}});
+
+  return script;
+}
+
+}  // namespace stabletext

@@ -1,0 +1,55 @@
+// Planted-event scripts: the ground truth driving the synthetic blog
+// corpus. Each event has phases — contiguous day ranges during which a set
+// of keywords co-occurs in a fraction of posts. Phases model the temporal
+// shapes the paper's qualitative section exhibits: bursts (Figures 1, 2),
+// persistence with gaps (Figure 4), topic drift (Figure 15), and full-week
+// stability (Figure 16).
+
+#ifndef STABLETEXT_GEN_EVENT_SCRIPT_H_
+#define STABLETEXT_GEN_EVENT_SCRIPT_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace stabletext {
+
+/// One contiguous burst of an event.
+struct EventPhase {
+  uint32_t begin_day = 0;  ///< First day (inclusive).
+  uint32_t end_day = 0;    ///< Last day (inclusive).
+  /// Keywords that co-occur during the phase.
+  std::vector<std::string> keywords;
+  /// Fraction of each day's posts that mention the event.
+  double post_fraction = 0.02;
+  /// Minimum keywords an event post mentions; 0 uses the generator's
+  /// default. Set to keywords.size() for dense micro-events whose pair
+  /// support must survive small corpora.
+  uint32_t min_mentions = 0;
+};
+
+/// A named event with one or more phases (multiple phases = gaps or
+/// drift: later phases may change the keyword set).
+struct Event {
+  std::string name;
+  std::vector<EventPhase> phases;
+};
+
+/// A full script: the ground truth for one synthetic corpus.
+struct EventScript {
+  std::vector<Event> events;
+
+  /// The seven-day script modeled on the paper's Jan 6-12 2007 week:
+  ///  - "stemcell": single-day burst (Figure 1, Jan 8);
+  ///  - "beckham": single-day burst (Figure 2, Jan 12);
+  ///  - "fa-cup": days 0, 3, 4 — persistence across a 2-day gap
+  ///    (Figure 4);
+  ///  - "iphone": days 3-6 with the keyword set drifting from launch
+  ///    vocabulary to the Cisco lawsuit (Figure 15);
+  ///  - "somalia": all seven days, growing keyword set (Figure 16).
+  static EventScript PaperWeek();
+};
+
+}  // namespace stabletext
+
+#endif  // STABLETEXT_GEN_EVENT_SCRIPT_H_

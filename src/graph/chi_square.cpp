@@ -1,0 +1,47 @@
+#include "graph/chi_square.h"
+
+namespace stabletext {
+
+double ChiSquare::Statistic(uint64_t a_u, uint64_t a_v, uint64_t a_uv,
+                            uint64_t n) {
+  const double dn = static_cast<double>(n);
+  if (n == 0) return 0;
+  // Observed 2x2 table.
+  const double o_uv = static_cast<double>(a_uv);
+  const double o_unv = static_cast<double>(a_u) - o_uv;   // u, not v
+  const double o_nuv = static_cast<double>(a_v) - o_uv;   // not u, v
+  const double o_nunv = dn - static_cast<double>(a_u) -
+                        static_cast<double>(a_v) + o_uv;  // neither
+  // Expected under independence.
+  const double pu = static_cast<double>(a_u) / dn;
+  const double pv = static_cast<double>(a_v) / dn;
+  const double e_uv = dn * pu * pv;
+  const double e_unv = dn * pu * (1 - pv);
+  const double e_nuv = dn * (1 - pu) * pv;
+  const double e_nunv = dn * (1 - pu) * (1 - pv);
+  if (e_uv <= 0 || e_unv < 0 || e_nuv < 0 || e_nunv < 0) return 0;
+  double stat = 0;
+  auto cell = [](double o, double e) {
+    if (e <= 0) return 0.0;
+    const double d = e - o;
+    return d * d / e;
+  };
+  stat += cell(o_uv, e_uv);
+  stat += cell(o_unv, e_unv);
+  stat += cell(o_nuv, e_nuv);
+  stat += cell(o_nunv, e_nunv);
+  return stat;
+}
+
+double ChiSquare::StatisticClosedForm(uint64_t a_u, uint64_t a_v,
+                                      uint64_t a_uv, uint64_t n) {
+  if (n == 0 || a_u == 0 || a_v == 0 || a_u >= n || a_v >= n) return 0;
+  const double dn = static_cast<double>(n);
+  const double du = static_cast<double>(a_u);
+  const double dv = static_cast<double>(a_v);
+  const double duv = static_cast<double>(a_uv);
+  const double num = dn * duv - du * dv;
+  return dn * num * num / (du * dv * (dn - du) * (dn - dv));
+}
+
+}  // namespace stabletext

@@ -1,0 +1,51 @@
+// Chi-squared independence test for keyword pairs (Section 3, Equation 1).
+// Used as the first-stage filter: edges whose co-occurrence is consistent
+// with keyword independence are dropped.
+
+#ifndef STABLETEXT_GRAPH_CHI_SQUARE_H_
+#define STABLETEXT_GRAPH_CHI_SQUARE_H_
+
+#include <cstdint>
+
+namespace stabletext {
+
+/// \brief Chi-squared statistic over the 2x2 contingency table of two
+/// keywords.
+class ChiSquare {
+ public:
+  /// The paper's default: 3.84 is the 95% critical value at 1 dof
+  /// ("only 5% of the time does chi^2 exceed 3.84 if the variables are
+  /// independent").
+  static constexpr double kCritical95 = 3.841;
+  /// 99% critical value at 1 dof.
+  static constexpr double kCritical99 = 6.635;
+  /// 90% critical value at 1 dof.
+  static constexpr double kCritical90 = 2.706;
+
+  /// Computes Equation 1: the four-cell sum over observed vs expected
+  /// counts for (uv, u~v, ~uv, ~u~v).
+  ///
+  /// \param a_u   A(u), documents containing u.
+  /// \param a_v   A(v), documents containing v.
+  /// \param a_uv  A(u,v), documents containing both.
+  /// \param n     total documents.
+  /// \return the chi-squared statistic; 0 when any expected cell is 0
+  ///         (degenerate table, no evidence either way).
+  static double Statistic(uint64_t a_u, uint64_t a_v, uint64_t a_uv,
+                          uint64_t n);
+
+  /// Closed-form equivalent: chi^2 = n (n A(uv) - A(u)A(v))^2 /
+  /// (A(u) A(v) (n - A(u)) (n - A(v))). Tested equal to Statistic().
+  static double StatisticClosedForm(uint64_t a_u, uint64_t a_v,
+                                    uint64_t a_uv, uint64_t n);
+
+  /// True if the pair is correlated at the given critical value.
+  static bool Significant(uint64_t a_u, uint64_t a_v, uint64_t a_uv,
+                          uint64_t n, double critical = kCritical95) {
+    return Statistic(a_u, a_v, a_uv, n) > critical;
+  }
+};
+
+}  // namespace stabletext
+
+#endif  // STABLETEXT_GRAPH_CHI_SQUARE_H_

@@ -1,0 +1,45 @@
+#include "graph/correlation.h"
+
+#include <cmath>
+
+namespace stabletext {
+
+double Correlation::Rho(uint64_t a_u, uint64_t a_v, uint64_t a_uv,
+                        uint64_t n) {
+  if (n == 0) return 0;
+  const double dn = static_cast<double>(n);
+  const double du = static_cast<double>(a_u);
+  const double dv = static_cast<double>(a_v);
+  const double duv = static_cast<double>(a_uv);
+  const double denom_u = (dn - du) * du;
+  const double denom_v = (dn - dv) * dv;
+  if (denom_u <= 0 || denom_v <= 0) return 0;
+  return (dn * duv - du * dv) / (std::sqrt(denom_u) * std::sqrt(denom_v));
+}
+
+double Correlation::RhoFromIndicators(const bool* u_present,
+                                      const bool* v_present, uint64_t n) {
+  if (n == 0) return 0;
+  const double dn = static_cast<double>(n);
+  double a_u = 0, a_v = 0, a_uv = 0;
+  for (uint64_t i = 0; i < n; ++i) {
+    if (u_present[i]) ++a_u;
+    if (v_present[i]) ++a_v;
+    if (u_present[i] && v_present[i]) ++a_uv;
+  }
+  const double mu_u = a_u / dn;
+  const double mu_v = a_v / dn;
+  // Variance of a Bernoulli indicator: mu (1 - mu).
+  const double var_u = mu_u * (1 - mu_u);
+  const double var_v = mu_v * (1 - mu_v);
+  if (var_u <= 0 || var_v <= 0) return 0;
+  double cov = 0;
+  for (uint64_t i = 0; i < n; ++i) {
+    cov += ((u_present[i] ? 1.0 : 0.0) - mu_u) *
+           ((v_present[i] ? 1.0 : 0.0) - mu_v);
+  }
+  cov /= dn;
+  return cov / std::sqrt(var_u * var_v);
+}
+
+}  // namespace stabletext

@@ -1,0 +1,36 @@
+// Correlation coefficient rho for binary keyword-presence variables
+// (Section 3, Equations 2 and 3). While the chi-squared test detects
+// dependence, rho measures its strength; the paper prunes edges with
+// rho < 0.2.
+
+#ifndef STABLETEXT_GRAPH_CORRELATION_H_
+#define STABLETEXT_GRAPH_CORRELATION_H_
+
+#include <cstdint>
+
+namespace stabletext {
+
+/// \brief Pearson correlation of keyword-presence indicators.
+class Correlation {
+ public:
+  /// The paper's pruning threshold ("focusing on edges with rho > 0.2 will
+  /// further eliminate any non truly correlated vertex pair").
+  static constexpr double kDefaultThreshold = 0.2;
+
+  /// Equation 3, the single-pass form:
+  ///   rho = (n A(u,v) - A(u) A(v)) /
+  ///         (sqrt((n - A(u)) A(u)) sqrt((n - A(v)) A(v))).
+  /// Returns 0 for degenerate marginals (keyword in no or all documents).
+  static double Rho(uint64_t a_u, uint64_t a_v, uint64_t a_uv, uint64_t n);
+
+  /// Equation 2 computed literally from indicator vectors; O(n). Exists as
+  /// the test oracle for Rho().
+  /// \param u_present u_present[i] == true iff document i contains u.
+  /// \param v_present likewise for v; same length as u_present.
+  static double RhoFromIndicators(const bool* u_present,
+                                  const bool* v_present, uint64_t n);
+};
+
+}  // namespace stabletext
+
+#endif  // STABLETEXT_GRAPH_CORRELATION_H_

@@ -1,0 +1,18 @@
+#include "graph/graph_builder.h"
+
+namespace stabletext {
+
+KeywordGraph GraphBuilder::Build(const CooccurrenceTable& table,
+                                 KeywordGraphSummary* summary) const {
+  KeywordGraphSummary local;
+  local.document_count = table.document_count;
+  local.raw_edge_count = table.triplets.size();
+  for (uint32_t a : table.unary) {
+    if (a > 0) ++local.keyword_count;
+  }
+  std::vector<WeightedEdge> edges = pruner_.Prune(table, &local.prune);
+  if (summary != nullptr) *summary = local;
+  return KeywordGraph::FromEdges(table.unary.size(), edges);
+}
+
+}  // namespace stabletext

@@ -1,0 +1,36 @@
+// GraphBuilder: convenience assembly of the pruned keyword graph G' from a
+// co-occurrence table, with the summary numbers Table 1 of the paper reports
+// (keyword and edge counts before pruning).
+
+#ifndef STABLETEXT_GRAPH_GRAPH_BUILDER_H_
+#define STABLETEXT_GRAPH_GRAPH_BUILDER_H_
+
+#include "graph/graph_pruner.h"
+
+namespace stabletext {
+
+/// Summary of one interval's keyword graph, before and after pruning.
+struct KeywordGraphSummary {
+  uint64_t document_count = 0;
+  size_t keyword_count = 0;       ///< Distinct keywords with A(u) > 0.
+  size_t raw_edge_count = 0;      ///< Triplets, i.e. edges of G (Table 1).
+  PruneStats prune;               ///< chi^2 / rho stage counters.
+};
+
+/// \brief Builds G' from a CooccurrenceTable.
+class GraphBuilder {
+ public:
+  explicit GraphBuilder(GraphPrunerOptions options = {})
+      : pruner_(options) {}
+
+  /// Builds the pruned graph. `summary` may be null.
+  KeywordGraph Build(const CooccurrenceTable& table,
+                     KeywordGraphSummary* summary = nullptr) const;
+
+ private:
+  GraphPruner pruner_;
+};
+
+}  // namespace stabletext
+
+#endif  // STABLETEXT_GRAPH_GRAPH_BUILDER_H_

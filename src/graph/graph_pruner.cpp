@@ -1,0 +1,36 @@
+#include "graph/graph_pruner.h"
+
+namespace stabletext {
+
+std::vector<WeightedEdge> GraphPruner::Prune(const CooccurrenceTable& table,
+                                             PruneStats* stats) const {
+  std::vector<WeightedEdge> out;
+  PruneStats local;
+  local.input_edges = table.triplets.size();
+  for (const Triplet& t : table.triplets) {
+    const uint64_t a_u = table.unary[t.u];
+    const uint64_t a_v = table.unary[t.v];
+    if (t.count < options_.min_pair_support) {
+      ++local.failed_support;
+      continue;
+    }
+    if (options_.apply_chi_square &&
+        !ChiSquare::Significant(a_u, a_v, t.count, table.document_count,
+                                options_.chi_square_critical)) {
+      ++local.failed_chi_square;
+      continue;
+    }
+    const double rho =
+        Correlation::Rho(a_u, a_v, t.count, table.document_count);
+    if (options_.apply_rho && !(rho > options_.rho_threshold)) {
+      ++local.failed_rho;
+      continue;
+    }
+    out.push_back(WeightedEdge{t.u, t.v, rho});
+  }
+  local.surviving_edges = out.size();
+  if (stats != nullptr) *stats = local;
+  return out;
+}
+
+}  // namespace stabletext

@@ -1,0 +1,72 @@
+// KeywordGraph: the undirected weighted graph G' of Section 3 — vertices
+// are keywords, edges connect strongly correlated pairs, weights are rho.
+// Stored in CSR form for cache-friendly traversal by Algorithm 1.
+
+#ifndef STABLETEXT_GRAPH_KEYWORD_GRAPH_H_
+#define STABLETEXT_GRAPH_KEYWORD_GRAPH_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "cooccur/keyword_dict.h"
+
+namespace stabletext {
+
+/// A weighted undirected edge between keyword vertices.
+struct WeightedEdge {
+  KeywordId u;
+  KeywordId v;
+  double weight;
+
+  friend bool operator==(const WeightedEdge& a, const WeightedEdge& b) {
+    return a.u == b.u && a.v == b.v && a.weight == b.weight;
+  }
+};
+
+/// \brief Compressed-sparse-row undirected graph over keyword ids.
+///
+/// Vertex ids are dense in [0, vertex_count). Each undirected edge is
+/// stored twice (once per endpoint). Neighbor lists are sorted by target.
+class KeywordGraph {
+ public:
+  KeywordGraph() = default;
+
+  /// Builds from an edge list. `vertex_count` must exceed every endpoint.
+  /// Self-loops are rejected; duplicate edges are an error the caller must
+  /// avoid (the co-occurrence pipeline produces each pair once).
+  static KeywordGraph FromEdges(size_t vertex_count,
+                                const std::vector<WeightedEdge>& edges);
+
+  size_t vertex_count() const {
+    return offsets_.empty() ? 0 : offsets_.size() - 1;
+  }
+  size_t edge_count() const { return targets_.size() / 2; }
+
+  /// Degree of vertex u.
+  size_t Degree(KeywordId u) const {
+    return offsets_[u + 1] - offsets_[u];
+  }
+
+  /// Neighbors of u (ids), parallel to Weights(u).
+  const KeywordId* Neighbors(KeywordId u) const {
+    return targets_.data() + offsets_[u];
+  }
+  const double* Weights(KeywordId u) const {
+    return weights_.data() + offsets_[u];
+  }
+
+  /// True if u has any incident edge.
+  bool HasEdges(KeywordId u) const { return Degree(u) > 0; }
+
+  /// Vertices with at least one incident edge.
+  size_t NonIsolatedCount() const;
+
+ private:
+  std::vector<size_t> offsets_;   // size vertex_count + 1
+  std::vector<KeywordId> targets_;
+  std::vector<double> weights_;
+};
+
+}  // namespace stabletext
+
+#endif  // STABLETEXT_GRAPH_KEYWORD_GRAPH_H_

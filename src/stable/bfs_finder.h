@@ -1,0 +1,46 @@
+// Algorithm 2: breadth-first (interval-sweep) solution to the kl-stable
+// clusters problem. Each node cij is annotated with up to l heaps h^x_ij
+// holding the top-k subpaths of length x ending at cij; intervals are
+// processed left to right keeping a sliding window of g+1 interval's worth
+// of annotations in memory; a global heap H accumulates the top-k paths of
+// length exactly l.
+
+#ifndef STABLETEXT_STABLE_BFS_FINDER_H_
+#define STABLETEXT_STABLE_BFS_FINDER_H_
+
+#include "stable/cluster_graph.h"
+#include "stable/finder.h"
+#include "stable/topk_heap.h"
+#include "util/memory_tracker.h"
+
+namespace stabletext {
+
+/// Options for BfsStableFinder.
+struct BfsFinderOptions {
+  size_t k = 5;       ///< Paths sought.
+  uint32_t l = 0;     ///< Path length; 0 means full paths (m-1).
+  /// Bytes of window memory available. When the g+1-interval window does
+  /// not fit, the finder falls back to block-nested-loop passes over the
+  /// window exactly as Section 4.2 describes ("Mreq/M passes will be
+  /// required. This situation is very similar to block-nested loops.").
+  size_t memory_budget_bytes = MemoryTracker::kUnlimited;
+};
+
+/// \brief Breadth-first kl-stable-cluster finder (Section 4.2).
+class BfsStableFinder {
+ public:
+  explicit BfsStableFinder(BfsFinderOptions options = {})
+      : options_(options) {}
+
+  /// Finds the top-k paths of length l (or full length when options.l==0).
+  /// Single forward pass over intervals; I/O and memory are accounted in
+  /// the result.
+  Result<StableFinderResult> Find(const ClusterGraph& graph) const;
+
+ private:
+  BfsFinderOptions options_;
+};
+
+}  // namespace stabletext
+
+#endif  // STABLETEXT_STABLE_BFS_FINDER_H_

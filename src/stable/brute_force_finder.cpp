@@ -1,0 +1,60 @@
+#include "stable/brute_force_finder.h"
+
+#include <algorithm>
+
+#include "stable/topk_heap.h"
+
+namespace stabletext {
+
+void BruteForceFinder::ForEachPath(
+    const ClusterGraph& graph,
+    const std::function<void(const StablePath&)>& fn) {
+  // Iterative DFS from every node; every partial with >= 1 edge is a path.
+  struct Item {
+    StablePath path;
+  };
+  for (NodeId start = 0; start < graph.node_count(); ++start) {
+    std::vector<Item> frontier;
+    StablePath seed;
+    seed.nodes = {start};
+    frontier.push_back(Item{seed});
+    while (!frontier.empty()) {
+      Item cur = std::move(frontier.back());
+      frontier.pop_back();
+      const NodeId tail = cur.path.nodes.back();
+      for (const ClusterGraphEdge& e : graph.Children(tail)) {
+        Item ext;
+        ext.path.nodes = cur.path.nodes;
+        ext.path.nodes.push_back(e.target);
+        ext.path.weight = cur.path.weight + e.weight;
+        ext.path.length =
+            cur.path.length + graph.EdgeLength(tail, e.target);
+        fn(ext.path);
+        frontier.push_back(std::move(ext));
+      }
+    }
+  }
+}
+
+std::vector<StablePath> BruteForceFinder::TopKByWeight(
+    const ClusterGraph& graph, size_t k, uint32_t l) {
+  const uint32_t m = graph.interval_count();
+  if (m < 2) return {};
+  const uint32_t target = l == 0 ? m - 1 : l;
+  TopKHeap<PathBetter> heap(k);
+  ForEachPath(graph, [&](const StablePath& p) {
+    if (p.length == target) heap.Offer(p);
+  });
+  return heap.paths();
+}
+
+std::vector<StablePath> BruteForceFinder::TopKByStability(
+    const ClusterGraph& graph, size_t k, uint32_t lmin) {
+  TopKHeap<PathMoreStable> heap(k);
+  ForEachPath(graph, [&](const StablePath& p) {
+    if (p.length >= lmin) heap.Offer(p);
+  });
+  return heap.paths();
+}
+
+}  // namespace stabletext

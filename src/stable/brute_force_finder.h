@@ -1,0 +1,33 @@
+// Exhaustive path enumeration: the testing oracle for every other finder.
+// Exponential in the graph size; use on small graphs only.
+
+#ifndef STABLETEXT_STABLE_BRUTE_FORCE_FINDER_H_
+#define STABLETEXT_STABLE_BRUTE_FORCE_FINDER_H_
+
+#include <functional>
+
+#include "stable/cluster_graph.h"
+#include "stable/finder.h"
+
+namespace stabletext {
+
+/// \brief Brute-force solutions to Problems 1 and 2.
+class BruteForceFinder {
+ public:
+  /// Top-k paths of length exactly `l` (l == 0 means full, m-1) under the
+  /// shared PathBetter order.
+  static std::vector<StablePath> TopKByWeight(const ClusterGraph& graph,
+                                              size_t k, uint32_t l);
+
+  /// Top-k paths of length >= lmin under PathMoreStable (Problem 2).
+  static std::vector<StablePath> TopKByStability(const ClusterGraph& graph,
+                                                 size_t k, uint32_t lmin);
+
+  /// Invokes `fn` for every path (>= 1 edge) in the graph.
+  static void ForEachPath(const ClusterGraph& graph,
+                          const std::function<void(const StablePath&)>& fn);
+};
+
+}  // namespace stabletext
+
+#endif  // STABLETEXT_STABLE_BRUTE_FORCE_FINDER_H_

@@ -1,0 +1,77 @@
+#include "stable/cluster_graph.h"
+
+#include <algorithm>
+
+namespace stabletext {
+
+NodeId ClusterGraph::AddNode(uint32_t interval) {
+  const NodeId id = static_cast<NodeId>(node_interval_.size());
+  node_interval_.push_back(interval);
+  intervals_[interval].push_back(id);
+  children_.emplace_back();
+  parents_.emplace_back();
+  return id;
+}
+
+Status ClusterGraph::AddEdge(NodeId from, NodeId to, double weight) {
+  if (from >= node_count() || to >= node_count()) {
+    return Status::InvalidArgument("edge endpoint out of range");
+  }
+  const uint32_t fi = node_interval_[from];
+  const uint32_t ti = node_interval_[to];
+  if (ti <= fi) {
+    return Status::InvalidArgument("edges must go forward in time");
+  }
+  if (ti - fi > gap_ + 1) {
+    return Status::InvalidArgument("edge exceeds gap bound");
+  }
+  if (!(weight > 0) || weight > 1) {
+    return Status::InvalidArgument("edge weight must be in (0, 1]");
+  }
+  children_[from].push_back(ClusterGraphEdge{to, weight});
+  parents_[to].push_back(ClusterGraphEdge{from, weight});
+  ++edge_count_;
+  return Status::OK();
+}
+
+void ClusterGraph::SortChildren() {
+  auto by_weight_desc = [](const ClusterGraphEdge& a,
+                           const ClusterGraphEdge& b) {
+    if (a.weight != b.weight) return a.weight > b.weight;
+    return a.target < b.target;
+  };
+  for (auto& list : children_) {
+    std::sort(list.begin(), list.end(), by_weight_desc);
+  }
+  // Parents sorted by source id: deterministic iteration for the BFS
+  // finder's parent probes.
+  for (auto& list : parents_) {
+    std::sort(list.begin(), list.end(),
+              [](const ClusterGraphEdge& a, const ClusterGraphEdge& b) {
+                return a.target < b.target;
+              });
+  }
+}
+
+size_t ClusterGraph::MaxOutDegree() const {
+  size_t d = 0;
+  for (const auto& list : children_) d = std::max(d, list.size());
+  return d;
+}
+
+size_t ClusterGraph::MemoryBytes() const {
+  size_t bytes = sizeof(*this);
+  bytes += node_interval_.capacity() * sizeof(uint32_t);
+  for (const auto& iv : intervals_) {
+    bytes += iv.capacity() * sizeof(NodeId);
+  }
+  for (const auto& list : children_) {
+    bytes += sizeof(list) + list.capacity() * sizeof(ClusterGraphEdge);
+  }
+  for (const auto& list : parents_) {
+    bytes += sizeof(list) + list.capacity() * sizeof(ClusterGraphEdge);
+  }
+  return bytes;
+}
+
+}  // namespace stabletext

@@ -1,0 +1,90 @@
+// The cluster graph G of Section 4.1: nodes are per-interval keyword
+// clusters, directed edges connect clusters of nearby intervals (within the
+// gap bound) whose affinity exceeds the threshold theta. Edge length is the
+// interval distance; edge weight is the affinity, normalized to (0, 1].
+
+#ifndef STABLETEXT_STABLE_CLUSTER_GRAPH_H_
+#define STABLETEXT_STABLE_CLUSTER_GRAPH_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "stable/path.h"
+#include "util/status.h"
+
+namespace stabletext {
+
+/// A directed edge to `target` with affinity `weight`.
+struct ClusterGraphEdge {
+  NodeId target;
+  double weight;
+};
+
+/// \brief Interval-partitioned weighted DAG over cluster nodes.
+///
+/// Nodes are added per interval; edges may only go forward in time by at
+/// most gap+1 intervals and must carry weight in (0, 1]. Children lists are
+/// kept sorted by descending weight — the DFS finder's exploration
+/// heuristic (Section 4.3: "while precomputing the list of children for all
+/// nodes, we sort them in the descending order of edge weights").
+class ClusterGraph {
+ public:
+  /// \param interval_count m, the number of temporal intervals.
+  /// \param gap g >= 0; edges span at most gap+1 intervals.
+  ClusterGraph(uint32_t interval_count, uint32_t gap)
+      : interval_count_(interval_count), gap_(gap),
+        intervals_(interval_count) {}
+
+  /// Adds a node to interval `interval` (0-based). Returns its id.
+  NodeId AddNode(uint32_t interval);
+
+  /// Adds a directed edge. Requires interval(from) < interval(to),
+  /// interval distance <= gap+1, and weight in (0, 1].
+  Status AddEdge(NodeId from, NodeId to, double weight);
+
+  /// Re-sorts all children lists by descending weight (stable order:
+  /// weight desc, then target asc). Called automatically by AddEdge-heavy
+  /// builders once at the end; idempotent.
+  void SortChildren();
+
+  uint32_t interval_count() const { return interval_count_; }
+  uint32_t gap() const { return gap_; }
+  size_t node_count() const { return node_interval_.size(); }
+  size_t edge_count() const { return edge_count_; }
+
+  uint32_t Interval(NodeId n) const { return node_interval_[n]; }
+  const std::vector<NodeId>& IntervalNodes(uint32_t interval) const {
+    return intervals_[interval];
+  }
+
+  const std::vector<ClusterGraphEdge>& Children(NodeId n) const {
+    return children_[n];
+  }
+  const std::vector<ClusterGraphEdge>& Parents(NodeId n) const {
+    return parents_[n];
+  }
+
+  /// Length of the edge (a, b) in intervals.
+  uint32_t EdgeLength(NodeId a, NodeId b) const {
+    return node_interval_[b] - node_interval_[a];
+  }
+
+  /// Maximum out-degree (the d of Section 4.4's cost analysis).
+  size_t MaxOutDegree() const;
+
+  /// Approximate resident bytes of the adjacency structure.
+  size_t MemoryBytes() const;
+
+ private:
+  uint32_t interval_count_;
+  uint32_t gap_;
+  size_t edge_count_ = 0;
+  std::vector<std::vector<NodeId>> intervals_;
+  std::vector<uint32_t> node_interval_;
+  std::vector<std::vector<ClusterGraphEdge>> children_;
+  std::vector<std::vector<ClusterGraphEdge>> parents_;
+};
+
+}  // namespace stabletext
+
+#endif  // STABLETEXT_STABLE_CLUSTER_GRAPH_H_

@@ -1,0 +1,78 @@
+#include "stable/cluster_graph_io.h"
+
+#include <cstdio>
+#include <fstream>
+
+#include "util/strings.h"
+
+namespace stabletext {
+
+Status SaveClusterGraph(const ClusterGraph& graph,
+                        const std::string& path) {
+  std::ofstream out(path, std::ios::out | std::ios::trunc);
+  if (!out) return Status::IOError("cannot open " + path);
+  out << "G " << graph.interval_count() << ' ' << graph.gap() << '\n';
+  for (NodeId v = 0; v < graph.node_count(); ++v) {
+    out << "N " << graph.Interval(v) << '\n';
+  }
+  char buf[64];
+  for (NodeId v = 0; v < graph.node_count(); ++v) {
+    for (const ClusterGraphEdge& e : graph.Children(v)) {
+      std::snprintf(buf, sizeof(buf), "E %u %u %a\n", v, e.target,
+                    e.weight);
+      out << buf;
+    }
+  }
+  out.flush();
+  if (!out) return Status::IOError("write failed on " + path);
+  return Status::OK();
+}
+
+Result<ClusterGraph> LoadClusterGraph(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return Status::IOError("cannot open " + path);
+  std::string line;
+  if (!std::getline(in, line)) {
+    return Status::Corruption(path + ": empty file");
+  }
+  uint32_t m = 0, gap = 0;
+  if (std::sscanf(line.c_str(), "G %u %u", &m, &gap) != 2) {
+    return Status::Corruption(path + ": bad header");
+  }
+  ClusterGraph graph(m, gap);
+  size_t line_no = 1;
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (line.empty()) continue;
+    if (line[0] == 'N') {
+      uint32_t interval = 0;
+      if (std::sscanf(line.c_str(), "N %u", &interval) != 1 ||
+          interval >= m) {
+        return Status::Corruption(path + ": bad node at line " +
+                                  std::to_string(line_no));
+      }
+      graph.AddNode(interval);
+    } else if (line[0] == 'E') {
+      uint32_t from = 0, to = 0;
+      double weight = 0;
+      if (std::sscanf(line.c_str(), "E %u %u %la", &from, &to,
+                      &weight) != 3) {
+        return Status::Corruption(path + ": bad edge at line " +
+                                  std::to_string(line_no));
+      }
+      Status s = graph.AddEdge(from, to, weight);
+      if (!s.ok()) {
+        return Status::Corruption(path + ": invalid edge at line " +
+                                  std::to_string(line_no) + " (" +
+                                  s.message() + ")");
+      }
+    } else {
+      return Status::Corruption(path + ": unknown record at line " +
+                                std::to_string(line_no));
+    }
+  }
+  graph.SortChildren();
+  return graph;
+}
+
+}  // namespace stabletext

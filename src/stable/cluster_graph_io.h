@@ -1,0 +1,27 @@
+// Persistence for cluster graphs: save once after the affinity join,
+// reload for repeated stable-cluster queries with different k / l / lmin.
+//
+// Format: line-oriented text.
+//   G <interval_count> <gap>
+//   N <interval>            (one per node, in node-id order)
+//   E <from> <to> <weight>  (hex float; exact round trip)
+
+#ifndef STABLETEXT_STABLE_CLUSTER_GRAPH_IO_H_
+#define STABLETEXT_STABLE_CLUSTER_GRAPH_IO_H_
+
+#include <string>
+
+#include "stable/cluster_graph.h"
+
+namespace stabletext {
+
+/// Writes `graph` to `path` (truncates).
+Status SaveClusterGraph(const ClusterGraph& graph, const std::string& path);
+
+/// Loads a graph previously written by SaveClusterGraph. Children lists
+/// come back sorted (SortChildren is applied after loading).
+Result<ClusterGraph> LoadClusterGraph(const std::string& path);
+
+}  // namespace stabletext
+
+#endif  // STABLETEXT_STABLE_CLUSTER_GRAPH_IO_H_

@@ -1,0 +1,241 @@
+#include "stable/dfs_finder.h"
+
+#include <algorithm>
+#include <cassert>
+#include <limits>
+
+namespace stabletext {
+
+namespace {
+
+constexpr double kNegInf = -std::numeric_limits<double>::infinity();
+
+// On-disk (simulated) annotation of one node: visited flag, the best known
+// weight of a length-x path ending here (maxweight), and the top-k paths of
+// each feasible length starting here (bestpaths).
+struct NodeState {
+  bool visited = false;
+  std::vector<double> maxweight;       // Index x in [0, l].
+  std::vector<TopKHeap<>> bestpaths;   // Index x in [0, feasible_max].
+  size_t cached_bytes = 0;
+
+  size_t ComputeBytes() const {
+    size_t bytes = sizeof(*this) + maxweight.capacity() * sizeof(double);
+    for (const auto& h : bestpaths) bytes += h.MemoryBytes();
+    return bytes;
+  }
+};
+
+// DFS stack frame. entry_* describe the tree edge used to reach the node
+// (needed to update the parent's bestpaths when this node retires).
+struct Frame {
+  NodeId node;            // kInvalidNode encodes the virtual source.
+  size_t child_idx = 0;
+  double entry_weight = 0;
+  uint32_t entry_len = 0;
+};
+
+}  // namespace
+
+Result<StableFinderResult> DfsStableFinder::Find(
+    const ClusterGraph& graph) const {
+  const uint32_t m = graph.interval_count();
+  StableFinderResult result;
+  if (m < 2) return result;
+  const uint32_t l = options_.l == 0 ? m - 1 : options_.l;
+  if (l < 1 || l > m - 1) {
+    return Status::InvalidArgument("path length l out of range");
+  }
+  const size_t k = options_.k;
+  const size_t n = graph.node_count();
+
+  // Children lists. The graph keeps them sorted by descending weight (the
+  // Section 4.3 heuristic); the ablation path re-sorts by target id.
+  std::vector<std::vector<ClusterGraphEdge>> children(n);
+  for (NodeId v = 0; v < n; ++v) {
+    children[v] = graph.Children(v);
+    if (!options_.sort_children_by_weight) {
+      std::sort(children[v].begin(), children[v].end(),
+                [](const ClusterGraphEdge& a, const ClusterGraphEdge& b) {
+                  return a.target < b.target;
+                });
+    }
+  }
+  // The virtual source is connected to every node that could begin a
+  // length-l path or that needs to be reached at all; connecting it to all
+  // nodes guarantees complete exploration (full-path mode restricts the
+  // answer through the maxweight feasibility below, not reachability).
+  std::vector<ClusterGraphEdge> source_children;
+  source_children.reserve(n);
+  for (NodeId v = 0; v < n; ++v) {
+    source_children.push_back(ClusterGraphEdge{v, 0.0});
+  }
+
+  std::vector<NodeState> states(n);
+  for (NodeId v = 0; v < n; ++v) {
+    const uint32_t i = graph.Interval(v);
+    NodeState& st = states[v];
+    st.maxweight.assign(l + 1, kNegInf);
+    // A length-l path may *start* at v iff it fits before the horizon.
+    if (i + l <= m - 1) st.maxweight[0] = 0;
+    const uint32_t max_start = std::min<uint32_t>(l, (m - 1) - i);
+    st.bestpaths.assign(max_start + 1, TopKHeap<>(k));
+    st.cached_bytes = st.ComputeBytes();
+  }
+
+  TopKHeap<> global(k);
+
+  // Memory model of Section 4.3: resident state = the stack, the states of
+  // stacked nodes, and H. Everything else is on disk.
+  size_t resident_state_bytes = 0;
+  auto note_peak = [&](size_t frames) {
+    const size_t live = frames * sizeof(Frame) + resident_state_bytes +
+                        global.MemoryBytes();
+    result.peak_memory_bytes = std::max(result.peak_memory_bytes, live);
+  };
+  auto refresh_bytes = [&](NodeId v) {
+    const size_t now = states[v].ComputeBytes();
+    resident_state_bytes += now - states[v].cached_bytes;
+    states[v].cached_bytes = now;
+  };
+
+  // Offers a path to a node heap and to H when it has full length.
+  auto offer = [&](NodeState& st, const StablePath& path) {
+    ++result.heap_offers;
+    if (path.length < st.bestpaths.size()) {
+      st.bestpaths[path.length].Offer(path);
+    }
+    if (path.length == l) {
+      ++result.heap_offers;
+      global.Offer(path);
+    }
+  };
+
+  // Folds a finished/visited child c2 into parent c1's bestpaths through
+  // edge e (c1 -> c2). Covers the bare edge and all extendable suffixes.
+  auto update_bestpaths = [&](NodeId c1, const ClusterGraphEdge& e) {
+    NodeState& st = states[c1];
+    const NodeId c2 = e.target;
+    const uint32_t len = graph.EdgeLength(c1, c2);
+    {
+      StablePath bare;
+      bare.nodes = {c1, c2};
+      bare.weight = e.weight;
+      bare.length = len;
+      offer(st, bare);
+    }
+    const NodeState& child = states[c2];
+    for (uint32_t x = 1; x + len <= l && x < child.bestpaths.size(); ++x) {
+      for (const StablePath& pi : child.bestpaths[x].paths()) {
+        StablePath extended;
+        extended.nodes.reserve(pi.nodes.size() + 1);
+        extended.nodes.push_back(c1);
+        extended.nodes.insert(extended.nodes.end(), pi.nodes.begin(),
+                              pi.nodes.end());
+        extended.weight = e.weight + pi.weight;
+        extended.length = len + pi.length;
+        offer(st, extended);
+      }
+    }
+    refresh_bytes(c1);
+  };
+
+  auto can_prune = [&](NodeId c2) {
+    if (!global.full()) return false;
+    const double min_k = global.MinWeight();
+    const uint32_t i = graph.Interval(c2);
+    const NodeState& st = states[c2];
+    // Feasible prefix lengths x for a length-l path passing through c2:
+    // the remaining l-x intervals must fit before the horizon, and a
+    // prefix cannot be longer than the elapsed intervals. x == l (path
+    // ends here) needs no subtree and is excluded, as in CanPrune.
+    const uint32_t x_lo = (l + i > m - 1) ? (l + i) - (m - 1) : 0;
+    const uint32_t x_hi = std::min<uint32_t>(l - 1, i);
+    for (uint32_t x = x_lo; x <= x_hi; ++x) {
+      if (st.maxweight[x] + static_cast<double>(l - x) >= min_k) {
+        return false;
+      }
+    }
+    return true;  // Also prunes nodes with no feasible role (empty range).
+  };
+
+  std::vector<Frame> stack;
+  stack.push_back(Frame{kInvalidNode, 0, 0, 0});  // Virtual source.
+  note_peak(stack.size());
+
+  while (!stack.empty()) {
+    Frame& top = stack.back();
+    const bool at_source = (top.node == kInvalidNode);
+    const auto& child_list =
+        at_source ? source_children : children[top.node];
+
+    if (top.child_idx < child_list.size()) {
+      const ClusterGraphEdge e = child_list[top.child_idx++];
+      const NodeId c2 = e.target;
+      // Line 8: read the child's annotations from disk (random I/O).
+      ++result.io.page_reads;
+      ++result.io.random_seeks;
+
+      if (states[c2].visited) {
+        if (!at_source) update_bestpaths(top.node, e);
+        continue;
+      }
+      // Push c2.
+      states[c2].visited = true;
+      ++result.nodes_pushed;
+      const uint32_t len = at_source ? 0 : graph.EdgeLength(top.node, c2);
+      // Update maxweight(c2, .) from the parent's maxweight (line 16).
+      if (!at_source) {
+        const NodeState& pst = states[top.node];
+        NodeState& cst = states[c2];
+        for (uint32_t x = 0; x + len <= l; ++x) {
+          if (pst.maxweight[x] == kNegInf) continue;
+          cst.maxweight[x + len] =
+              std::max(cst.maxweight[x + len], pst.maxweight[x] + e.weight);
+        }
+      }
+      stack.push_back(Frame{c2, 0, e.weight, len});
+      resident_state_bytes += states[c2].cached_bytes;
+      note_peak(stack.size());
+
+      if (options_.enable_pruning && can_prune(c2)) {
+        ++result.prunes;
+        // Unmark the visited flag of every stacked node including c2
+        // (their subtrees are no longer guaranteed fully considered).
+        for (const Frame& f : stack) {
+          if (f.node != kInvalidNode) states[f.node].visited = false;
+        }
+        stack.pop_back();
+        resident_state_bytes -= states[c2].cached_bytes;
+        // Save c2 back to disk (line 20).
+        ++result.io.page_writes;
+        ++result.io.random_seeks;
+        // The bare edge (and any stale suffixes) still contribute.
+        if (!at_source) {
+          Frame& parent = stack.back();
+          update_bestpaths(parent.node, e);
+        }
+      }
+      continue;
+    }
+
+    // Children exhausted: retire the node (lines 24-29).
+    const Frame finished = stack.back();
+    stack.pop_back();
+    if (finished.node != kInvalidNode) {
+      resident_state_bytes -= states[finished.node].cached_bytes;
+      ++result.io.page_writes;
+      ++result.io.random_seeks;
+      if (!stack.empty() && stack.back().node != kInvalidNode) {
+        update_bestpaths(
+            stack.back().node,
+            ClusterGraphEdge{finished.node, finished.entry_weight});
+      }
+    }
+  }
+
+  result.paths = global.paths();
+  return result;
+}
+
+}  // namespace stabletext

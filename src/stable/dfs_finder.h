@@ -1,0 +1,48 @@
+// Algorithm 3: depth-first solution to the kl-stable clusters problem,
+// designed for memory-constrained environments. Node annotations
+// (maxweight, bestpaths, visited flag) conceptually live on disk; only the
+// DFS stack (bounded by m) and the global heap are memory-resident. Each
+// child consideration costs one random read, each node retirement one
+// random write. CanPrune postpones subtrees that provably cannot contribute
+// a top-k path given the best prefix weight seen so far, unmarking the
+// visited flags of all stacked nodes so those subtrees are re-explored if a
+// heavier prefix is found later.
+
+#ifndef STABLETEXT_STABLE_DFS_FINDER_H_
+#define STABLETEXT_STABLE_DFS_FINDER_H_
+
+#include "stable/cluster_graph.h"
+#include "stable/finder.h"
+#include "stable/topk_heap.h"
+
+namespace stabletext {
+
+/// Options for DfsStableFinder.
+struct DfsFinderOptions {
+  size_t k = 5;     ///< Paths sought.
+  uint32_t l = 0;   ///< Path length; 0 means full paths (m-1).
+  /// CanPrune-based subtree postponement (Section 4.3). Disabling it is an
+  /// ablation knob; results are identical either way.
+  bool enable_pruning = true;
+  /// Children sorted by descending edge weight ("this heuristic is for
+  /// efficient execution, and correctness ... is unaffected"). When false,
+  /// children are visited in graph insertion order. Ablation knob.
+  bool sort_children_by_weight = true;
+};
+
+/// \brief Depth-first kl-stable-cluster finder (Section 4.3).
+class DfsStableFinder {
+ public:
+  explicit DfsStableFinder(DfsFinderOptions options = {})
+      : options_(options) {}
+
+  /// Finds the top-k paths of length l (or full length when options.l==0).
+  Result<StableFinderResult> Find(const ClusterGraph& graph) const;
+
+ private:
+  DfsFinderOptions options_;
+};
+
+}  // namespace stabletext
+
+#endif  // STABLETEXT_STABLE_DFS_FINDER_H_

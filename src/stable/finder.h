@@ -1,0 +1,42 @@
+// Shared option/result types for the stable-cluster finders (Sections
+// 4.2-4.5): BFS, DFS, TA, and the normalized variants all report their
+// answers and costs through these structures so benchmarks can compare them
+// uniformly.
+
+#ifndef STABLETEXT_STABLE_FINDER_H_
+#define STABLETEXT_STABLE_FINDER_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "stable/path.h"
+#include "storage/io_stats.h"
+
+namespace stabletext {
+
+/// \brief Answer plus cost counters from one finder run.
+struct StableFinderResult {
+  /// Top paths, best first, under the finder's total order.
+  std::vector<StablePath> paths;
+  /// Simulated-disk traffic (node reads/writes, spills).
+  IoStats io;
+  /// Peak bytes of finder-resident state (per the paper's memory model:
+  /// node annotations not currently needed count as on-disk).
+  size_t peak_memory_bytes = 0;
+  /// Block-nested-loop passes (BFS under a memory budget; 1 otherwise).
+  size_t passes = 1;
+  /// Candidate paths offered to any heap (work proxy).
+  uint64_t heap_offers = 0;
+  /// DFS: stack pushes (node activations, counting re-visits).
+  uint64_t nodes_pushed = 0;
+  /// DFS: CanPrune firings.
+  uint64_t prunes = 0;
+  /// TA: edges consumed from the sorted lists.
+  uint64_t edges_scanned = 0;
+  /// TA: random probes into adjacency during path assembly.
+  uint64_t random_probes = 0;
+};
+
+}  // namespace stabletext
+
+#endif  // STABLETEXT_STABLE_FINDER_H_

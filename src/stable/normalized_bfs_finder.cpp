@@ -1,0 +1,132 @@
+#include "stable/normalized_bfs_finder.h"
+
+#include <algorithm>
+
+namespace stabletext {
+
+namespace {
+
+// Weight of the edge (a, b); the graphs here have at most one edge per
+// ordered pair. Returns -1 when absent (callers pass real path edges).
+double EdgeWeightBetween(const ClusterGraph& graph, NodeId a, NodeId b) {
+  for (const ClusterGraphEdge& e : graph.Children(a)) {
+    if (e.target == b) return e.weight;
+  }
+  return -1;
+}
+
+}  // namespace
+
+bool Theorem1Reducible(const StablePath& path, const ClusterGraph& graph,
+                       uint32_t lmin) {
+  if (path.nodes.size() < 3) return false;
+  // Prefix weight/length accumulated left to right; the remainder is the
+  // candidate curr.
+  double prefix_weight = 0;
+  for (size_t split = 1; split + 1 < path.nodes.size(); ++split) {
+    prefix_weight +=
+        EdgeWeightBetween(graph, path.nodes[split - 1], path.nodes[split]);
+    const uint32_t prefix_len = graph.Interval(path.nodes[split]) -
+                                graph.Interval(path.nodes.front());
+    const uint32_t curr_len = path.length - prefix_len;
+    if (curr_len < lmin) break;  // Later splits only get shorter.
+    const double curr_weight = path.weight - prefix_weight;
+    // stability(pre) <= stability(curr), cross-multiplied to avoid
+    // division: pre_w / pre_len <= curr_w / curr_len.
+    if (prefix_weight * static_cast<double>(curr_len) <=
+        curr_weight * static_cast<double>(prefix_len)) {
+      return true;
+    }
+  }
+  return false;
+}
+
+Result<StableFinderResult> NormalizedBfsFinder::Find(
+    const ClusterGraph& graph) const {
+  const uint32_t m = graph.interval_count();
+  StableFinderResult result;
+  if (m < 2) return result;
+  const uint32_t lmin = options_.lmin;
+  if (lmin < 1 || lmin > m - 1) {
+    return Status::InvalidArgument("lmin out of range");
+  }
+  const size_t k = options_.k;
+  const uint32_t g = graph.gap();
+
+  // heaps[node][x]: top-k-by-weight paths of length x ending at node, for
+  // every x in [1, interval(node)].
+  std::vector<std::vector<TopKHeap<>>> heaps(graph.node_count());
+  for (NodeId v = 0; v < graph.node_count(); ++v) {
+    heaps[v].assign(graph.Interval(v) + 1, TopKHeap<>(k));
+  }
+  auto node_bytes = [&](NodeId v) {
+    size_t bytes = 0;
+    for (const auto& h : heaps[v]) bytes += h.MemoryBytes();
+    return bytes;
+  };
+
+  TopKHeap<PathMoreStable> global(k);
+  auto offer_global = [&](const StablePath& p) {
+    if (p.length >= lmin) {
+      ++result.heap_offers;
+      global.Offer(p);
+    }
+  };
+
+  for (uint32_t i = 1; i < m; ++i) {
+    const uint32_t window_begin = i >= g + 1 ? i - g - 1 : 0;
+    size_t window_bytes = 0;
+    for (uint32_t iv = window_begin; iv < i; ++iv) {
+      for (NodeId nid : graph.IntervalNodes(iv)) {
+        ++result.io.page_reads;
+        window_bytes += node_bytes(nid);
+      }
+    }
+
+    for (NodeId c : graph.IntervalNodes(i)) {
+      ++result.io.page_reads;
+      for (const ClusterGraphEdge& pe : graph.Parents(c)) {
+        const NodeId p = pe.target;
+        const uint32_t len = i - graph.Interval(p);
+        // Bare edge.
+        {
+          StablePath bare;
+          bare.nodes = {p, c};
+          bare.weight = pe.weight;
+          bare.length = len;
+          ++result.heap_offers;
+          heaps[c][bare.length].Offer(bare);
+          offer_global(bare);
+        }
+        // Extensions of every length ending at p.
+        for (uint32_t x = 1; x < heaps[p].size(); ++x) {
+          for (const StablePath& pi : heaps[p][x].paths()) {
+            if (options_.theorem1_pruning &&
+                Theorem1Reducible(pi, graph, lmin)) {
+              continue;  // Extensions dominated by the reduced suffix's.
+            }
+            StablePath extended = pi;
+            extended.nodes.push_back(c);
+            extended.weight += pe.weight;
+            extended.length += len;
+            ++result.heap_offers;
+            heaps[c][extended.length].Offer(extended);
+            offer_global(extended);
+          }
+        }
+      }
+    }
+
+    size_t interval_bytes = 0;
+    for (NodeId c : graph.IntervalNodes(i)) interval_bytes += node_bytes(c);
+    result.peak_memory_bytes =
+        std::max(result.peak_memory_bytes,
+                 window_bytes + interval_bytes + global.MemoryBytes());
+    result.io.page_writes += graph.IntervalNodes(i).size();
+  }
+
+  result.paths = global.paths();
+  return result;
+}
+
+}  // namespace stabletext

@@ -1,0 +1,153 @@
+#include "stable/normalized_literal_finder.h"
+
+#include <algorithm>
+
+#include "stable/topk_heap.h"
+
+namespace stabletext {
+
+namespace {
+
+// Weight of edge (a, b) in the graph; -1 when absent.
+double EdgeWeight(const ClusterGraph& graph, NodeId a, NodeId b) {
+  for (const ClusterGraphEdge& e : graph.Children(a)) {
+    if (e.target == b) return e.weight;
+  }
+  return -1;
+}
+
+// Applies Theorem 1 repeatedly: strips the longest reducible prefix.
+// Returns the (possibly reduced) path.
+StablePath Theorem1Reduce(StablePath path, const ClusterGraph& graph,
+                          uint32_t lmin) {
+  bool changed = true;
+  while (changed && path.nodes.size() >= 3) {
+    changed = false;
+    double prefix_weight = 0;
+    for (size_t split = 1; split + 1 < path.nodes.size(); ++split) {
+      prefix_weight += EdgeWeight(graph, path.nodes[split - 1],
+                                  path.nodes[split]);
+      const uint32_t prefix_len = graph.Interval(path.nodes[split]) -
+                                  graph.Interval(path.nodes.front());
+      const uint32_t curr_len = path.length - prefix_len;
+      if (curr_len < lmin) break;
+      const double curr_weight = path.weight - prefix_weight;
+      if (prefix_weight * static_cast<double>(curr_len) <=
+          curr_weight * static_cast<double>(prefix_len)) {
+        path.nodes.erase(path.nodes.begin(),
+                         path.nodes.begin() + static_cast<long>(split));
+        path.weight = curr_weight;
+        path.length = curr_len;
+        changed = true;
+        break;
+      }
+    }
+  }
+  return path;
+}
+
+}  // namespace
+
+Result<StableFinderResult> NormalizedLiteralFinder::Find(
+    const ClusterGraph& graph) const {
+  const uint32_t m = graph.interval_count();
+  StableFinderResult result;
+  if (m < 2) return result;
+  const uint32_t lmin = options_.lmin;
+  if (lmin < 1 || lmin > m - 1) {
+    return Status::InvalidArgument("lmin out of range");
+  }
+  const size_t k = options_.k;
+  const uint32_t g = graph.gap();
+
+  // smallpaths[c][x]: all paths of length x (1 <= x < lmin) ending at c.
+  std::vector<std::vector<std::vector<StablePath>>> smallpaths(
+      graph.node_count());
+  // bestpaths[c]: candidate list (length >= lmin), paper-pruned.
+  std::vector<std::vector<StablePath>> bestpaths(graph.node_count());
+  for (NodeId v = 0; v < graph.node_count(); ++v) {
+    smallpaths[v].assign(lmin, {});
+  }
+
+  TopKHeap<PathMoreStable> global(k);
+  auto offer_global = [&](const StablePath& p) {
+    if (p.length >= lmin) {
+      ++result.heap_offers;
+      global.Offer(p);
+    }
+  };
+
+  auto add_bestpath = [&](NodeId c, StablePath path) {
+    offer_global(path);  // Rank before pruning, as in the paper.
+    path = Theorem1Reduce(std::move(path), graph, lmin);
+    // Subpath rule: drop the incoming path if it is a subpath of a kept
+    // one; drop kept ones that are subpaths of the incoming path.
+    auto& list = bestpaths[c];
+    for (const StablePath& kept : list) {
+      if (kept == path || IsSubpath(path, kept)) return;
+    }
+    list.erase(std::remove_if(list.begin(), list.end(),
+                              [&](const StablePath& kept) {
+                                return IsSubpath(kept, path);
+                              }),
+               list.end());
+    list.push_back(std::move(path));
+  };
+
+  size_t live_paths = 0;  // For the memory accounting.
+  for (uint32_t i = 1; i < m; ++i) {
+    for (NodeId c : graph.IntervalNodes(i)) {
+      ++result.io.page_reads;
+      for (const ClusterGraphEdge& pe : graph.Parents(c)) {
+        const NodeId p = pe.target;
+        const uint32_t len = i - graph.Interval(p);
+        StablePath bare;
+        bare.nodes = {p, c};
+        bare.weight = pe.weight;
+        bare.length = len;
+        if (len < lmin) {
+          smallpaths[c][len].push_back(bare);
+        } else {
+          add_bestpath(c, bare);
+        }
+        // Extend small paths ending at p.
+        for (uint32_t x = 1; x < lmin; ++x) {
+          for (const StablePath& pi : smallpaths[p][x]) {
+            StablePath ext = pi;
+            ext.nodes.push_back(c);
+            ext.weight += pe.weight;
+            ext.length += len;
+            ++result.heap_offers;
+            if (ext.length < lmin) {
+              smallpaths[c][ext.length].push_back(std::move(ext));
+            } else {
+              add_bestpath(c, std::move(ext));
+            }
+          }
+        }
+        // Extend bestpaths ending at p.
+        for (const StablePath& pi : bestpaths[p]) {
+          StablePath ext = pi;
+          ext.nodes.push_back(c);
+          ext.weight += pe.weight;
+          ext.length += len;
+          ++result.heap_offers;
+          add_bestpath(c, std::move(ext));
+        }
+      }
+      ++result.io.page_writes;
+      for (uint32_t x = 1; x < lmin; ++x) {
+        live_paths += smallpaths[c][x].size();
+      }
+      live_paths += bestpaths[c].size();
+    }
+    result.peak_memory_bytes =
+        std::max(result.peak_memory_bytes,
+                 live_paths * (sizeof(StablePath) + 8 * sizeof(NodeId)));
+  }
+
+  result.paths = global.paths();
+  return result;
+}
+
+}  // namespace stabletext

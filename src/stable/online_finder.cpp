@@ -1,0 +1,102 @@
+#include "stable/online_finder.h"
+
+#include <algorithm>
+
+namespace stabletext {
+
+OnlineStableFinder::OnlineStableFinder(OnlineFinderOptions options)
+    : options_(options), global_(options.k) {}
+
+uint32_t OnlineStableFinder::BeginInterval() {
+  interval_open_ = true;
+  intervals_.emplace_back();
+  return interval_count_++;
+}
+
+Result<NodeId> OnlineStableFinder::AddNode() {
+  if (!interval_open_) {
+    return Status::InvalidArgument("no interval open");
+  }
+  const NodeId id = static_cast<NodeId>(nodes_.size());
+  const uint32_t i = interval_count_ - 1;
+  NodeData data;
+  data.interval = i;
+  const uint32_t max_len = std::min(options_.l, i);
+  data.heaps.assign(max_len + 1, TopKHeap<>(options_.k));
+  nodes_.push_back(std::move(data));
+  node_interval_.push_back(i);
+  intervals_.back().push_back(id);
+  return id;
+}
+
+Status OnlineStableFinder::AddEdge(NodeId from, NodeId to, double weight) {
+  if (!interval_open_) return Status::InvalidArgument("no interval open");
+  if (from >= nodes_.size() || to >= nodes_.size()) {
+    return Status::InvalidArgument("edge endpoint out of range");
+  }
+  const uint32_t fi = nodes_[from].interval;
+  const uint32_t ti = nodes_[to].interval;
+  if (ti != interval_count_ - 1) {
+    return Status::InvalidArgument("edges must target the open interval");
+  }
+  if (fi >= ti) {
+    return Status::InvalidArgument("edges must go forward in time");
+  }
+  if (ti - fi > options_.gap + 1) {
+    return Status::InvalidArgument("edge exceeds gap bound");
+  }
+  if (!(weight > 0) || weight > 1) {
+    return Status::InvalidArgument("edge weight must be in (0, 1]");
+  }
+  nodes_[to].parents.emplace_back(from, weight);
+  return Status::OK();
+}
+
+Status OnlineStableFinder::EndInterval() {
+  if (!interval_open_) return Status::InvalidArgument("no interval open");
+  interval_open_ = false;
+  const uint32_t i = interval_count_ - 1;
+  if (i == 0) return Status::OK();
+  const uint32_t l = options_.l;
+
+  // Read the g+1 window from disk (the only annotations ever needed).
+  const uint32_t window_begin =
+      i >= options_.gap + 1 ? i - options_.gap - 1 : 0;
+  for (uint32_t iv = window_begin; iv < i; ++iv) {
+    io_.page_reads += intervals_[iv].size();
+  }
+
+  for (NodeId c : intervals_[i]) {
+    ++io_.page_reads;
+    // Deterministic parent order (matches ClusterGraph::SortChildren).
+    std::sort(nodes_[c].parents.begin(), nodes_[c].parents.end());
+    for (const auto& [p, w] : nodes_[c].parents) {
+      const uint32_t len = i - nodes_[p].interval;
+      {
+        StablePath bare;
+        bare.nodes = {p, c};
+        bare.weight = w;
+        bare.length = len;
+        if (len <= std::min(l, i)) nodes_[c].heaps[len].Offer(bare);
+        if (len == l) global_.Offer(bare);
+      }
+      if (len >= l) continue;
+      const uint32_t x_hi = l - len;
+      for (uint32_t x = 1;
+           x <= x_hi && x < nodes_[p].heaps.size(); ++x) {
+        for (const StablePath& pi : nodes_[p].heaps[x].paths()) {
+          StablePath extended = pi;
+          extended.nodes.push_back(c);
+          extended.weight += w;
+          extended.length += len;
+          nodes_[c].heaps[extended.length].Offer(extended);
+          if (extended.length == l) global_.Offer(extended);
+        }
+      }
+    }
+    ++io_.page_writes;  // Save the node's heaps (line 17 of Algorithm 2).
+  }
+  return Status::OK();
+}
+
+}  // namespace stabletext

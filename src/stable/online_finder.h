@@ -1,0 +1,79 @@
+// Section 4.6: online (streaming) stable-cluster discovery. New temporal
+// intervals arrive continuously; per-node heaps are computed once when a
+// node's interval arrives and never revisited, so appending interval m+1
+// costs the same as the last step of the batch BFS run — no past work is
+// redone. The global top-k (paths of length exactly l) grows monotonically
+// and is maintained incrementally.
+
+#ifndef STABLETEXT_STABLE_ONLINE_FINDER_H_
+#define STABLETEXT_STABLE_ONLINE_FINDER_H_
+
+#include <vector>
+
+#include "stable/finder.h"
+#include "stable/topk_heap.h"
+#include "util/status.h"
+
+namespace stabletext {
+
+/// Options for OnlineStableFinder.
+struct OnlineFinderOptions {
+  size_t k = 5;
+  uint32_t l = 3;  ///< Subpath length sought (fixed across the stream).
+  uint32_t gap = 0;
+};
+
+/// \brief Streaming kl-stable-cluster finder.
+///
+/// Usage per arriving interval:
+///   BeginInterval(); AddNode()...; AddEdge()...; EndInterval();
+/// After any EndInterval(), TopK() equals what the batch BFS finder would
+/// return on the data seen so far (verified by the test suite).
+class OnlineStableFinder {
+ public:
+  explicit OnlineStableFinder(OnlineFinderOptions options = {});
+
+  /// Opens interval number interval_count(); nodes/edges may then be added.
+  uint32_t BeginInterval();
+
+  /// Adds a cluster node to the open interval. Returns its id.
+  Result<NodeId> AddNode();
+
+  /// Adds an edge from an earlier-interval node `from` to `to` in the open
+  /// interval. Enforces the gap bound and weight domain, like
+  /// ClusterGraph::AddEdge.
+  Status AddEdge(NodeId from, NodeId to, double weight);
+
+  /// Closes the open interval and integrates its nodes into the result:
+  /// heaps for the new nodes are computed from the g+1 window, and new
+  /// length-l paths are offered to the global top-k.
+  Status EndInterval();
+
+  /// Current top-k paths of length exactly l, best first.
+  const std::vector<StablePath>& TopK() const { return global_.paths(); }
+
+  uint32_t interval_count() const { return interval_count_; }
+  size_t node_count() const { return node_interval_.size(); }
+  const IoStats& io() const { return io_; }
+
+ private:
+  struct NodeData {
+    uint32_t interval;
+    std::vector<TopKHeap<>> heaps;  // heaps[x]: top-k length-x paths
+                                    // ending here, x in [1, min(l, i)].
+    std::vector<std::pair<NodeId, double>> parents;
+  };
+
+  OnlineFinderOptions options_;
+  uint32_t interval_count_ = 0;
+  bool interval_open_ = false;
+  std::vector<uint32_t> node_interval_;
+  std::vector<NodeData> nodes_;
+  std::vector<std::vector<NodeId>> intervals_;
+  TopKHeap<> global_;
+  IoStats io_;
+};
+
+}  // namespace stabletext
+
+#endif  // STABLETEXT_STABLE_ONLINE_FINDER_H_

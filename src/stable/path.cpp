@@ -1,0 +1,28 @@
+#include "stable/path.h"
+
+#include <algorithm>
+
+#include "util/strings.h"
+
+namespace stabletext {
+
+std::string StablePath::ToString() const {
+  std::string out = "[";
+  for (size_t i = 0; i < nodes.size(); ++i) {
+    if (i) out += "-";
+    out += std::to_string(nodes[i]);
+  }
+  out += StringPrintf("] w=%.4f len=%u", weight, length);
+  return out;
+}
+
+bool IsSubpath(const StablePath& sub, const StablePath& super) {
+  if (sub.nodes.empty() || sub.nodes.size() > super.nodes.size()) {
+    return false;
+  }
+  return std::search(super.nodes.begin(), super.nodes.end(),
+                     sub.nodes.begin(), sub.nodes.end()) !=
+         super.nodes.end();
+}
+
+}  // namespace stabletext

@@ -1,0 +1,78 @@
+// Fixed-capacity top-k container for paths, with duplicate rejection and a
+// pluggable total order. Used for the per-node heaps h^x_ij of Algorithm 2,
+// the bestpaths structures of Algorithm 3, and the global heap H everywhere.
+
+#ifndef STABLETEXT_STABLE_TOPK_HEAP_H_
+#define STABLETEXT_STABLE_TOPK_HEAP_H_
+
+#include <algorithm>
+#include <cstddef>
+#include <vector>
+
+#include "stable/path.h"
+
+namespace stabletext {
+
+/// \brief Keeps the k best paths under a strict total order `Better`.
+///
+/// Backed by a sorted vector (best first); k is small in all of the paper's
+/// experiments (top-5), so O(k) inserts beat a real heap in practice and
+/// give deterministic iteration order for free.
+template <typename Better = PathBetter>
+class TopKHeap {
+ public:
+  explicit TopKHeap(size_t k = 0, Better better = Better())
+      : k_(k), better_(better) {}
+
+  /// Offers a path. Returns true if it was admitted (strictly better than
+  /// the current k-th or capacity not yet reached, and not a duplicate).
+  bool Offer(const StablePath& path) {
+    if (k_ == 0) return false;
+    if (paths_.size() == k_ && !better_(path, paths_.back())) return false;
+    // Duplicate rejection (identical node sequences).
+    for (const StablePath& p : paths_) {
+      if (p == path) return false;
+    }
+    auto pos = std::lower_bound(
+        paths_.begin(), paths_.end(), path,
+        [&](const StablePath& a, const StablePath& b) {
+          return better_(a, b);
+        });
+    paths_.insert(pos, path);
+    if (paths_.size() > k_) paths_.pop_back();
+    return true;
+  }
+
+  bool empty() const { return paths_.empty(); }
+  bool full() const { return paths_.size() == k_; }
+  size_t size() const { return paths_.size(); }
+  size_t capacity() const { return k_; }
+
+  /// Weight of the worst retained path; the "min-k" of Algorithm 3.
+  /// Meaningful only when full(); callers treat a non-full heap as
+  /// min-k = -infinity.
+  double MinWeight() const { return paths_.back().weight; }
+
+  /// Best-first view.
+  const std::vector<StablePath>& paths() const { return paths_; }
+
+  /// Bytes used by retained paths (memory experiments).
+  size_t MemoryBytes() const {
+    size_t bytes = sizeof(*this);
+    for (const StablePath& p : paths_) {
+      bytes += sizeof(StablePath) + p.nodes.size() * sizeof(NodeId);
+    }
+    return bytes;
+  }
+
+  void Clear() { paths_.clear(); }
+
+ private:
+  size_t k_;
+  Better better_;
+  std::vector<StablePath> paths_;
+};
+
+}  // namespace stabletext
+
+#endif  // STABLETEXT_STABLE_TOPK_HEAP_H_

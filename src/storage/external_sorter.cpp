@@ -1,0 +1,21 @@
+// ExternalSorter is a header-only template (external_sorter.h). This
+// translation unit anchors the component and instantiates the sorter for a
+// representative record type to catch template errors at library build time.
+
+#include "storage/external_sorter.h"
+
+namespace stabletext {
+
+namespace {
+struct U64Pair {
+  uint64_t first;
+  uint64_t second;
+  friend bool operator<(const U64Pair& a, const U64Pair& b) {
+    return a.first != b.first ? a.first < b.first : a.second < b.second;
+  }
+};
+}  // namespace
+
+template class ExternalSorter<U64Pair>;
+
+}  // namespace stabletext

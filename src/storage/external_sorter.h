@@ -1,0 +1,227 @@
+// External-memory merge sort, exactly the technique Section 3 of the paper
+// uses for the keyword-pair file: "This file is sorted lexicographically
+// (using external memory merge sort) such that all identical keyword pairs
+// appear together in the output."
+//
+// The sorter buffers records up to a memory budget, spills sorted runs to a
+// scratch directory, and merges them with a k-way loser-tree-style merge
+// (std::priority_queue over run cursors). All spill I/O is charged to the
+// caller's IoStats.
+
+#ifndef STABLETEXT_STORAGE_EXTERNAL_SORTER_H_
+#define STABLETEXT_STORAGE_EXTERNAL_SORTER_H_
+
+#include <algorithm>
+#include <cstdio>
+#include <memory>
+#include <queue>
+#include <string>
+#include <vector>
+
+#include "storage/record_file.h"
+#include "storage/temp_dir.h"
+#include "util/status.h"
+
+namespace stabletext {
+
+/// Options for ExternalSorter.
+struct ExternalSorterOptions {
+  /// Maximum bytes of records buffered in memory before a run is spilled.
+  size_t memory_budget_bytes = 16 << 20;
+  /// Page size for run files.
+  size_t page_size = 4096;
+  /// Maximum runs merged at once. When more runs exist, intermediate
+  /// merge passes combine them in batches of this size first (bounding
+  /// open file handles and matching classic multi-pass merge sort).
+  size_t max_merge_fanin = 64;
+  /// Fault injection for tests; applies per spill/run file. See
+  /// PagedFileOptions.
+  uint64_t fail_after_physical_ops = 0;
+};
+
+/// \brief Sorts a stream of trivially-copyable records under a memory budget.
+///
+/// Usage: Add() records, then Sort(), then iterate with Next(). Comparator
+/// must be a strict weak ordering. Duplicate records are preserved (stable
+/// within a run; run merge is not stable, which is fine for the multiset
+/// semantics needed by pair aggregation).
+template <typename Record, typename Less = std::less<Record>>
+class ExternalSorter {
+  static_assert(std::is_trivially_copyable_v<Record>,
+                "ExternalSorter requires trivially copyable records");
+
+ public:
+  explicit ExternalSorter(ExternalSorterOptions options = {},
+                          IoStats* stats = nullptr, Less less = Less())
+      : options_(options), stats_(stats), less_(less) {
+    max_buffered_ = std::max<size_t>(
+        1, options_.memory_budget_bytes / sizeof(Record));
+  }
+
+  /// Adds one record, spilling a sorted run if the buffer is full.
+  Status Add(const Record& r) {
+    buffer_.push_back(r);
+    if (buffer_.size() >= max_buffered_) return SpillRun();
+    return Status::OK();
+  }
+
+  /// Finishes input and prepares the merged iterator.
+  Status Sort() {
+    if (runs_.empty()) {
+      // Fully in-memory case: no spill happened.
+      std::sort(buffer_.begin(), buffer_.end(), less_);
+      mem_pos_ = 0;
+      in_memory_ = true;
+      return Status::OK();
+    }
+    if (!buffer_.empty()) ST_RETURN_IF_ERROR(SpillRun());
+    in_memory_ = false;
+    // Intermediate merge passes until the final fan-in is acceptable.
+    const size_t fanin = std::max<size_t>(2, options_.max_merge_fanin);
+    while (runs_.size() > fanin) {
+      std::vector<std::string> next;
+      for (size_t begin = 0; begin < runs_.size(); begin += fanin) {
+        const size_t end = std::min(runs_.size(), begin + fanin);
+        if (end - begin == 1) {
+          next.push_back(runs_[begin]);
+          continue;
+        }
+        const std::string merged = scratch_.FilePath(
+            "merge." + std::to_string(merge_counter_++));
+        ST_RETURN_IF_ERROR(MergeRuns(
+            std::vector<std::string>(runs_.begin() + begin,
+                                     runs_.begin() + end),
+            merged));
+        next.push_back(merged);
+      }
+      runs_ = std::move(next);
+    }
+    // Open one reader per run and seed the merge heap.
+    readers_.resize(runs_.size());
+    for (size_t i = 0; i < runs_.size(); ++i) {
+      readers_[i] = std::make_unique<RecordReader<Record>>();
+      ST_RETURN_IF_ERROR(
+          readers_[i]->Open(runs_[i], stats_, options_.page_size, 1,
+                          options_.fail_after_physical_ops));
+      Record r;
+      if (readers_[i]->Next(&r)) {
+        heap_.push(HeapItem{r, i});
+      } else {
+        ST_RETURN_IF_ERROR(readers_[i]->status());
+      }
+    }
+    return Status::OK();
+  }
+
+  /// Produces the next record in sorted order; false at end.
+  bool Next(Record* out) {
+    if (in_memory_) {
+      if (mem_pos_ >= buffer_.size()) return false;
+      *out = buffer_[mem_pos_++];
+      return true;
+    }
+    if (heap_.empty()) return false;
+    HeapItem top = heap_.top();
+    heap_.pop();
+    *out = top.record;
+    Record next;
+    if (readers_[top.run]->Next(&next)) {
+      heap_.push(HeapItem{next, top.run});
+    } else {
+      status_ = readers_[top.run]->status();
+    }
+    return true;
+  }
+
+  /// Number of runs spilled to disk (0 means the sort was in-memory).
+  /// Counts initial spills, not intermediate merge outputs.
+  size_t run_count() const { return spilled_runs_; }
+
+  const Status& status() const { return status_; }
+
+ private:
+  struct HeapItem {
+    Record record;
+    size_t run;
+  };
+  struct HeapGreater {
+    Less less;
+    // priority_queue is a max-heap; invert to get the minimum on top.
+    bool operator()(const HeapItem& a, const HeapItem& b) const {
+      return less(b.record, a.record);
+    }
+  };
+
+  // Merges `inputs` (each individually sorted) into one sorted run file.
+  Status MergeRuns(const std::vector<std::string>& inputs,
+                   const std::string& out_path) {
+    std::vector<std::unique_ptr<RecordReader<Record>>> readers(
+        inputs.size());
+    std::priority_queue<HeapItem, std::vector<HeapItem>, HeapGreater> heap;
+    for (size_t i = 0; i < inputs.size(); ++i) {
+      readers[i] = std::make_unique<RecordReader<Record>>();
+      ST_RETURN_IF_ERROR(
+          readers[i]->Open(inputs[i], stats_, options_.page_size, 1,
+                          options_.fail_after_physical_ops));
+      Record r;
+      if (readers[i]->Next(&r)) {
+        heap.push(HeapItem{r, i});
+      } else {
+        ST_RETURN_IF_ERROR(readers[i]->status());
+      }
+    }
+    RecordWriter<Record> writer;
+    ST_RETURN_IF_ERROR(writer.Open(out_path, stats_, options_.page_size));
+    while (!heap.empty()) {
+      HeapItem top = heap.top();
+      heap.pop();
+      ST_RETURN_IF_ERROR(writer.Append(top.record));
+      Record next;
+      if (readers[top.run]->Next(&next)) {
+        heap.push(HeapItem{next, top.run});
+      } else {
+        ST_RETURN_IF_ERROR(readers[top.run]->status());
+      }
+    }
+    ST_RETURN_IF_ERROR(writer.Finish());
+    // Free the consumed run files promptly.
+    for (const std::string& path : inputs) {
+      std::remove(path.c_str());
+    }
+    return Status::OK();
+  }
+
+  Status SpillRun() {
+    std::sort(buffer_.begin(), buffer_.end(), less_);
+    const std::string path =
+        scratch_.FilePath("run." + std::to_string(runs_.size()));
+    RecordWriter<Record> writer;
+    ST_RETURN_IF_ERROR(writer.Open(path, stats_, options_.page_size, 1,
+                                   options_.fail_after_physical_ops));
+    for (const Record& r : buffer_) ST_RETURN_IF_ERROR(writer.Append(r));
+    ST_RETURN_IF_ERROR(writer.Finish());
+    runs_.push_back(path);
+    ++spilled_runs_;
+    buffer_.clear();
+    return Status::OK();
+  }
+
+  ExternalSorterOptions options_;
+  IoStats* stats_;
+  Less less_;
+  TempDir scratch_{"st_sort"};
+  std::vector<Record> buffer_;
+  size_t max_buffered_;
+  std::vector<std::string> runs_;
+  size_t spilled_runs_ = 0;
+  size_t merge_counter_ = 0;
+  std::vector<std::unique_ptr<RecordReader<Record>>> readers_;
+  std::priority_queue<HeapItem, std::vector<HeapItem>, HeapGreater> heap_;
+  bool in_memory_ = true;
+  size_t mem_pos_ = 0;
+  Status status_;
+};
+
+}  // namespace stabletext
+
+#endif  // STABLETEXT_STORAGE_EXTERNAL_SORTER_H_

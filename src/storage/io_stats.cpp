@@ -1,0 +1,27 @@
+#include "storage/io_stats.h"
+
+#include "util/strings.h"
+
+namespace stabletext {
+
+IoStats& IoStats::operator+=(const IoStats& other) {
+  page_reads += other.page_reads;
+  page_writes += other.page_writes;
+  logical_reads += other.logical_reads;
+  random_seeks += other.random_seeks;
+  bytes_read += other.bytes_read;
+  bytes_written += other.bytes_written;
+  return *this;
+}
+
+std::string IoStats::ToString() const {
+  return StringPrintf(
+      "reads=%llu writes=%llu cached=%llu seeks=%llu read=%s written=%s",
+      static_cast<unsigned long long>(page_reads),
+      static_cast<unsigned long long>(page_writes),
+      static_cast<unsigned long long>(logical_reads),
+      static_cast<unsigned long long>(random_seeks),
+      HumanBytes(bytes_read).c_str(), HumanBytes(bytes_written).c_str());
+}
+
+}  // namespace stabletext

@@ -1,0 +1,19 @@
+// RecordWriter/RecordReader are header-only templates (record_file.h).
+// This translation unit exists to anchor the component in the build and to
+// hold explicit instantiations for the record types used across module
+// boundaries, which keeps those symbols out of every including TU.
+
+#include "storage/record_file.h"
+
+namespace stabletext {
+
+// Pair records emitted by the co-occurrence pipeline (see cooccur/).
+struct PairRecordAnchor {
+  uint32_t u;
+  uint32_t v;
+};
+
+template class RecordWriter<PairRecordAnchor>;
+template class RecordReader<PairRecordAnchor>;
+
+}  // namespace stabletext

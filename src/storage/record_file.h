@@ -1,0 +1,147 @@
+// Sequential files of fixed-size trivially-copyable records, layered on
+// PagedFile. Used for the keyword-pair file of Section 3 and for sort runs.
+
+#ifndef STABLETEXT_STORAGE_RECORD_FILE_H_
+#define STABLETEXT_STORAGE_RECORD_FILE_H_
+
+#include <cstring>
+#include <string>
+#include <type_traits>
+#include <vector>
+
+#include "storage/paged_file.h"
+#include "util/status.h"
+
+namespace stabletext {
+
+/// \brief Appends fixed-size records sequentially to a paged file.
+///
+/// Records never straddle pages; any per-page slack is wasted (records are
+/// small relative to pages everywhere in this library). The record count is
+/// stored in a sidecar header page (page 0).
+template <typename Record>
+class RecordWriter {
+  static_assert(std::is_trivially_copyable_v<Record>,
+                "RecordWriter requires trivially copyable records");
+
+ public:
+  /// Opens `path` for writing, truncating it. `stats` may be null.
+  /// `fail_after_physical_ops` injects I/O faults (tests).
+  Status Open(const std::string& path, IoStats* stats,
+              size_t page_size = 4096, size_t cache_pages = 1,
+              uint64_t fail_after_physical_ops = 0) {
+    if (page_size < sizeof(Record) + sizeof(uint64_t)) {
+      return Status::InvalidArgument("page too small for record");
+    }
+    PagedFileOptions opt;
+    opt.page_size = page_size;
+    opt.cache_pages = cache_pages;
+    opt.truncate = true;
+    opt.fail_after_physical_ops = fail_after_physical_ops;
+    ST_RETURN_IF_ERROR(file_.Open(path, opt, stats));
+    per_page_ = page_size / sizeof(Record);
+    buffer_.assign(page_size, 0);
+    in_page_ = 0;
+    count_ = 0;
+    // Reserve page 0 for the header.
+    ST_RETURN_IF_ERROR(file_.WritePage(0, buffer_.data()));
+    next_page_ = 1;
+    return Status::OK();
+  }
+
+  /// Appends one record.
+  Status Append(const Record& r) {
+    std::memcpy(buffer_.data() + in_page_ * sizeof(Record), &r,
+                sizeof(Record));
+    ++in_page_;
+    ++count_;
+    if (in_page_ == per_page_) return FlushPage();
+    return Status::OK();
+  }
+
+  /// Finalizes the header and closes the file.
+  Status Finish() {
+    if (in_page_ > 0) ST_RETURN_IF_ERROR(FlushPage());
+    std::vector<uint8_t> header(file_.page_size(), 0);
+    std::memcpy(header.data(), &count_, sizeof(count_));
+    ST_RETURN_IF_ERROR(file_.WritePage(0, header.data()));
+    return file_.Close();
+  }
+
+  uint64_t count() const { return count_; }
+
+ private:
+  Status FlushPage() {
+    ST_RETURN_IF_ERROR(file_.WritePage(next_page_, buffer_.data()));
+    ++next_page_;
+    in_page_ = 0;
+    std::fill(buffer_.begin(), buffer_.end(), 0);
+    return Status::OK();
+  }
+
+  PagedFile file_;
+  std::vector<uint8_t> buffer_;
+  size_t per_page_ = 0;
+  size_t in_page_ = 0;
+  uint64_t next_page_ = 1;
+  uint64_t count_ = 0;
+};
+
+/// \brief Sequentially reads a file produced by RecordWriter.
+template <typename Record>
+class RecordReader {
+  static_assert(std::is_trivially_copyable_v<Record>,
+                "RecordReader requires trivially copyable records");
+
+ public:
+  /// Opens `path` for reading. `stats` may be null.
+  Status Open(const std::string& path, IoStats* stats,
+              size_t page_size = 4096, size_t cache_pages = 1,
+              uint64_t fail_after_physical_ops = 0) {
+    PagedFileOptions opt;
+    opt.page_size = page_size;
+    opt.cache_pages = cache_pages;
+    opt.fail_after_physical_ops = fail_after_physical_ops;
+    ST_RETURN_IF_ERROR(file_.Open(path, opt, stats));
+    per_page_ = page_size / sizeof(Record);
+    std::vector<uint8_t> header;
+    ST_RETURN_IF_ERROR(file_.ReadPage(0, &header));
+    std::memcpy(&count_, header.data(), sizeof(count_));
+    position_ = 0;
+    page_no_ = 0;
+    return Status::OK();
+  }
+
+  /// Reads the next record into *out. Returns false at end of file.
+  /// I/O failures surface through status().
+  bool Next(Record* out) {
+    if (position_ >= count_) return false;
+    const uint64_t page = 1 + position_ / per_page_;
+    if (page != page_no_) {
+      status_ = file_.ReadPage(page, &page_buf_);
+      if (!status_.ok()) return false;
+      page_no_ = page;
+    }
+    const size_t slot = position_ % per_page_;
+    std::memcpy(out, page_buf_.data() + slot * sizeof(Record),
+                sizeof(Record));
+    ++position_;
+    return true;
+  }
+
+  uint64_t count() const { return count_; }
+  const Status& status() const { return status_; }
+
+ private:
+  PagedFile file_;
+  std::vector<uint8_t> page_buf_;
+  Status status_;
+  size_t per_page_ = 0;
+  uint64_t count_ = 0;
+  uint64_t position_ = 0;
+  uint64_t page_no_ = 0;
+};
+
+}  // namespace stabletext
+
+#endif  // STABLETEXT_STORAGE_RECORD_FILE_H_

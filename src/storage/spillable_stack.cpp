@@ -1,0 +1,17 @@
+// SpillableStack is a header-only template (spillable_stack.h). Anchor the
+// component and instantiate it for the edge record used by Algorithm 1.
+
+#include "storage/spillable_stack.h"
+
+namespace stabletext {
+
+namespace {
+struct EdgeEntry {
+  uint32_t u;
+  uint32_t v;
+};
+}  // namespace
+
+template class SpillableStack<EdgeEntry>;
+
+}  // namespace stabletext

@@ -1,0 +1,39 @@
+#include "storage/temp_dir.h"
+
+#include <unistd.h>
+
+#include <atomic>
+#include <filesystem>
+
+namespace stabletext {
+
+namespace fs = std::filesystem;
+
+namespace {
+std::atomic<uint64_t> g_counter{0};
+}
+
+TempDir::TempDir(const std::string& tag) {
+  const uint64_t id = g_counter.fetch_add(1);
+  fs::path base = fs::temp_directory_path();
+  fs::path dir;
+  // getpid() keeps parallel ctest processes from colliding.
+  for (uint64_t attempt = 0;; ++attempt) {
+    dir = base / (tag + "." + std::to_string(::getpid()) + "." +
+                  std::to_string(id) + "." + std::to_string(attempt));
+    std::error_code ec;
+    if (fs::create_directory(dir, ec)) break;
+  }
+  path_ = dir.string();
+}
+
+TempDir::~TempDir() {
+  std::error_code ec;
+  fs::remove_all(path_, ec);  // Best effort; ignore errors at teardown.
+}
+
+std::string TempDir::FilePath(const std::string& name) const {
+  return (fs::path(path_) / name).string();
+}
+
+}  // namespace stabletext

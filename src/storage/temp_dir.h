@@ -1,0 +1,33 @@
+// RAII scratch directory for spill files, sort runs and test fixtures.
+
+#ifndef STABLETEXT_STORAGE_TEMP_DIR_H_
+#define STABLETEXT_STORAGE_TEMP_DIR_H_
+
+#include <string>
+
+namespace stabletext {
+
+/// \brief Creates a unique directory under the system temp path and removes
+/// it (recursively) on destruction.
+class TempDir {
+ public:
+  /// \param tag human-readable component embedded in the directory name.
+  explicit TempDir(const std::string& tag = "stabletext");
+  ~TempDir();
+
+  TempDir(const TempDir&) = delete;
+  TempDir& operator=(const TempDir&) = delete;
+
+  /// Absolute path of the directory (no trailing separator).
+  const std::string& path() const { return path_; }
+
+  /// Returns path()/name.
+  std::string FilePath(const std::string& name) const;
+
+ private:
+  std::string path_;
+};
+
+}  // namespace stabletext
+
+#endif  // STABLETEXT_STORAGE_TEMP_DIR_H_

@@ -1,0 +1,82 @@
+#include "text/corpus.h"
+
+#include <charconv>
+#include <filesystem>
+
+#include "util/strings.h"
+
+namespace stabletext {
+
+Status CorpusWriter::Open(const std::string& path) {
+  path_ = path;
+  out_.open(path, std::ios::out | std::ios::trunc);
+  if (!out_) return Status::IOError("cannot open " + path);
+  count_ = 0;
+  return Status::OK();
+}
+
+Status CorpusWriter::Append(uint32_t interval, std::string_view text) {
+  if (!out_.is_open()) return Status::InvalidArgument("writer not open");
+  std::string clean(text);
+  for (char& c : clean) {
+    if (c == '\n' || c == '\t' || c == '\r') c = ' ';
+  }
+  out_ << interval << '\t' << clean << '\n';
+  if (!out_) return Status::IOError("write failed on " + path_);
+  ++count_;
+  return Status::OK();
+}
+
+Status CorpusWriter::Finish() {
+  if (!out_.is_open()) return Status::OK();
+  out_.flush();
+  if (!out_) return Status::IOError("flush failed on " + path_);
+  out_.close();
+  return Status::OK();
+}
+
+Status CorpusReader::Open(const std::string& path) {
+  path_ = path;
+  in_.open(path);
+  if (!in_) return Status::IOError("cannot open " + path);
+  return Status::OK();
+}
+
+bool CorpusReader::Next(uint32_t* interval, std::string* text) {
+  std::string line;
+  while (std::getline(in_, line)) {
+    if (line.empty()) continue;
+    const size_t tab = line.find('\t');
+    if (tab == std::string::npos) {
+      status_ = Status::Corruption("missing tab in corpus line: " + path_);
+      return false;
+    }
+    uint32_t iv = 0;
+    auto [ptr, ec] =
+        std::from_chars(line.data(), line.data() + tab, iv);
+    if (ec != std::errc() || ptr != line.data() + tab) {
+      status_ = Status::Corruption("bad interval in corpus line: " + path_);
+      return false;
+    }
+    *interval = iv;
+    text->assign(line, tab + 1, std::string::npos);
+    return true;
+  }
+  return false;
+}
+
+Status CorpusReader::ForEach(
+    const std::function<void(uint32_t, const std::string&)>& fn) {
+  uint32_t interval;
+  std::string text;
+  while (Next(&interval, &text)) fn(interval, text);
+  return status_;
+}
+
+uint64_t FileSizeBytes(const std::string& path) {
+  std::error_code ec;
+  const auto size = std::filesystem::file_size(path, ec);
+  return ec ? 0 : size;
+}
+
+}  // namespace stabletext

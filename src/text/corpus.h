@@ -1,0 +1,71 @@
+// Corpus: on-disk collection of raw posts, one per line, grouped by
+// temporal interval. This is the substitute for the BlogScope crawler feed:
+// the pipeline streams posts interval by interval exactly as BlogScope
+// "fetches all newly created blog posts at regular time intervals".
+
+#ifndef STABLETEXT_TEXT_CORPUS_H_
+#define STABLETEXT_TEXT_CORPUS_H_
+
+#include <cstdint>
+#include <fstream>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "text/document.h"
+#include "util/status.h"
+
+namespace stabletext {
+
+/// \brief Writes posts to a corpus file.
+///
+/// Format: one post per line, "<interval>\t<raw text>". Lines are the unit
+/// of streaming; order within the file is arbitrary.
+class CorpusWriter {
+ public:
+  /// Opens `path` for writing (truncates).
+  Status Open(const std::string& path);
+
+  /// Appends one raw post. Newlines and tabs in `text` are replaced by
+  /// spaces to keep the format line-oriented.
+  Status Append(uint32_t interval, std::string_view text);
+
+  /// Flushes and closes.
+  Status Finish();
+
+  uint64_t count() const { return count_; }
+
+ private:
+  std::ofstream out_;
+  std::string path_;
+  uint64_t count_ = 0;
+};
+
+/// \brief Streams a corpus file.
+class CorpusReader {
+ public:
+  /// Opens `path` for reading.
+  Status Open(const std::string& path);
+
+  /// Reads the next raw post. Returns false at end of file.
+  bool Next(uint32_t* interval, std::string* text);
+
+  /// Streams every post through `fn`. Stops early and returns the error if
+  /// the file is malformed.
+  Status ForEach(
+      const std::function<void(uint32_t, const std::string&)>& fn);
+
+  const Status& status() const { return status_; }
+
+ private:
+  std::ifstream in_;
+  std::string path_;
+  Status status_;
+};
+
+/// Returns the size in bytes of the file at `path`, or 0 on error.
+uint64_t FileSizeBytes(const std::string& path);
+
+}  // namespace stabletext
+
+#endif  // STABLETEXT_TEXT_CORPUS_H_

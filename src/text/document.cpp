@@ -1,0 +1,30 @@
+#include "text/document.h"
+
+#include <algorithm>
+
+namespace stabletext {
+
+DocumentProcessor::DocumentProcessor(TokenizerOptions tokenizer_options,
+                                     StopWords stopwords)
+    : tokenizer_(tokenizer_options), stopwords_(std::move(stopwords)) {}
+
+Document DocumentProcessor::Process(uint32_t interval,
+                                    std::string_view text) const {
+  Document doc;
+  doc.interval = interval;
+  std::vector<std::string> tokens = tokenizer_.Tokenize(text);
+  doc.keywords.reserve(tokens.size());
+  for (const std::string& tok : tokens) {
+    if (stopwords_.Contains(tok)) continue;
+    std::string stem = PorterStemmer::Stem(tok);
+    if (stem.size() < 2) continue;
+    doc.keywords.push_back(std::move(stem));
+  }
+  std::sort(doc.keywords.begin(), doc.keywords.end());
+  doc.keywords.erase(
+      std::unique(doc.keywords.begin(), doc.keywords.end()),
+      doc.keywords.end());
+  return doc;
+}
+
+}  // namespace stabletext

@@ -1,0 +1,44 @@
+// Document model: a blog post is a bag of (preprocessed) keywords stamped
+// with the temporal interval it was created in.
+
+#ifndef STABLETEXT_TEXT_DOCUMENT_H_
+#define STABLETEXT_TEXT_DOCUMENT_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "text/porter_stemmer.h"
+#include "text/stopwords.h"
+#include "text/tokenizer.h"
+
+namespace stabletext {
+
+/// \brief A single post, preprocessed to a *set* of distinct keywords.
+///
+/// The paper's co-occurrence count A(u,v) is the number of documents
+/// containing both u and v, so within one document each keyword counts
+/// once; Document therefore stores distinct keywords, sorted.
+struct Document {
+  uint32_t interval = 0;           ///< Temporal interval index (e.g. day).
+  std::vector<std::string> keywords;  ///< Distinct, sorted, stemmed.
+};
+
+/// \brief Turns raw post text into a Document: tokenize, drop stop words,
+/// stem, deduplicate.
+class DocumentProcessor {
+ public:
+  DocumentProcessor(TokenizerOptions tokenizer_options = {},
+                    StopWords stopwords = StopWords());
+
+  /// Preprocesses `text` posted in `interval`.
+  Document Process(uint32_t interval, std::string_view text) const;
+
+ private:
+  Tokenizer tokenizer_;
+  StopWords stopwords_;
+};
+
+}  // namespace stabletext
+
+#endif  // STABLETEXT_TEXT_DOCUMENT_H_

@@ -1,0 +1,285 @@
+// Direct implementation of the five-step Porter algorithm. Conventions
+// follow the 1980 paper: a word is a sequence [C](VC)^m[V]; rules are
+// applied longest-suffix-first within a step.
+
+#include "text/porter_stemmer.h"
+
+namespace stabletext {
+
+namespace {
+
+/// Working buffer with the measure/vowel predicates from the paper.
+class StemBuffer {
+ public:
+  explicit StemBuffer(std::string_view w) : b_(w) {}
+
+  const std::string& str() const { return b_; }
+
+  bool IsConsonant(size_t i) const {
+    char c = b_[i];
+    switch (c) {
+      case 'a':
+      case 'e':
+      case 'i':
+      case 'o':
+      case 'u':
+        return false;
+      case 'y':
+        return i == 0 ? true : !IsConsonant(i - 1);
+      default:
+        return true;
+    }
+  }
+
+  /// m() of the prefix b_[0..k] (inclusive): number of VC sequences.
+  size_t Measure(size_t k) const {
+    size_t n = 0;
+    size_t i = 0;
+    // Skip initial consonants.
+    while (true) {
+      if (i > k) return n;
+      if (!IsConsonant(i)) break;
+      ++i;
+    }
+    ++i;
+    while (true) {
+      // Skip vowels.
+      while (true) {
+        if (i > k) return n;
+        if (IsConsonant(i)) break;
+        ++i;
+      }
+      ++i;
+      ++n;
+      // Skip consonants.
+      while (true) {
+        if (i > k) return n;
+        if (!IsConsonant(i)) break;
+        ++i;
+      }
+      ++i;
+    }
+  }
+
+  /// m() of the stem that would remain after removing `suffix_len` chars.
+  size_t MeasureAfterRemoving(size_t suffix_len) const {
+    if (b_.size() <= suffix_len) return 0;
+    return Measure(b_.size() - suffix_len - 1);
+  }
+
+  bool EndsWith(std::string_view suffix) const {
+    return b_.size() >= suffix.size() &&
+           std::string_view(b_).substr(b_.size() - suffix.size()) == suffix;
+  }
+
+  /// True if the stem before the suffix contains a vowel.
+  bool VowelInStem(size_t suffix_len) const {
+    if (b_.size() <= suffix_len) return false;
+    for (size_t i = 0; i + suffix_len < b_.size(); ++i) {
+      if (!IsConsonant(i)) return true;
+    }
+    return false;
+  }
+
+  /// True if the word ends with a double consonant.
+  bool DoubleConsonantEnd() const {
+    size_t n = b_.size();
+    if (n < 2) return false;
+    return b_[n - 1] == b_[n - 2] && IsConsonant(n - 1);
+  }
+
+  /// *o condition of the paper: stem ends cvc where the final c is not
+  /// w, x or y. `suffix_len` chars are imagined removed first.
+  bool CvcEnd(size_t suffix_len) const {
+    if (b_.size() < suffix_len + 3) return false;
+    size_t i = b_.size() - suffix_len - 1;
+    if (!IsConsonant(i) || IsConsonant(i - 1) || !IsConsonant(i - 2)) {
+      return false;
+    }
+    char c = b_[i];
+    return c != 'w' && c != 'x' && c != 'y';
+  }
+
+  void ReplaceSuffix(size_t suffix_len, std::string_view replacement) {
+    b_.resize(b_.size() - suffix_len);
+    b_.append(replacement);
+  }
+
+  void Truncate(size_t n) { b_.resize(b_.size() - n); }
+
+  char Last() const { return b_.empty() ? '\0' : b_.back(); }
+  size_t size() const { return b_.size(); }
+
+ private:
+  std::string b_;
+};
+
+struct Rule {
+  std::string_view suffix;
+  std::string_view replacement;
+  size_t min_measure;  // Applies when m(stem) > min_measure ... see use.
+};
+
+/// Applies the first matching rule whose stem measure exceeds
+/// rule.min_measure. Returns true if any suffix matched (whether or not the
+/// measure condition passed), which ends the step per the paper.
+bool ApplyRules(StemBuffer* s, const Rule* rules, size_t n) {
+  for (size_t i = 0; i < n; ++i) {
+    const Rule& r = rules[i];
+    if (s->EndsWith(r.suffix)) {
+      if (s->MeasureAfterRemoving(r.suffix.size()) > r.min_measure) {
+        s->ReplaceSuffix(r.suffix.size(), r.replacement);
+      }
+      return true;
+    }
+  }
+  return false;
+}
+
+void Step1a(StemBuffer* s) {
+  if (s->EndsWith("sses")) {
+    s->ReplaceSuffix(4, "ss");
+  } else if (s->EndsWith("ies")) {
+    s->ReplaceSuffix(3, "i");
+  } else if (s->EndsWith("ss")) {
+    // Unchanged.
+  } else if (s->EndsWith("s")) {
+    s->Truncate(1);
+  }
+}
+
+void Step1bCleanup(StemBuffer* s) {
+  // After removing "ed"/"ing": at/bl/iz -> add e; double consonant (not
+  // l/s/z) -> single letter; m=1 and *o -> add e.
+  if (s->EndsWith("at") || s->EndsWith("bl") || s->EndsWith("iz")) {
+    s->ReplaceSuffix(0, "e");
+  } else if (s->DoubleConsonantEnd() && s->Last() != 'l' &&
+             s->Last() != 's' && s->Last() != 'z') {
+    s->Truncate(1);
+  } else if (s->Measure(s->size() - 1) == 1 && s->CvcEnd(0)) {
+    s->ReplaceSuffix(0, "e");
+  }
+}
+
+void Step1b(StemBuffer* s) {
+  if (s->EndsWith("eed")) {
+    if (s->MeasureAfterRemoving(3) > 0) s->Truncate(1);
+    return;
+  }
+  if (s->EndsWith("ed")) {
+    if (s->VowelInStem(2)) {
+      s->Truncate(2);
+      Step1bCleanup(s);
+    }
+    return;
+  }
+  if (s->EndsWith("ing")) {
+    if (s->VowelInStem(3)) {
+      s->Truncate(3);
+      Step1bCleanup(s);
+    }
+    return;
+  }
+}
+
+void Step1c(StemBuffer* s) {
+  if (s->EndsWith("y") && s->VowelInStem(1)) {
+    s->ReplaceSuffix(1, "i");
+  }
+}
+
+void Step2(StemBuffer* s) {
+  static constexpr Rule kRules[] = {
+      {"ational", "ate", 0}, {"tional", "tion", 0}, {"enci", "ence", 0},
+      {"anci", "ance", 0},   {"izer", "ize", 0},    {"abli", "able", 0},
+      {"alli", "al", 0},     {"entli", "ent", 0},   {"eli", "e", 0},
+      {"ousli", "ous", 0},   {"ization", "ize", 0}, {"ation", "ate", 0},
+      {"ator", "ate", 0},    {"alism", "al", 0},    {"iveness", "ive", 0},
+      {"fulness", "ful", 0}, {"ousness", "ous", 0}, {"aliti", "al", 0},
+      {"iviti", "ive", 0},   {"biliti", "ble", 0},
+  };
+  // Longest-match: the table above is checked in order; since suffixes can
+  // shadow each other (e.g. "ization" vs "ation"), scan for the longest
+  // matching suffix explicitly.
+  const Rule* best = nullptr;
+  for (const Rule& r : kRules) {
+    if (s->EndsWith(r.suffix) &&
+        (best == nullptr || r.suffix.size() > best->suffix.size())) {
+      best = &r;
+    }
+  }
+  if (best != nullptr && s->MeasureAfterRemoving(best->suffix.size()) > 0) {
+    s->ReplaceSuffix(best->suffix.size(), best->replacement);
+  }
+}
+
+void Step3(StemBuffer* s) {
+  static constexpr Rule kRules[] = {
+      {"icate", "ic", 0}, {"ative", "", 0}, {"alize", "al", 0},
+      {"iciti", "ic", 0}, {"ical", "ic", 0}, {"ful", "", 0},
+      {"ness", "", 0},
+  };
+  ApplyRules(s, kRules, sizeof(kRules) / sizeof(kRules[0]));
+}
+
+void Step4(StemBuffer* s) {
+  static constexpr std::string_view kSuffixes[] = {
+      "al",    "ance", "ence", "er",  "ic",  "able", "ible", "ant",
+      "ement", "ment", "ent",  "ou",  "ism", "ate",  "iti",  "ous",
+      "ive",   "ize",
+  };
+  const std::string_view* best = nullptr;
+  for (const auto& suf : kSuffixes) {
+    if (s->EndsWith(suf) && (best == nullptr || suf.size() > best->size())) {
+      best = &suf;
+    }
+  }
+  // "ion" only when preceded by s or t.
+  bool ion = false;
+  if ((best == nullptr || best->size() < 3) && s->EndsWith("ion") &&
+      s->size() >= 4) {
+    char prev = s->str()[s->size() - 4];
+    if (prev == 's' || prev == 't') {
+      ion = true;
+    }
+  }
+  if (ion) {
+    if (s->MeasureAfterRemoving(3) > 1) s->Truncate(3);
+    return;
+  }
+  if (best != nullptr && s->MeasureAfterRemoving(best->size()) > 1) {
+    s->Truncate(best->size());
+  }
+}
+
+void Step5a(StemBuffer* s) {
+  if (s->EndsWith("e")) {
+    size_t m = s->MeasureAfterRemoving(1);
+    if (m > 1 || (m == 1 && !s->CvcEnd(1))) s->Truncate(1);
+  }
+}
+
+void Step5b(StemBuffer* s) {
+  if (s->Measure(s->size() - 1) > 1 && s->DoubleConsonantEnd() &&
+      s->Last() == 'l') {
+    s->Truncate(1);
+  }
+}
+
+}  // namespace
+
+std::string PorterStemmer::Stem(std::string_view word) {
+  if (word.size() <= 2) return std::string(word);
+  StemBuffer s(word);
+  Step1a(&s);
+  Step1b(&s);
+  Step1c(&s);
+  Step2(&s);
+  Step3(&s);
+  Step4(&s);
+  Step5a(&s);
+  Step5b(&s);
+  return s.str();
+}
+
+}  // namespace stabletext

@@ -1,0 +1,27 @@
+// Porter stemming algorithm (M.F. Porter, 1980), implemented from the
+// original paper's rule tables. The blog-cluster pipeline stems every
+// keyword ("after stemming and removal of stop words", Section 3), and the
+// paper's figures show stemmed keywords ("beckham", "galaxi", "madrid").
+
+#ifndef STABLETEXT_TEXT_PORTER_STEMMER_H_
+#define STABLETEXT_TEXT_PORTER_STEMMER_H_
+
+#include <string>
+#include <string_view>
+
+namespace stabletext {
+
+/// \brief Stateless Porter stemmer for lowercase ASCII words.
+///
+/// Words of length <= 2 are returned unchanged, as in the reference
+/// implementation. Input is assumed already lowercased (the Tokenizer
+/// guarantees this).
+class PorterStemmer {
+ public:
+  /// Returns the stem of `word`.
+  static std::string Stem(std::string_view word);
+};
+
+}  // namespace stabletext
+
+#endif  // STABLETEXT_TEXT_PORTER_STEMMER_H_

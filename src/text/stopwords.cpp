@@ -1,0 +1,58 @@
+#include "text/stopwords.h"
+
+namespace stabletext {
+
+namespace {
+// A compact English stop-word list (function words + web-text noise).
+const char* const kDefaultStopWords[] = {
+    "a",       "about",   "above",  "after",   "again",   "against",
+    "all",     "also",    "am",     "an",      "and",     "any",
+    "are",     "arent",   "as",     "at",      "be",      "because",
+    "been",    "before",  "being",  "below",   "between", "both",
+    "but",     "by",      "can",    "cant",    "cannot",  "could",
+    "couldnt", "did",     "didnt",  "do",      "does",    "doesnt",
+    "doing",   "dont",    "down",   "during",  "each",    "few",
+    "for",     "from",    "further","get",     "got",     "had",
+    "hadnt",   "has",     "hasnt",  "have",    "havent",  "having",
+    "he",      "hed",     "hell",   "hes",     "her",     "here",
+    "heres",   "hers",    "herself","him",     "himself", "his",
+    "how",     "hows",    "i",      "id",      "ill",     "im",
+    "ive",     "if",      "in",     "into",    "is",      "isnt",
+    "it",      "its",     "itself", "just",    "lets",    "like",
+    "me",      "more",    "most",   "mustnt",  "my",      "myself",
+    "no",      "nor",     "not",    "now",     "of",      "off",
+    "on",      "once",    "one",    "only",    "or",      "other",
+    "ought",   "our",     "ours",   "ourselves", "out",   "over",
+    "own",     "really",  "same",   "shant",   "she",     "shed",
+    "shell",   "shes",    "should", "shouldnt","so",      "some",
+    "such",    "than",    "that",   "thats",   "the",     "their",
+    "theirs",  "them",    "themselves", "then","there",   "theres",
+    "these",   "they",    "theyd",  "theyll",  "theyre",  "theyve",
+    "this",    "those",   "through","to",      "too",     "under",
+    "until",   "up",      "us",     "very",    "was",     "wasnt",
+    "we",      "wed",     "well",   "were",    "weve",    "werent",
+    "what",    "whats",   "when",   "whens",   "where",   "wheres",
+    "which",   "while",   "who",    "whos",    "whom",    "why",
+    "whys",    "will",    "with",   "wont",    "would",   "wouldnt",
+    "you",     "youd",    "youll",  "youre",   "youve",   "your",
+    "yours",   "yourself","yourselves",
+};
+}  // namespace
+
+StopWords::StopWords() {
+  for (const char* w : kDefaultStopWords) words_.insert(w);
+}
+
+StopWords::StopWords(const std::vector<std::string>& words) {
+  for (const auto& w : words) words_.insert(w);
+}
+
+bool StopWords::Contains(std::string_view word) const {
+  return words_.count(std::string(word)) > 0;
+}
+
+void StopWords::Add(std::string_view word) {
+  words_.insert(std::string(word));
+}
+
+}  // namespace stabletext

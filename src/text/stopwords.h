@@ -1,0 +1,37 @@
+// English stop-word filtering (Section 3: keyword pairs are emitted "after
+// stemming and removal of stop words").
+
+#ifndef STABLETEXT_TEXT_STOPWORDS_H_
+#define STABLETEXT_TEXT_STOPWORDS_H_
+
+#include <string>
+#include <string_view>
+#include <unordered_set>
+#include <vector>
+
+namespace stabletext {
+
+/// \brief Set of stop words with an embedded default English list.
+class StopWords {
+ public:
+  /// Constructs with the built-in English list (SMART-style, ~170 words).
+  StopWords();
+
+  /// Constructs from an explicit list (tests, other languages).
+  explicit StopWords(const std::vector<std::string>& words);
+
+  /// True if `word` (already lowercased) is a stop word.
+  bool Contains(std::string_view word) const;
+
+  /// Adds a word to the set.
+  void Add(std::string_view word);
+
+  size_t size() const { return words_.size(); }
+
+ private:
+  std::unordered_set<std::string> words_;
+};
+
+}  // namespace stabletext
+
+#endif  // STABLETEXT_TEXT_STOPWORDS_H_

@@ -1,0 +1,48 @@
+#include "text/tokenizer.h"
+
+namespace stabletext {
+
+namespace {
+bool IsTokenChar(char c) {
+  return (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+         (c >= '0' && c <= '9') || c == '\'';
+}
+char LowerAscii(char c) {
+  return (c >= 'A' && c <= 'Z') ? static_cast<char>(c - 'A' + 'a') : c;
+}
+}  // namespace
+
+void Tokenizer::Tokenize(std::string_view text,
+                         std::vector<std::string>* out) const {
+  std::string current;
+  bool has_alpha = false;
+  auto flush = [&] {
+    if (!current.empty()) {
+      const bool length_ok = current.size() >= options_.min_token_length &&
+                             current.size() <= options_.max_token_length;
+      const bool digits_ok = has_alpha || options_.keep_digits;
+      if (length_ok && digits_ok) out->push_back(current);
+    }
+    current.clear();
+    has_alpha = false;
+  };
+  for (char raw : text) {
+    if (IsTokenChar(raw)) {
+      if (raw == '\'') continue;  // "don't" -> "dont"
+      char c = LowerAscii(raw);
+      if (c >= 'a' && c <= 'z') has_alpha = true;
+      current.push_back(c);
+    } else {
+      flush();
+    }
+  }
+  flush();
+}
+
+std::vector<std::string> Tokenizer::Tokenize(std::string_view text) const {
+  std::vector<std::string> out;
+  Tokenize(text, &out);
+  return out;
+}
+
+}  // namespace stabletext

@@ -1,0 +1,44 @@
+// Tokenization of blog-post text: lowercasing, alphanumeric token
+// extraction, length filtering. Matches the preprocessing the paper applies
+// before stemming and stop-word removal (Section 3).
+
+#ifndef STABLETEXT_TEXT_TOKENIZER_H_
+#define STABLETEXT_TEXT_TOKENIZER_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace stabletext {
+
+/// Options controlling tokenization.
+struct TokenizerOptions {
+  size_t min_token_length = 2;   ///< Tokens shorter than this are dropped.
+  size_t max_token_length = 40;  ///< Tokens longer than this are dropped.
+  bool keep_digits = true;       ///< Whether pure-digit tokens are kept.
+};
+
+/// \brief Splits raw text into lowercase tokens.
+///
+/// A token is a maximal run of ASCII letters/digits plus embedded
+/// apostrophes (which are removed: "don't" -> "dont"). All other bytes are
+/// separators; non-ASCII bytes are treated as separators, which is the
+/// behaviour of the original BlogScope tokenizer for the English-dominated
+/// 2007 corpus.
+class Tokenizer {
+ public:
+  explicit Tokenizer(TokenizerOptions options = {}) : options_(options) {}
+
+  /// Tokenizes `text` and appends tokens to *out.
+  void Tokenize(std::string_view text, std::vector<std::string>* out) const;
+
+  /// Convenience overload returning a fresh vector.
+  std::vector<std::string> Tokenize(std::string_view text) const;
+
+ private:
+  TokenizerOptions options_;
+};
+
+}  // namespace stabletext
+
+#endif  // STABLETEXT_TEXT_TOKENIZER_H_

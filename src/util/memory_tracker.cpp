@@ -1,0 +1,29 @@
+#include "util/memory_tracker.h"
+
+#include <cassert>
+
+namespace stabletext {
+
+Status MemoryTracker::Charge(size_t bytes) {
+  if (budget_ != kUnlimited && live_ + bytes > budget_) {
+    return Status::OutOfMemoryBudget(
+        "memory budget exceeded: live=" + std::to_string(live_) +
+        " request=" + std::to_string(bytes) +
+        " budget=" + std::to_string(budget_));
+  }
+  live_ += bytes;
+  if (live_ > peak_) peak_ = live_;
+  return Status::OK();
+}
+
+void MemoryTracker::ForceCharge(size_t bytes) {
+  live_ += bytes;
+  if (live_ > peak_) peak_ = live_;
+}
+
+void MemoryTracker::Release(size_t bytes) {
+  assert(bytes <= live_ && "releasing more memory than is live");
+  live_ = bytes <= live_ ? live_ - bytes : 0;
+}
+
+}  // namespace stabletext

@@ -1,0 +1,65 @@
+// Explicit memory accounting for data structures whose footprint the paper
+// compares (Section 5.2: "DFS required less than 2MB RAM as compared to 35MB
+// for BFS"). Algorithms charge/release bytes against a tracker; the tracker
+// records the high-water mark and can enforce a budget, which is how the
+// block-nested-loop fallback of the BFS finder is triggered.
+
+#ifndef STABLETEXT_UTIL_MEMORY_TRACKER_H_
+#define STABLETEXT_UTIL_MEMORY_TRACKER_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <limits>
+
+#include "util/status.h"
+
+namespace stabletext {
+
+/// \brief Byte-level accounting with a high-water mark and optional budget.
+///
+/// Not thread-safe; each algorithm instance owns (or is lent) one tracker.
+class MemoryTracker {
+ public:
+  static constexpr size_t kUnlimited = std::numeric_limits<size_t>::max();
+
+  /// \param budget_bytes maximum live bytes allowed; kUnlimited disables
+  ///        enforcement (tracking still happens).
+  explicit MemoryTracker(size_t budget_bytes = kUnlimited)
+      : budget_(budget_bytes) {}
+
+  /// Charges bytes. Returns OutOfMemoryBudget (leaving usage unchanged) if
+  /// the budget would be exceeded.
+  Status Charge(size_t bytes);
+
+  /// Charges bytes unconditionally (used where the caller has already
+  /// decided to spill and only wants the peak recorded).
+  void ForceCharge(size_t bytes);
+
+  /// Releases previously charged bytes. Releasing more than is live clamps
+  /// to zero (and is a bug in the caller, asserted in debug builds).
+  void Release(size_t bytes);
+
+  /// Returns true if charging `bytes` more would stay within budget.
+  bool WouldFit(size_t bytes) const {
+    return budget_ == kUnlimited || live_ + bytes <= budget_;
+  }
+
+  size_t live_bytes() const { return live_; }
+  size_t peak_bytes() const { return peak_; }
+  size_t budget_bytes() const { return budget_; }
+
+  /// Resets live and peak usage to zero (budget is retained).
+  void Reset() {
+    live_ = 0;
+    peak_ = 0;
+  }
+
+ private:
+  size_t budget_;
+  size_t live_ = 0;
+  size_t peak_ = 0;
+};
+
+}  // namespace stabletext
+
+#endif  // STABLETEXT_UTIL_MEMORY_TRACKER_H_

@@ -1,0 +1,152 @@
+#include "util/random.h"
+
+#include <cassert>
+#include <cmath>
+#include <unordered_set>
+
+namespace stabletext {
+
+namespace {
+
+uint64_t SplitMix64(uint64_t* state) {
+  uint64_t z = (*state += 0x9e3779b97f4a7c15ULL);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+uint64_t Rotl(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+
+}  // namespace
+
+Rng::Rng(uint64_t seed) {
+  uint64_t sm = seed;
+  for (auto& s : state_) s = SplitMix64(&sm);
+}
+
+uint64_t Rng::Next() {
+  const uint64_t result = Rotl(state_[1] * 5, 7) * 9;
+  const uint64_t t = state_[1] << 17;
+  state_[2] ^= state_[0];
+  state_[3] ^= state_[1];
+  state_[1] ^= state_[2];
+  state_[0] ^= state_[3];
+  state_[2] ^= t;
+  state_[3] = Rotl(state_[3], 45);
+  return result;
+}
+
+uint64_t Rng::Uniform(uint64_t bound) {
+  assert(bound > 0);
+  // Rejection sampling: discard values in the biased tail.
+  const uint64_t threshold = -bound % bound;
+  for (;;) {
+    uint64_t r = Next();
+    if (r >= threshold) return r % bound;
+  }
+}
+
+int64_t Rng::UniformInt(int64_t lo, int64_t hi) {
+  assert(lo <= hi);
+  return lo + static_cast<int64_t>(
+                  Uniform(static_cast<uint64_t>(hi - lo) + 1));
+}
+
+double Rng::NextDouble() {
+  // 53 random mantissa bits -> uniform in [0, 1).
+  return static_cast<double>(Next() >> 11) * 0x1.0p-53;
+}
+
+double Rng::NextWeight() {
+  // (0, 1]: flip the half-open interval.
+  return 1.0 - NextDouble();
+}
+
+bool Rng::NextBool(double p) { return NextDouble() < p; }
+
+size_t Rng::WeightedIndex(const std::vector<double>& weights) {
+  double total = 0;
+  for (double w : weights) {
+    assert(w >= 0);
+    total += w;
+  }
+  assert(total > 0);
+  double x = NextDouble() * total;
+  double acc = 0;
+  for (size_t i = 0; i < weights.size(); ++i) {
+    acc += weights[i];
+    if (x < acc) return i;
+  }
+  return weights.size() - 1;  // Floating-point tail.
+}
+
+size_t Rng::Zipf(size_t n, double s) {
+  assert(n > 0);
+  if (n == 1) return 0;
+  // Rejection-inversion (Hörmann) would be ideal; for the corpus sizes used
+  // here a simple inverse-CDF walk over the harmonic distribution with an
+  // early-exit is fast enough and exact.
+  // P(k) ∝ 1 / (k+1)^s.
+  double h = 0;
+  for (size_t k = 1; k <= n; ++k) h += 1.0 / std::pow(double(k), s);
+  double x = NextDouble() * h;
+  double acc = 0;
+  for (size_t k = 1; k <= n; ++k) {
+    acc += 1.0 / std::pow(double(k), s);
+    if (x < acc) return k - 1;
+  }
+  return n - 1;
+}
+
+std::vector<size_t> Rng::SampleWithoutReplacement(size_t n, size_t k) {
+  assert(k <= n);
+  std::vector<size_t> out;
+  out.reserve(k);
+  if (k * 3 >= n) {
+    // Dense case: shuffle a full index vector prefix.
+    std::vector<size_t> idx(n);
+    for (size_t i = 0; i < n; ++i) idx[i] = i;
+    for (size_t i = 0; i < k; ++i) {
+      size_t j = i + Uniform(n - i);
+      std::swap(idx[i], idx[j]);
+      out.push_back(idx[i]);
+    }
+  } else {
+    // Sparse case: rejection with a hash set.
+    std::unordered_set<size_t> seen;
+    while (out.size() < k) {
+      size_t v = Uniform(n);
+      if (seen.insert(v).second) out.push_back(v);
+    }
+  }
+  return out;
+}
+
+ZipfDistribution::ZipfDistribution(size_t n, double s) {
+  assert(n > 0);
+  cdf_.resize(n);
+  double acc = 0;
+  for (size_t k = 0; k < n; ++k) {
+    acc += 1.0 / std::pow(double(k + 1), s);
+    cdf_[k] = acc;
+  }
+  for (size_t k = 0; k < n; ++k) cdf_[k] /= acc;
+  cdf_.back() = 1.0;  // Guard against floating-point shortfall.
+}
+
+size_t ZipfDistribution::Sample(Rng* rng) const {
+  double x = rng->NextDouble();
+  // First index with cdf_[k] > x.
+  size_t lo = 0, hi = cdf_.size() - 1;
+  while (lo < hi) {
+    size_t mid = (lo + hi) / 2;
+    if (cdf_[mid] > x) {
+      hi = mid;
+    } else {
+      lo = mid + 1;
+    }
+  }
+  return lo;
+}
+
+}  // namespace stabletext

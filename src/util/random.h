@@ -1,0 +1,88 @@
+// Deterministic pseudo-random number generation. All synthetic-data paths in
+// the library use this generator so that experiments and tests are exactly
+// reproducible from a seed, independent of the standard library's
+// distribution implementations.
+
+#ifndef STABLETEXT_UTIL_RANDOM_H_
+#define STABLETEXT_UTIL_RANDOM_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace stabletext {
+
+/// \brief xoshiro256** PRNG with splitmix64 seeding.
+///
+/// Fast, high-quality, and fully deterministic across platforms. Not
+/// cryptographically secure (not needed here).
+class Rng {
+ public:
+  /// Seeds the generator; two Rng instances with equal seeds produce
+  /// identical streams.
+  explicit Rng(uint64_t seed = 42);
+
+  /// Next raw 64-bit value.
+  uint64_t Next();
+
+  /// Uniform integer in [0, bound). bound must be > 0. Uses rejection
+  /// sampling to avoid modulo bias.
+  uint64_t Uniform(uint64_t bound);
+
+  /// Uniform integer in [lo, hi] inclusive. Requires lo <= hi.
+  int64_t UniformInt(int64_t lo, int64_t hi);
+
+  /// Uniform double in [0, 1).
+  double NextDouble();
+
+  /// Uniform double in (0, 1] — matches the paper's edge-weight domain,
+  /// where weights of zero are disallowed.
+  double NextWeight();
+
+  /// Bernoulli trial with probability p of returning true.
+  bool NextBool(double p);
+
+  /// Samples an index in [0, weights.size()) proportionally to weights.
+  /// Weights must be non-negative with a positive sum.
+  size_t WeightedIndex(const std::vector<double>& weights);
+
+  /// Zipf-distributed value in [0, n) with exponent s (s >= 0). O(n) per
+  /// draw; use ZipfDistribution for repeated draws from the same (n, s).
+  size_t Zipf(size_t n, double s);
+
+  /// Fisher–Yates shuffle.
+  template <typename T>
+  void Shuffle(std::vector<T>* v) {
+    if (v->empty()) return;
+    for (size_t i = v->size() - 1; i > 0; --i) {
+      size_t j = Uniform(i + 1);
+      std::swap((*v)[i], (*v)[j]);
+    }
+  }
+
+  /// Draws k distinct indices from [0, n). Requires k <= n.
+  std::vector<size_t> SampleWithoutReplacement(size_t n, size_t k);
+
+ private:
+  uint64_t state_[4];
+};
+
+/// \brief Zipf sampler with a precomputed CDF and O(log n) draws.
+///
+/// Rank 0 is the most frequent outcome: P(k) ∝ 1 / (k+1)^s.
+class ZipfDistribution {
+ public:
+  ZipfDistribution(size_t n, double s);
+
+  /// Draws a rank in [0, n).
+  size_t Sample(Rng* rng) const;
+
+  size_t n() const { return cdf_.size(); }
+
+ private:
+  std::vector<double> cdf_;  // cdf_[k] = P(X <= k), cdf_.back() == 1.
+};
+
+}  // namespace stabletext
+
+#endif  // STABLETEXT_UTIL_RANDOM_H_

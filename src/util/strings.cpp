@@ -1,0 +1,86 @@
+#include "util/strings.h"
+
+#include <cstdarg>
+#include <cstdio>
+
+namespace stabletext {
+
+std::vector<std::string> Split(std::string_view s, char delim) {
+  std::vector<std::string> out;
+  size_t start = 0;
+  for (size_t i = 0; i <= s.size(); ++i) {
+    if (i == s.size() || s[i] == delim) {
+      out.emplace_back(s.substr(start, i - start));
+      start = i + 1;
+    }
+  }
+  return out;
+}
+
+std::string Join(const std::vector<std::string>& pieces,
+                 std::string_view sep) {
+  std::string out;
+  for (size_t i = 0; i < pieces.size(); ++i) {
+    if (i) out.append(sep);
+    out.append(pieces[i]);
+  }
+  return out;
+}
+
+void ToLowerAscii(std::string* s) {
+  for (char& c : *s) {
+    if (c >= 'A' && c <= 'Z') c = static_cast<char>(c - 'A' + 'a');
+  }
+}
+
+std::string_view TrimAscii(std::string_view s) {
+  size_t b = 0, e = s.size();
+  while (b < e && (s[b] == ' ' || s[b] == '\t' || s[b] == '\r' ||
+                   s[b] == '\n')) {
+    ++b;
+  }
+  while (e > b && (s[e - 1] == ' ' || s[e - 1] == '\t' || s[e - 1] == '\r' ||
+                   s[e - 1] == '\n')) {
+    --e;
+  }
+  return s.substr(b, e - b);
+}
+
+bool StartsWith(std::string_view s, std::string_view prefix) {
+  return s.size() >= prefix.size() && s.substr(0, prefix.size()) == prefix;
+}
+
+std::string HumanBytes(size_t bytes) {
+  const char* units[] = {"B", "KB", "MB", "GB", "TB"};
+  double v = static_cast<double>(bytes);
+  int u = 0;
+  while (v >= 1024.0 && u < 4) {
+    v /= 1024.0;
+    ++u;
+  }
+  char buf[32];
+  if (u == 0) {
+    std::snprintf(buf, sizeof(buf), "%zu%s", bytes, units[0]);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.1f%s", v, units[u]);
+  }
+  return buf;
+}
+
+std::string StringPrintf(const char* fmt, ...) {
+  va_list ap;
+  va_start(ap, fmt);
+  va_list ap2;
+  va_copy(ap2, ap);
+  int n = std::vsnprintf(nullptr, 0, fmt, ap);
+  va_end(ap);
+  std::string out;
+  if (n > 0) {
+    out.resize(static_cast<size_t>(n));
+    std::vsnprintf(out.data(), out.size() + 1, fmt, ap2);
+  }
+  va_end(ap2);
+  return out;
+}
+
+}  // namespace stabletext

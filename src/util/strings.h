@@ -1,0 +1,37 @@
+// Small string utilities shared across modules.
+
+#ifndef STABLETEXT_UTIL_STRINGS_H_
+#define STABLETEXT_UTIL_STRINGS_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace stabletext {
+
+/// Splits on a single delimiter character; keeps empty fields.
+std::vector<std::string> Split(std::string_view s, char delim);
+
+/// Joins pieces with a separator.
+std::string Join(const std::vector<std::string>& pieces,
+                 std::string_view sep);
+
+/// ASCII lowercase in place.
+void ToLowerAscii(std::string* s);
+
+/// Strips leading/trailing ASCII whitespace.
+std::string_view TrimAscii(std::string_view s);
+
+/// True iff s begins with prefix.
+bool StartsWith(std::string_view s, std::string_view prefix);
+
+/// Human-readable byte count, e.g. "1.5MB".
+std::string HumanBytes(size_t bytes);
+
+/// printf-style formatting into a std::string.
+std::string StringPrintf(const char* fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+}  // namespace stabletext
+
+#endif  // STABLETEXT_UTIL_STRINGS_H_

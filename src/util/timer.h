@@ -1,0 +1,35 @@
+// Wall-clock timing used by the benchmark harnesses.
+
+#ifndef STABLETEXT_UTIL_TIMER_H_
+#define STABLETEXT_UTIL_TIMER_H_
+
+#include <chrono>
+#include <cstdint>
+
+namespace stabletext {
+
+/// \brief Monotonic wall-clock stopwatch.
+class WallTimer {
+ public:
+  WallTimer() { Restart(); }
+
+  /// Resets the start point to now.
+  void Restart() { start_ = Clock::now(); }
+
+  /// Seconds elapsed since construction or the last Restart().
+  double ElapsedSeconds() const;
+
+  /// Milliseconds elapsed since construction or the last Restart().
+  double ElapsedMillis() const { return ElapsedSeconds() * 1e3; }
+
+  /// Microseconds elapsed since construction or the last Restart().
+  int64_t ElapsedMicros() const;
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace stabletext
+
+#endif  // STABLETEXT_UTIL_TIMER_H_

@@ -1,0 +1,186 @@
+// Affinity measures and the threshold similarity join (Section 4 / [11]):
+// hand-computed values, metric properties, join == brute-force join across
+// randomized cluster sets and thresholds.
+
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "affinity/similarity_join.h"
+#include "util/random.h"
+
+namespace stabletext {
+namespace {
+
+Cluster MakeCluster(std::vector<KeywordId> keywords, uint32_t interval = 0) {
+  Cluster c;
+  c.interval = interval;
+  c.keywords = std::move(keywords);
+  std::sort(c.keywords.begin(), c.keywords.end());
+  return c;
+}
+
+TEST(AffinityTest, IntersectionSize) {
+  Cluster a = MakeCluster({1, 2, 3, 4});
+  Cluster b = MakeCluster({3, 4, 5});
+  EXPECT_EQ(KeywordIntersectionSize(a, b), 2u);
+  EXPECT_EQ(KeywordIntersectionSize(a, a), 4u);
+  EXPECT_EQ(KeywordIntersectionSize(a, MakeCluster({9})), 0u);
+  EXPECT_EQ(KeywordIntersectionSize(a, MakeCluster({})), 0u);
+}
+
+TEST(AffinityTest, JaccardValues) {
+  Cluster a = MakeCluster({1, 2, 3, 4});
+  Cluster b = MakeCluster({3, 4, 5});
+  // |∩| = 2, |∪| = 5.
+  EXPECT_DOUBLE_EQ(ClusterAffinity(a, b, AffinityMeasure::kJaccard), 0.4);
+  EXPECT_DOUBLE_EQ(ClusterAffinity(a, a, AffinityMeasure::kJaccard), 1.0);
+  EXPECT_DOUBLE_EQ(
+      ClusterAffinity(a, MakeCluster({7}), AffinityMeasure::kJaccard), 0.0);
+}
+
+TEST(AffinityTest, OverlapValues) {
+  Cluster a = MakeCluster({1, 2, 3, 4});
+  Cluster b = MakeCluster({3, 4, 5});
+  // |∩| = 2, min size = 3.
+  EXPECT_DOUBLE_EQ(ClusterAffinity(a, b, AffinityMeasure::kOverlap),
+                   2.0 / 3.0);
+  EXPECT_DOUBLE_EQ(ClusterAffinity(b, b, AffinityMeasure::kOverlap), 1.0);
+}
+
+TEST(AffinityTest, IntersectionMeasureIsRaw) {
+  Cluster a = MakeCluster({1, 2, 3, 4});
+  Cluster b = MakeCluster({3, 4, 5});
+  EXPECT_DOUBLE_EQ(ClusterAffinity(a, b, AffinityMeasure::kIntersection),
+                   2.0);
+}
+
+TEST(AffinityTest, WeightedJaccardValues) {
+  Cluster a;
+  a.keywords = {1, 2, 3};
+  a.edges = {{1, 2, 0.8}, {2, 3, 0.4}};
+  Cluster b;
+  b.keywords = {1, 2, 4};
+  b.edges = {{1, 2, 0.6}, {2, 4, 0.5}};
+  // Shared edge (1,2): min 0.6, max 0.8; unmatched 0.4 + 0.5.
+  const double expected = 0.6 / (0.8 + 0.4 + 0.5);
+  EXPECT_DOUBLE_EQ(
+      ClusterAffinity(a, b, AffinityMeasure::kWeightedJaccard), expected);
+  EXPECT_DOUBLE_EQ(
+      ClusterAffinity(a, a, AffinityMeasure::kWeightedJaccard), 1.0);
+}
+
+TEST(AffinityTest, SymmetryAndRange) {
+  Rng rng(5);
+  for (int trial = 0; trial < 200; ++trial) {
+    std::vector<KeywordId> ka, kb;
+    for (KeywordId v = 0; v < 20; ++v) {
+      if (rng.NextBool(0.4)) ka.push_back(v);
+      if (rng.NextBool(0.4)) kb.push_back(v);
+    }
+    if (ka.empty() || kb.empty()) continue;
+    Cluster a = MakeCluster(ka), b = MakeCluster(kb);
+    for (auto measure :
+         {AffinityMeasure::kJaccard, AffinityMeasure::kOverlap,
+          AffinityMeasure::kIntersection}) {
+      const double ab = ClusterAffinity(a, b, measure);
+      const double ba = ClusterAffinity(b, a, measure);
+      ASSERT_DOUBLE_EQ(ab, ba);
+      ASSERT_GE(ab, 0.0);
+      if (measure != AffinityMeasure::kIntersection) ASSERT_LE(ab, 1.0);
+    }
+  }
+}
+
+TEST(AffinityTest, MeasureNames) {
+  EXPECT_STREQ(AffinityMeasureName(AffinityMeasure::kJaccard), "jaccard");
+  EXPECT_STREQ(AffinityMeasureName(AffinityMeasure::kIntersection),
+               "intersection");
+  EXPECT_STREQ(AffinityMeasureName(AffinityMeasure::kOverlap), "overlap");
+  EXPECT_STREQ(AffinityMeasureName(AffinityMeasure::kWeightedJaccard),
+               "weighted-jaccard");
+}
+
+std::vector<Cluster> RandomClusters(size_t count, size_t vocab,
+                                    double density, Rng* rng) {
+  std::vector<Cluster> out;
+  for (size_t i = 0; i < count; ++i) {
+    std::vector<KeywordId> kws;
+    for (KeywordId v = 0; v < vocab; ++v) {
+      if (rng->NextBool(density)) kws.push_back(v);
+    }
+    if (kws.empty()) kws.push_back(static_cast<KeywordId>(i % vocab));
+    out.push_back(MakeCluster(kws));
+  }
+  return out;
+}
+
+class SimilarityJoinSweepTest
+    : public ::testing::TestWithParam<std::tuple<double, AffinityMeasure>> {
+};
+
+TEST_P(SimilarityJoinSweepTest, JoinMatchesBruteForce) {
+  const auto [theta, measure] = GetParam();
+  Rng rng(static_cast<uint64_t>(theta * 1000) + 17);
+  for (int trial = 0; trial < 10; ++trial) {
+    auto left = RandomClusters(30, 40, 0.2, &rng);
+    auto right = RandomClusters(25, 40, 0.2, &rng);
+    AffinityOptions opt;
+    opt.theta = theta;
+    opt.measure = measure;
+    SimilarityJoin join(opt);
+    SimilarityJoinStats stats;
+    auto fast = join.Join(left, right, &stats);
+    auto slow = join.JoinBruteForce(left, right);
+    ASSERT_EQ(fast.size(), slow.size()) << "theta=" << theta;
+    for (size_t i = 0; i < fast.size(); ++i) {
+      ASSERT_EQ(fast[i].left, slow[i].left);
+      ASSERT_EQ(fast[i].right, slow[i].right);
+      ASSERT_DOUBLE_EQ(fast[i].affinity, slow[i].affinity);
+    }
+    EXPECT_EQ(stats.result_pairs, fast.size());
+    EXPECT_LE(stats.result_pairs, stats.candidate_pairs);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, SimilarityJoinSweepTest,
+    ::testing::Combine(
+        ::testing::Values(0.05, 0.1, 0.3, 0.6),
+        ::testing::Values(AffinityMeasure::kJaccard,
+                          AffinityMeasure::kOverlap,
+                          AffinityMeasure::kIntersection)),
+    [](const auto& info) {
+      return std::string("theta") +
+             std::to_string(
+                 static_cast<int>(std::get<0>(info.param) * 100)) +
+             "_" +
+             AffinityMeasureName(std::get<1>(info.param));
+    });
+
+TEST(SimilarityJoinTest, PrefixFilterPrunesCandidates) {
+  Rng rng(23);
+  auto left = RandomClusters(100, 200, 0.05, &rng);
+  auto right = RandomClusters(100, 200, 0.05, &rng);
+  AffinityOptions opt;
+  opt.theta = 0.5;  // High threshold: short prefixes.
+  opt.measure = AffinityMeasure::kJaccard;
+  SimilarityJoin join(opt);
+  SimilarityJoinStats stats;
+  auto result = join.Join(left, right, &stats);
+  EXPECT_LT(stats.candidate_pairs, 100ull * 100ull);
+  // Exactness regardless.
+  EXPECT_EQ(result.size(), join.JoinBruteForce(left, right).size());
+}
+
+TEST(SimilarityJoinTest, EmptyInputs) {
+  SimilarityJoin join;
+  EXPECT_TRUE(join.Join({}, {}).empty());
+  Rng rng(1);
+  auto some = RandomClusters(5, 10, 0.3, &rng);
+  EXPECT_TRUE(join.Join(some, {}).empty());
+  EXPECT_TRUE(join.Join({}, some).empty());
+}
+
+}  // namespace
+}  // namespace stabletext

@@ -1,0 +1,173 @@
+// ClusterGraph: construction invariants, edge validation, adjacency
+// ordering, and the generator's conformance to the Section 5 model.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "test_helpers.h"
+
+namespace stabletext {
+namespace {
+
+TEST(ClusterGraphTest, AddNodesAndEdges) {
+  ClusterGraph g(3, 0);
+  const NodeId a = g.AddNode(0);
+  const NodeId b = g.AddNode(1);
+  const NodeId c = g.AddNode(2);
+  EXPECT_TRUE(g.AddEdge(a, b, 0.5).ok());
+  EXPECT_TRUE(g.AddEdge(b, c, 1.0).ok());
+  EXPECT_EQ(g.node_count(), 3u);
+  EXPECT_EQ(g.edge_count(), 2u);
+  EXPECT_EQ(g.Interval(b), 1u);
+  EXPECT_EQ(g.IntervalNodes(0), (std::vector<NodeId>{a}));
+  ASSERT_EQ(g.Children(a).size(), 1u);
+  EXPECT_EQ(g.Children(a)[0].target, b);
+  ASSERT_EQ(g.Parents(c).size(), 1u);
+  EXPECT_EQ(g.Parents(c)[0].target, b);
+  EXPECT_EQ(g.EdgeLength(a, b), 1u);
+}
+
+TEST(ClusterGraphTest, RejectsInvalidEdges) {
+  ClusterGraph g(4, 0);  // Gap 0: edges span exactly 1 interval... plus 1.
+  const NodeId a = g.AddNode(0);
+  const NodeId b = g.AddNode(1);
+  const NodeId c = g.AddNode(3);
+  EXPECT_FALSE(g.AddEdge(b, a, 0.5).ok());   // Backward in time.
+  EXPECT_FALSE(g.AddEdge(a, c, 0.5).ok());   // Exceeds gap bound (3 > 1).
+  EXPECT_FALSE(g.AddEdge(a, b, 0.0).ok());   // Weight must be > 0.
+  EXPECT_FALSE(g.AddEdge(a, b, 1.5).ok());   // Weight must be <= 1.
+  EXPECT_FALSE(g.AddEdge(a, 99, 0.5).ok());  // Out of range.
+  EXPECT_EQ(g.edge_count(), 0u);
+}
+
+TEST(ClusterGraphTest, GapAllowsLongerEdges) {
+  ClusterGraph g(4, 2);
+  const NodeId a = g.AddNode(0);
+  const NodeId c = g.AddNode(3);
+  EXPECT_TRUE(g.AddEdge(a, c, 0.5).ok());  // Length 3 <= g+1 = 3.
+  EXPECT_EQ(g.EdgeLength(a, c), 3u);
+}
+
+TEST(ClusterGraphTest, ChildrenSortedByDescendingWeight) {
+  ClusterGraph g(2, 0);
+  const NodeId a = g.AddNode(0);
+  const NodeId x = g.AddNode(1);
+  const NodeId y = g.AddNode(1);
+  const NodeId z = g.AddNode(1);
+  ASSERT_TRUE(g.AddEdge(a, x, 0.2).ok());
+  ASSERT_TRUE(g.AddEdge(a, y, 0.9).ok());
+  ASSERT_TRUE(g.AddEdge(a, z, 0.5).ok());
+  g.SortChildren();
+  ASSERT_EQ(g.Children(a).size(), 3u);
+  EXPECT_EQ(g.Children(a)[0].target, y);
+  EXPECT_EQ(g.Children(a)[1].target, z);
+  EXPECT_EQ(g.Children(a)[2].target, x);
+  EXPECT_EQ(g.MaxOutDegree(), 3u);
+}
+
+TEST(ClusterGraphTest, PaperFigure5Shape) {
+  ClusterGraph g = MakePaperFigure5Graph();
+  EXPECT_EQ(g.interval_count(), 3u);
+  EXPECT_EQ(g.node_count(), 9u);
+  EXPECT_EQ(g.edge_count(), 10u);
+  EXPECT_EQ(g.gap(), 1u);
+  // The gap edge c11 -> c32 has length 2 (the paper's worked example).
+  EXPECT_EQ(g.EdgeLength(0, 7), 2u);
+  EXPECT_GT(g.MemoryBytes(), 0u);
+}
+
+TEST(ClusterGraphGeneratorTest, MatchesSection5Model) {
+  ClusterGraphGenOptions opt;
+  opt.m = 5;
+  opt.n = 50;
+  opt.d = 4;
+  opt.g = 1;
+  opt.seed = 11;
+  ClusterGraph g = ClusterGraphGenerator::Generate(opt);
+  EXPECT_EQ(g.interval_count(), 5u);
+  EXPECT_EQ(g.node_count(), 250u);
+  for (uint32_t i = 0; i < 5; ++i) {
+    EXPECT_EQ(g.IntervalNodes(i).size(), 50u);
+  }
+  // Every node in a non-final interval has outgoing edges to each
+  // reachable interval, between 1 and 2d per pair, and weights in (0,1].
+  for (NodeId v = 0; v < g.node_count(); ++v) {
+    std::vector<size_t> per_interval(5, 0);
+    for (const ClusterGraphEdge& e : g.Children(v)) {
+      EXPECT_GT(e.weight, 0.0);
+      EXPECT_LE(e.weight, 1.0);
+      const uint32_t span = g.Interval(e.target) - g.Interval(v);
+      EXPECT_GE(span, 1u);
+      EXPECT_LE(span, opt.g + 1);
+      ++per_interval[g.Interval(e.target)];
+    }
+    const uint32_t iv = g.Interval(v);
+    for (uint32_t j = iv + 1; j < 5 && j <= iv + opt.g + 1; ++j) {
+      EXPECT_GE(per_interval[j], 1u);
+      EXPECT_LE(per_interval[j], 2u * opt.d);
+    }
+  }
+}
+
+TEST(ClusterGraphGeneratorTest, DeterministicPerSeed) {
+  ClusterGraph a = MakeRandomGraph(4, 20, 3, 1, 5);
+  ClusterGraph b = MakeRandomGraph(4, 20, 3, 1, 5);
+  ClusterGraph c = MakeRandomGraph(4, 20, 3, 1, 6);
+  ASSERT_EQ(a.node_count(), b.node_count());
+  ASSERT_EQ(a.edge_count(), b.edge_count());
+  bool all_equal = true;
+  for (NodeId v = 0; v < a.node_count(); ++v) {
+    const auto& ca = a.Children(v);
+    const auto& cb = b.Children(v);
+    ASSERT_EQ(ca.size(), cb.size());
+    for (size_t i = 0; i < ca.size(); ++i) {
+      ASSERT_EQ(ca[i].target, cb[i].target);
+      ASSERT_EQ(ca[i].weight, cb[i].weight);
+    }
+  }
+  (void)all_equal;
+  EXPECT_NE(a.edge_count(), 0u);
+  // A different seed produces a different graph: compare a weight
+  // fingerprint (collision odds are negligible).
+  auto fingerprint = [](const ClusterGraph& gr) {
+    double sum = 0;
+    for (NodeId v = 0; v < gr.node_count(); ++v) {
+      for (const ClusterGraphEdge& e : gr.Children(v)) {
+        sum += e.weight * (v + 1);
+      }
+    }
+    return sum;
+  };
+  EXPECT_NE(fingerprint(a), fingerprint(c));
+}
+
+TEST(ClusterGraphGeneratorTest, QuantizedWeightsAreExactBinaryFractions) {
+  ClusterGraph g = MakeRandomGraph(3, 30, 3, 0, 2);
+  for (NodeId v = 0; v < g.node_count(); ++v) {
+    for (const ClusterGraphEdge& e : g.Children(v)) {
+      const double scaled = e.weight * 1024.0;
+      EXPECT_EQ(scaled, std::floor(scaled));
+      EXPECT_GT(e.weight, 0.0);
+      EXPECT_LE(e.weight, 1.0);
+    }
+  }
+}
+
+TEST(ClusterGraphGeneratorTest, AverageOutDegreeNearD) {
+  ClusterGraphGenOptions opt;
+  opt.m = 2;
+  opt.n = 2000;
+  opt.d = 5;
+  opt.g = 0;
+  ClusterGraph g = ClusterGraphGenerator::Generate(opt);
+  double total = 0;
+  for (NodeId v : g.IntervalNodes(0)) total += g.Children(v).size();
+  const double avg = total / 2000.0;
+  // E[out degree] = (1 + 2d) / 2 = 5.5 for d = 5; sampling keeps it close.
+  EXPECT_GT(avg, 4.8);
+  EXPECT_LT(avg, 6.2);
+}
+
+}  // namespace
+}  // namespace stabletext

@@ -1,0 +1,199 @@
+// Co-occurrence pipeline: dictionary, pair emission, aggregation — checked
+// against a brute-force document-pair counter on random corpora.
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "cooccur/cooccurrence_counter.h"
+#include "storage/temp_dir.h"
+#include "util/random.h"
+
+namespace stabletext {
+namespace {
+
+Document MakeDoc(uint32_t interval, std::vector<std::string> words) {
+  Document d;
+  d.interval = interval;
+  d.keywords = std::move(words);
+  std::sort(d.keywords.begin(), d.keywords.end());
+  d.keywords.erase(std::unique(d.keywords.begin(), d.keywords.end()),
+                   d.keywords.end());
+  return d;
+}
+
+TEST(KeywordDictTest, InternIsIdempotent) {
+  KeywordDict dict;
+  const KeywordId a = dict.Intern("apple");
+  const KeywordId b = dict.Intern("banana");
+  EXPECT_NE(a, b);
+  EXPECT_EQ(dict.Intern("apple"), a);
+  EXPECT_EQ(dict.size(), 2u);
+  EXPECT_EQ(dict.Word(a), "apple");
+  EXPECT_EQ(dict.Lookup("banana"), b);
+  EXPECT_EQ(dict.Lookup("cherry"), kInvalidKeyword);
+}
+
+TEST(KeywordDictTest, SaveLoadRoundTrip) {
+  TempDir dir;
+  KeywordDict dict;
+  dict.Intern("alpha");
+  dict.Intern("beta");
+  dict.Intern("gamma");
+  ASSERT_TRUE(dict.Save(dir.FilePath("dict.txt")).ok());
+  KeywordDict loaded;
+  ASSERT_TRUE(loaded.Load(dir.FilePath("dict.txt")).ok());
+  EXPECT_EQ(loaded.size(), 3u);
+  EXPECT_EQ(loaded.Lookup("beta"), dict.Lookup("beta"));
+  EXPECT_EQ(loaded.Word(0), "alpha");
+}
+
+TEST(CooccurrenceCounterTest, CountsSimpleCorpus) {
+  KeywordDict dict;
+  CooccurrenceCounter counter(&dict);
+  // Three documents: {a,b}, {a,b,c}, {c}.
+  ASSERT_TRUE(counter.Add(MakeDoc(0, {"a", "b"})).ok());
+  ASSERT_TRUE(counter.Add(MakeDoc(0, {"a", "b", "c"})).ok());
+  ASSERT_TRUE(counter.Add(MakeDoc(0, {"c"})).ok());
+  CooccurrenceTable table;
+  ASSERT_TRUE(counter.Finish(&table).ok());
+
+  EXPECT_EQ(table.document_count, 3u);
+  const KeywordId a = dict.Lookup("a");
+  const KeywordId b = dict.Lookup("b");
+  const KeywordId c = dict.Lookup("c");
+  EXPECT_EQ(table.unary[a], 2u);
+  EXPECT_EQ(table.unary[b], 2u);
+  EXPECT_EQ(table.unary[c], 2u);
+
+  std::map<std::pair<KeywordId, KeywordId>, uint32_t> pairs;
+  for (const Triplet& t : table.triplets) {
+    pairs[{std::min(t.u, t.v), std::max(t.u, t.v)}] = t.count;
+  }
+  EXPECT_EQ(pairs.size(), 3u);
+  EXPECT_EQ((pairs[{std::min(a, b), std::max(a, b)}]), 2u);
+  EXPECT_EQ((pairs[{std::min(a, c), std::max(a, c)}]), 1u);
+  EXPECT_EQ((pairs[{std::min(b, c), std::max(b, c)}]), 1u);
+}
+
+TEST(CooccurrenceCounterTest, EmptyCorpus) {
+  KeywordDict dict;
+  CooccurrenceCounter counter(&dict);
+  CooccurrenceTable table;
+  ASSERT_TRUE(counter.Finish(&table).ok());
+  EXPECT_EQ(table.document_count, 0u);
+  EXPECT_TRUE(table.triplets.empty());
+}
+
+TEST(CooccurrenceCounterTest, SingleWordDocumentsProduceNoTriplets) {
+  KeywordDict dict;
+  CooccurrenceCounter counter(&dict);
+  ASSERT_TRUE(counter.Add(MakeDoc(0, {"solo"})).ok());
+  ASSERT_TRUE(counter.Add(MakeDoc(0, {"solo"})).ok());
+  CooccurrenceTable table;
+  ASSERT_TRUE(counter.Finish(&table).ok());
+  EXPECT_TRUE(table.triplets.empty());
+  EXPECT_EQ(table.unary[dict.Lookup("solo")], 2u);
+}
+
+TEST(CooccurrenceCounterTest, TripletsAreCanonicalAndSorted) {
+  KeywordDict dict;
+  CooccurrenceCounter counter(&dict);
+  ASSERT_TRUE(counter.Add(MakeDoc(0, {"z", "m", "a"})).ok());
+  CooccurrenceTable table;
+  ASSERT_TRUE(counter.Finish(&table).ok());
+  ASSERT_EQ(table.triplets.size(), 3u);
+  for (const Triplet& t : table.triplets) EXPECT_LT(t.u, t.v);
+  for (size_t i = 1; i < table.triplets.size(); ++i) {
+    const Triplet& p = table.triplets[i - 1];
+    const Triplet& q = table.triplets[i];
+    EXPECT_TRUE(p.u < q.u || (p.u == q.u && p.v < q.v));
+  }
+}
+
+// Property sweep: pipeline counts == brute-force counts on random corpora,
+// across sort budgets small enough to force external runs.
+class CooccurRandomTest
+    : public ::testing::TestWithParam<std::tuple<size_t, size_t>> {};
+
+TEST_P(CooccurRandomTest, MatchesBruteForce) {
+  const auto [docs, sort_budget] = GetParam();
+  Rng rng(docs * 131 + sort_budget);
+  const size_t vocab = 30;
+
+  std::vector<Document> corpus;
+  for (size_t i = 0; i < docs; ++i) {
+    const size_t words = 1 + rng.Uniform(8);
+    std::vector<std::string> ws;
+    for (size_t w = 0; w < words; ++w) {
+      ws.push_back("w" + std::to_string(rng.Uniform(vocab)));
+    }
+    corpus.push_back(MakeDoc(0, ws));
+  }
+
+  KeywordDict dict;
+  CooccurrenceCounterOptions opt;
+  opt.sort_memory_bytes = sort_budget;
+  CooccurrenceCounter counter(&dict, opt);
+  for (const Document& d : corpus) ASSERT_TRUE(counter.Add(d).ok());
+  CooccurrenceTable table;
+  ASSERT_TRUE(counter.Finish(&table).ok());
+
+  // Brute force.
+  std::map<std::string, uint32_t> unary;
+  std::map<std::pair<std::string, std::string>, uint32_t> pairs;
+  for (const Document& d : corpus) {
+    for (size_t i = 0; i < d.keywords.size(); ++i) {
+      ++unary[d.keywords[i]];
+      for (size_t j = i + 1; j < d.keywords.size(); ++j) {
+        ++pairs[{d.keywords[i], d.keywords[j]}];
+      }
+    }
+  }
+
+  EXPECT_EQ(table.document_count, docs);
+  for (const auto& [word, count] : unary) {
+    const KeywordId id = dict.Lookup(word);
+    ASSERT_NE(id, kInvalidKeyword);
+    EXPECT_EQ(table.unary[id], count) << word;
+  }
+  std::map<std::pair<KeywordId, KeywordId>, uint32_t> got;
+  for (const Triplet& t : table.triplets) got[{t.u, t.v}] = t.count;
+  ASSERT_EQ(got.size(), pairs.size());
+  for (const auto& [key, count] : pairs) {
+    KeywordId u = dict.Lookup(key.first);
+    KeywordId v = dict.Lookup(key.second);
+    if (u > v) std::swap(u, v);
+    EXPECT_EQ((got[{u, v}]), count);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, CooccurRandomTest,
+    ::testing::Combine(::testing::Values<size_t>(10, 200, 1000),
+                       ::testing::Values<size_t>(64, 4096, 1 << 22)),
+    [](const auto& info) {
+      return "docs" + std::to_string(std::get<0>(info.param)) + "_budget" +
+             std::to_string(std::get<1>(info.param));
+    });
+
+TEST(CooccurrenceCounterTest, SpillsUnderTinyBudget) {
+  KeywordDict dict;
+  CooccurrenceCounterOptions opt;
+  opt.sort_memory_bytes = 64;
+  IoStats stats;
+  CooccurrenceCounter counter(&dict, opt, &stats);
+  for (int i = 0; i < 50; ++i) {
+    ASSERT_TRUE(counter.Add(MakeDoc(0, {"a", "b", "c", "d"})).ok());
+  }
+  CooccurrenceTable table;
+  ASSERT_TRUE(counter.Finish(&table).ok());
+  EXPECT_GT(counter.spill_runs(), 0u);
+  EXPECT_GT(stats.page_writes, 0u);
+  // Counts still exact despite spilling.
+  EXPECT_EQ(table.unary[dict.Lookup("a")], 50u);
+}
+
+}  // namespace
+}  // namespace stabletext

@@ -1,0 +1,146 @@
+// ExternalSorter: equality with std::sort under many memory budgets
+// (forcing 0..many spill runs), duplicate preservation, edge cases.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <tuple>
+#include <vector>
+
+#include "storage/external_sorter.h"
+#include "util/random.h"
+
+namespace stabletext {
+namespace {
+
+struct Pair {
+  uint32_t a;
+  uint32_t b;
+  friend bool operator<(const Pair& x, const Pair& y) {
+    return x.a != y.a ? x.a < y.a : x.b < y.b;
+  }
+  friend bool operator==(const Pair&, const Pair&) = default;
+};
+
+std::vector<Pair> RandomPairs(size_t n, uint64_t seed, uint32_t key_space) {
+  Rng rng(seed);
+  std::vector<Pair> out;
+  out.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    out.push_back(Pair{static_cast<uint32_t>(rng.Uniform(key_space)),
+                       static_cast<uint32_t>(rng.Uniform(key_space))});
+  }
+  return out;
+}
+
+std::vector<Pair> SortWith(const std::vector<Pair>& input,
+                           size_t budget_bytes, IoStats* stats,
+                           size_t* runs) {
+  ExternalSorterOptions opt;
+  opt.memory_budget_bytes = budget_bytes;
+  opt.page_size = 256;
+  ExternalSorter<Pair> sorter(opt, stats);
+  for (const Pair& p : input) EXPECT_TRUE(sorter.Add(p).ok());
+  EXPECT_TRUE(sorter.Sort().ok());
+  std::vector<Pair> out;
+  Pair p;
+  while (sorter.Next(&p)) out.push_back(p);
+  EXPECT_TRUE(sorter.status().ok());
+  if (runs != nullptr) *runs = sorter.run_count();
+  return out;
+}
+
+TEST(ExternalSorterTest, EmptyInput) {
+  IoStats stats;
+  auto out = SortWith({}, 1 << 20, &stats, nullptr);
+  EXPECT_TRUE(out.empty());
+  EXPECT_EQ(stats.page_reads, 0u);
+}
+
+TEST(ExternalSorterTest, SingleElement) {
+  auto out = SortWith({Pair{3, 4}}, 1 << 20, nullptr, nullptr);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0], (Pair{3, 4}));
+}
+
+TEST(ExternalSorterTest, InMemoryPathMatchesStdSort) {
+  auto input = RandomPairs(5000, 1, 1000);
+  auto expected = input;
+  std::sort(expected.begin(), expected.end());
+  size_t runs = 0;
+  auto out = SortWith(input, 1 << 20, nullptr, &runs);
+  EXPECT_EQ(runs, 0u);  // Never spilled.
+  EXPECT_EQ(out, expected);
+}
+
+TEST(ExternalSorterTest, PreservesDuplicateMultiplicity) {
+  std::vector<Pair> input(1000, Pair{1, 1});
+  for (int i = 0; i < 500; ++i) input.push_back(Pair{0, 9});
+  size_t runs = 0;
+  auto out = SortWith(input, 64 * sizeof(Pair), nullptr, &runs);
+  EXPECT_GT(runs, 1u);
+  ASSERT_EQ(out.size(), 1500u);
+  for (size_t i = 0; i < 500; ++i) EXPECT_EQ(out[i], (Pair{0, 9}));
+  for (size_t i = 500; i < 1500; ++i) EXPECT_EQ(out[i], (Pair{1, 1}));
+}
+
+class ExternalSorterBudgetTest
+    : public ::testing::TestWithParam<std::tuple<size_t, size_t>> {};
+
+TEST_P(ExternalSorterBudgetTest, MatchesStdSortUnderBudget) {
+  const auto [n, budget_records] = GetParam();
+  auto input = RandomPairs(n, 0xC0FFEE + n + budget_records, 512);
+  auto expected = input;
+  std::sort(expected.begin(), expected.end());
+  IoStats stats;
+  size_t runs = 0;
+  auto out =
+      SortWith(input, budget_records * sizeof(Pair), &stats, &runs);
+  EXPECT_EQ(out, expected);
+  if (budget_records < n) {
+    EXPECT_GT(runs, 0u);
+    EXPECT_GT(stats.page_writes, 0u);  // Spill traffic was accounted.
+    EXPECT_GT(stats.page_reads, 0u);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Budgets, ExternalSorterBudgetTest,
+    ::testing::Combine(::testing::Values<size_t>(100, 1000, 20000),
+                       ::testing::Values<size_t>(16, 64, 1024, 100000)),
+    [](const auto& info) {
+      return "n" + std::to_string(std::get<0>(info.param)) + "_budget" +
+             std::to_string(std::get<1>(info.param));
+    });
+
+TEST(ExternalSorterTest, ManyRunsStillMergeCorrectly) {
+  auto input = RandomPairs(10000, 77, 50);
+  auto expected = input;
+  std::sort(expected.begin(), expected.end());
+  size_t runs = 0;
+  // Budget of 1 record degenerates to max_buffered_ = 1: 10000 runs.
+  auto out = SortWith(input, 1, nullptr, &runs);
+  EXPECT_EQ(runs, 10000u);
+  EXPECT_EQ(out, expected);
+}
+
+TEST(ExternalSorterTest, CustomComparator) {
+  struct Desc {
+    bool operator()(const Pair& x, const Pair& y) const { return y < x; }
+  };
+  ExternalSorterOptions opt;
+  opt.memory_budget_bytes = 16 * sizeof(Pair);
+  ExternalSorter<Pair, Desc> sorter(opt);
+  auto input = RandomPairs(300, 5, 64);
+  for (const Pair& p : input) ASSERT_TRUE(sorter.Add(p).ok());
+  ASSERT_TRUE(sorter.Sort().ok());
+  std::vector<Pair> out;
+  Pair p;
+  while (sorter.Next(&p)) out.push_back(p);
+  auto expected = input;
+  std::sort(expected.begin(), expected.end(), Desc());
+  EXPECT_EQ(out, expected);
+}
+
+}  // namespace
+}  // namespace stabletext

@@ -1,0 +1,174 @@
+// Corpus generator and event scripts: determinism, planted-event injection
+// rates, background-vocabulary properties.
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "gen/corpus_generator.h"
+#include "storage/temp_dir.h"
+#include "text/document.h"
+
+namespace stabletext {
+namespace {
+
+CorpusGenOptions SmallOptions() {
+  CorpusGenOptions opt;
+  opt.days = 3;
+  opt.posts_per_day = 300;
+  opt.vocabulary = 500;
+  opt.seed = 11;
+  return opt;
+}
+
+TEST(CorpusGeneratorTest, DeterministicPerSeed) {
+  CorpusGenerator a(SmallOptions());
+  CorpusGenerator b(SmallOptions());
+  EXPECT_EQ(a.GenerateDay(1), b.GenerateDay(1));
+  CorpusGenOptions other = SmallOptions();
+  other.seed = 12;
+  CorpusGenerator c(other);
+  EXPECT_NE(a.GenerateDay(1), c.GenerateDay(1));
+}
+
+TEST(CorpusGeneratorTest, GeneratesRequestedVolume) {
+  CorpusGenerator gen(SmallOptions());
+  for (uint32_t day = 0; day < 3; ++day) {
+    EXPECT_EQ(gen.GenerateDay(day).size(), 300u);
+  }
+}
+
+TEST(CorpusGeneratorTest, PostsRespectWordCountBounds) {
+  CorpusGenOptions opt = SmallOptions();
+  opt.min_words_per_post = 5;
+  opt.max_words_per_post = 12;
+  CorpusGenerator gen(opt);
+  for (const std::string& post : gen.GenerateDay(0)) {
+    const size_t words =
+        1 + std::count(post.begin(), post.end(), ' ');
+    EXPECT_GE(words, 5u);
+    // Event posts may exceed the target by the event keyword count; the
+    // default script is empty here, so the bound is tight.
+    EXPECT_LE(words, 12u);
+  }
+}
+
+TEST(CorpusGeneratorTest, BackgroundWordsAreWellFormed) {
+  std::set<std::string> seen;
+  for (size_t rank = 0; rank < 2000; ++rank) {
+    const std::string w = CorpusGenerator::BackgroundWord(rank);
+    EXPECT_GE(w.size(), 4u);  // At least two syllables.
+    EXPECT_TRUE(seen.insert(w).second) << "collision at rank " << rank;
+    for (char c : w) {
+      EXPECT_TRUE(c >= 'a' && c <= 'z');
+      EXPECT_NE(c, 'e');  // 'e' excluded to keep stemming injective.
+    }
+  }
+}
+
+TEST(CorpusGeneratorTest, EventPostsAppearAtScriptedRate) {
+  CorpusGenOptions opt = SmallOptions();
+  opt.posts_per_day = 1000;
+  Event event;
+  event.name = "test";
+  event.phases.push_back(
+      EventPhase{1, 1, {"liverpool", "arsenal", "rosicky"}, 0.05});
+  opt.script.events.push_back(event);
+  CorpusGenerator gen(opt);
+
+  auto count_mentions = [&](uint32_t day) {
+    size_t mentions = 0;
+    for (const std::string& post : gen.GenerateDay(day)) {
+      if (post.find("liverpool") != std::string::npos &&
+          post.find("arsenal") != std::string::npos) {
+        ++mentions;
+      }
+    }
+    return mentions;
+  };
+  EXPECT_EQ(count_mentions(0), 0u);  // Phase not active on day 0.
+  // Day 1: ~5% of 1000 posts; each event post mentions >= 3 of the 3
+  // keywords, i.e. all of them.
+  const size_t day1 = count_mentions(1);
+  EXPECT_GE(day1, 45u);
+  EXPECT_LE(day1, 55u);
+  EXPECT_EQ(count_mentions(2), 0u);
+}
+
+TEST(CorpusGeneratorTest, DriftChangesKeywordSetAcrossPhases) {
+  CorpusGenOptions opt = SmallOptions();
+  opt.posts_per_day = 500;
+  opt.script = EventScript::PaperWeek();
+  opt.days = 7;
+  CorpusGenerator gen(opt);
+  auto day_text = [&](uint32_t day) {
+    std::string all;
+    for (const std::string& p : gen.GenerateDay(day)) {
+      all += p;
+      all += ' ';
+    }
+    return all;
+  };
+  // iPhone phase 1 (days 3-4) mentions macworld but not the lawsuit.
+  const std::string day3 = day_text(3);
+  EXPECT_NE(day3.find("macworld"), std::string::npos);
+  EXPECT_EQ(day3.find("lawsuit"), std::string::npos);
+  // Phase 2 (days 5-6) flips.
+  const std::string day6 = day_text(6);
+  EXPECT_EQ(day6.find("macworld"), std::string::npos);
+  EXPECT_NE(day6.find("lawsuit"), std::string::npos);
+  // The Somalia event persists all week.
+  for (uint32_t day = 0; day < 7; ++day) {
+    EXPECT_NE(day_text(day).find("somalia"), std::string::npos)
+        << "day " << day;
+  }
+}
+
+TEST(CorpusGeneratorTest, GenerateToFileRoundTrips) {
+  TempDir dir;
+  CorpusGenOptions opt = SmallOptions();
+  opt.days = 2;
+  opt.posts_per_day = 50;
+  CorpusGenerator gen(opt);
+  const std::string path = dir.FilePath("corpus.txt");
+  ASSERT_TRUE(gen.GenerateToFile(path).ok());
+  CorpusReader reader;
+  ASSERT_TRUE(reader.Open(path).ok());
+  size_t count = 0;
+  uint32_t interval;
+  std::string text;
+  std::set<uint32_t> days;
+  while (reader.Next(&interval, &text)) {
+    ++count;
+    days.insert(interval);
+    EXPECT_FALSE(text.empty());
+  }
+  EXPECT_EQ(count, 100u);
+  EXPECT_EQ(days, (std::set<uint32_t>{0, 1}));
+}
+
+TEST(EventScriptTest, PaperWeekShape) {
+  EventScript script = EventScript::PaperWeek();
+  ASSERT_EQ(script.events.size(), 5u);
+  for (const Event& e : script.events) {
+    EXPECT_FALSE(e.phases.empty());
+    for (const EventPhase& p : e.phases) {
+      EXPECT_LE(p.begin_day, p.end_day);
+      EXPECT_LE(p.end_day, 6u);
+      EXPECT_GE(p.keywords.size(), 3u);
+      EXPECT_GT(p.post_fraction, 0.0);
+      EXPECT_LT(p.post_fraction, 0.2);
+    }
+  }
+  // The fa-cup event has a gap between phases (Figure 4's shape).
+  const Event* facup = nullptr;
+  for (const Event& e : script.events) {
+    if (e.name == "fa-cup") facup = &e;
+  }
+  ASSERT_NE(facup, nullptr);
+  ASSERT_EQ(facup->phases.size(), 2u);
+  EXPECT_GT(facup->phases[1].begin_day, facup->phases[0].end_day + 1);
+}
+
+}  // namespace
+}  // namespace stabletext

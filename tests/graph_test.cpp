@@ -1,0 +1,215 @@
+// Keyword-graph statistics and pruning: chi-squared (Equation 1 vs closed
+// form, known critical behaviour), correlation (Equation 3 vs the literal
+// Equation 2), GraphPruner staging, KeywordGraph CSR structure.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "graph/graph_builder.h"
+#include "util/random.h"
+
+namespace stabletext {
+namespace {
+
+TEST(ChiSquareTest, IndependentPairScoresNearZero) {
+  // u in half the docs, v in half the docs, together in a quarter:
+  // exactly the independence expectation.
+  EXPECT_NEAR(ChiSquare::Statistic(500, 500, 250, 1000), 0.0, 1e-9);
+}
+
+TEST(ChiSquareTest, PerfectCorrelationScoresN) {
+  // u and v always together: chi^2 == n for a balanced table.
+  EXPECT_NEAR(ChiSquare::Statistic(500, 500, 500, 1000), 1000.0, 1e-6);
+}
+
+TEST(ChiSquareTest, ClosedFormMatchesFourCellForm) {
+  Rng rng(42);
+  for (int trial = 0; trial < 2000; ++trial) {
+    const uint64_t n = 10 + rng.Uniform(5000);
+    const uint64_t a_u = 1 + rng.Uniform(n - 1);
+    const uint64_t a_v = 1 + rng.Uniform(n - 1);
+    const uint64_t max_uv = std::min(a_u, a_v);
+    const uint64_t min_uv = a_u + a_v > n ? a_u + a_v - n : 0;
+    const uint64_t a_uv =
+        min_uv + rng.Uniform(max_uv - min_uv + 1);
+    const double four = ChiSquare::Statistic(a_u, a_v, a_uv, n);
+    const double closed = ChiSquare::StatisticClosedForm(a_u, a_v, a_uv, n);
+    ASSERT_NEAR(four, closed, 1e-6 * std::max(1.0, four))
+        << "n=" << n << " a_u=" << a_u << " a_v=" << a_v
+        << " a_uv=" << a_uv;
+  }
+}
+
+TEST(ChiSquareTest, SignificanceThresholdBehaviour) {
+  // Strong co-occurrence in a large corpus: clearly significant at 95%.
+  EXPECT_TRUE(ChiSquare::Significant(100, 100, 90, 10000));
+  // Exactly independent: not significant.
+  EXPECT_FALSE(ChiSquare::Significant(100, 100, 1, 10000));
+  // Critical values ordered as the standard table says.
+  EXPECT_LT(ChiSquare::kCritical90, ChiSquare::kCritical95);
+  EXPECT_LT(ChiSquare::kCritical95, ChiSquare::kCritical99);
+  EXPECT_NEAR(ChiSquare::kCritical95, 3.84, 0.01);  // The paper's value.
+}
+
+TEST(ChiSquareTest, DegenerateMarginalsScoreZero) {
+  EXPECT_EQ(ChiSquare::Statistic(0, 10, 0, 100), 0.0);
+  EXPECT_EQ(ChiSquare::Statistic(10, 10, 5, 0), 0.0);
+  EXPECT_EQ(ChiSquare::StatisticClosedForm(100, 10, 10, 100), 0.0);
+}
+
+TEST(CorrelationTest, BoundsAndKnownValues) {
+  // Perfectly correlated: rho == 1.
+  EXPECT_NEAR(Correlation::Rho(50, 50, 50, 100), 1.0, 1e-12);
+  // Independent: rho == 0.
+  EXPECT_NEAR(Correlation::Rho(50, 50, 25, 100), 0.0, 1e-12);
+  // Perfectly anti-correlated (disjoint, covering): rho == -1.
+  EXPECT_NEAR(Correlation::Rho(50, 50, 0, 100), -1.0, 1e-12);
+}
+
+TEST(CorrelationTest, Equation3MatchesEquation2) {
+  Rng rng(7);
+  for (int trial = 0; trial < 300; ++trial) {
+    const uint64_t n = 20 + rng.Uniform(200);
+    std::vector<bool> u(n), v(n);
+    uint64_t a_u = 0, a_v = 0, a_uv = 0;
+    for (uint64_t i = 0; i < n; ++i) {
+      u[i] = rng.NextBool(0.3);
+      v[i] = rng.NextBool(u[i] ? 0.6 : 0.2);  // Correlated draw.
+      a_u += u[i];
+      a_v += v[i];
+      a_uv += u[i] && v[i];
+    }
+    // bool vector has no data(); copy to arrays.
+    std::vector<char> ub(n), vb(n);
+    for (uint64_t i = 0; i < n; ++i) {
+      ub[i] = u[i];
+      vb[i] = v[i];
+    }
+    const double direct = Correlation::RhoFromIndicators(
+        reinterpret_cast<const bool*>(ub.data()),
+        reinterpret_cast<const bool*>(vb.data()), n);
+    const double fast = Correlation::Rho(a_u, a_v, a_uv, n);
+    ASSERT_NEAR(direct, fast, 1e-9);
+    ASSERT_GE(fast, -1.0 - 1e-12);
+    ASSERT_LE(fast, 1.0 + 1e-12);
+  }
+}
+
+TEST(CorrelationTest, DegenerateMarginalsAreZero) {
+  EXPECT_EQ(Correlation::Rho(0, 10, 0, 100), 0.0);
+  EXPECT_EQ(Correlation::Rho(100, 10, 10, 100), 0.0);
+  EXPECT_EQ(Correlation::Rho(5, 5, 5, 0), 0.0);
+}
+
+CooccurrenceTable MakeTable(uint64_t n, std::vector<uint32_t> unary,
+                            std::vector<Triplet> triplets) {
+  CooccurrenceTable t;
+  t.document_count = n;
+  t.unary = std::move(unary);
+  t.triplets = std::move(triplets);
+  return t;
+}
+
+TEST(GraphPrunerTest, TwoStageFiltering) {
+  // Three keyword pairs in 1000 documents:
+  //  (0,1): strong co-occurrence  -> survives both stages;
+  //  (0,2): independent           -> fails chi^2;
+  //  (1,2): significant but weak  -> passes chi^2, fails rho > 0.2.
+  CooccurrenceTable table = MakeTable(
+      1000, {100, 100, 100},
+      {Triplet{0, 1, 80}, Triplet{0, 2, 10}, Triplet{1, 2, 22}});
+  PruneStats stats;
+  GraphPruner pruner;
+  auto edges = pruner.Prune(table, &stats);
+  ASSERT_EQ(edges.size(), 1u);
+  EXPECT_EQ(edges[0].u, 0u);
+  EXPECT_EQ(edges[0].v, 1u);
+  EXPECT_GT(edges[0].weight, 0.2);
+  EXPECT_EQ(stats.input_edges, 3u);
+  EXPECT_EQ(stats.failed_chi_square, 1u);
+  EXPECT_EQ(stats.failed_rho, 1u);
+  EXPECT_EQ(stats.surviving_edges, 1u);
+}
+
+TEST(GraphPrunerTest, AblationKnobsDisableStages) {
+  CooccurrenceTable table = MakeTable(
+      1000, {100, 100, 100},
+      {Triplet{0, 1, 80}, Triplet{0, 2, 10}, Triplet{1, 2, 22}});
+  GraphPrunerOptions no_chi;
+  no_chi.apply_chi_square = false;
+  no_chi.rho_threshold = -2;  // Accept any rho.
+  EXPECT_EQ(GraphPruner(no_chi).Prune(table).size(), 3u);
+
+  GraphPrunerOptions chi_only;
+  chi_only.apply_rho = false;
+  EXPECT_EQ(GraphPruner(chi_only).Prune(table).size(), 2u);
+}
+
+TEST(GraphPrunerTest, RisingRhoThresholdMonotonicallyPrunes) {
+  Rng rng(99);
+  std::vector<Triplet> triplets;
+  std::vector<uint32_t> unary(50, 200);
+  for (uint32_t u = 0; u < 50; ++u) {
+    for (uint32_t v = u + 1; v < 50; ++v) {
+      triplets.push_back(
+          Triplet{u, v, static_cast<uint32_t>(rng.Uniform(120))});
+    }
+  }
+  CooccurrenceTable table = MakeTable(2000, unary, triplets);
+  size_t prev = SIZE_MAX;
+  for (double rho : {0.0, 0.2, 0.4, 0.6, 0.8}) {
+    GraphPrunerOptions opt;
+    opt.rho_threshold = rho;
+    const size_t count = GraphPruner(opt).Prune(table).size();
+    EXPECT_LE(count, prev);
+    prev = count;
+  }
+}
+
+TEST(KeywordGraphTest, CsrStructure) {
+  std::vector<WeightedEdge> edges = {
+      {0, 1, 0.5}, {1, 2, 0.7}, {0, 3, 0.9}};
+  KeywordGraph g = KeywordGraph::FromEdges(4, edges);
+  EXPECT_EQ(g.vertex_count(), 4u);
+  EXPECT_EQ(g.edge_count(), 3u);
+  EXPECT_EQ(g.Degree(0), 2u);
+  EXPECT_EQ(g.Degree(1), 2u);
+  EXPECT_EQ(g.Degree(2), 1u);
+  EXPECT_EQ(g.Degree(3), 1u);
+  // Neighbors sorted by id.
+  EXPECT_EQ(g.Neighbors(0)[0], 1u);
+  EXPECT_EQ(g.Neighbors(0)[1], 3u);
+  EXPECT_EQ(g.Weights(0)[0], 0.5);
+  EXPECT_EQ(g.Weights(0)[1], 0.9);
+  // Symmetry.
+  EXPECT_EQ(g.Neighbors(3)[0], 0u);
+  EXPECT_EQ(g.Weights(3)[0], 0.9);
+  EXPECT_EQ(g.NonIsolatedCount(), 4u);
+}
+
+TEST(KeywordGraphTest, EmptyAndIsolated) {
+  KeywordGraph g = KeywordGraph::FromEdges(5, {{1, 2, 1.0}});
+  EXPECT_EQ(g.NonIsolatedCount(), 2u);
+  EXPECT_FALSE(g.HasEdges(0));
+  EXPECT_TRUE(g.HasEdges(1));
+  KeywordGraph empty = KeywordGraph::FromEdges(0, {});
+  EXPECT_EQ(empty.vertex_count(), 0u);
+  EXPECT_EQ(empty.edge_count(), 0u);
+}
+
+TEST(GraphBuilderTest, SummaryCountsMatchTable) {
+  CooccurrenceTable table = MakeTable(
+      1000, {100, 100, 100, 0},
+      {Triplet{0, 1, 80}, Triplet{0, 2, 10}, Triplet{1, 2, 22}});
+  KeywordGraphSummary summary;
+  GraphBuilder builder;
+  KeywordGraph g = builder.Build(table, &summary);
+  EXPECT_EQ(summary.document_count, 1000u);
+  EXPECT_EQ(summary.keyword_count, 3u);  // Keyword 3 never appeared.
+  EXPECT_EQ(summary.raw_edge_count, 3u);
+  EXPECT_EQ(summary.prune.surviving_edges, g.edge_count());
+}
+
+}  // namespace
+}  // namespace stabletext

@@ -1,0 +1,208 @@
+// Section 4.5 (normalized stable clusters): exact equality with the
+// stability oracle for both the BFS and DFS variants, Theorem 1 itself as a
+// property test, and the pruning option's top-1 guarantee.
+
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "stable/brute_force_finder.h"
+#include "stable/normalized_bfs_finder.h"
+#include "stable/normalized_dfs_finder.h"
+#include "test_helpers.h"
+
+namespace stabletext {
+namespace {
+
+TEST(NormalizedBfsTest, RanksByStabilityNotWeight) {
+  // Two-hop path of weight 1.0 (stability 0.5) vs one-hop edge of weight
+  // 0.9 (stability 0.9): with lmin = 1, the single edge must win.
+  ClusterGraph g(3, 0);
+  const NodeId a = g.AddNode(0);
+  const NodeId b = g.AddNode(1);
+  const NodeId c = g.AddNode(2);
+  ASSERT_TRUE(g.AddEdge(a, b, 0.5).ok());
+  ASSERT_TRUE(g.AddEdge(b, c, 0.5).ok());
+  ClusterGraph g2(2, 0);
+  (void)g2;
+  const NodeId d = g.AddNode(1);
+  ASSERT_TRUE(g.AddEdge(a, d, 0.9).ok());
+  g.SortChildren();
+
+  NormalizedFinderOptions opt;
+  opt.k = 2;
+  opt.lmin = 1;
+  auto result = NormalizedBfsFinder(opt).Find(g);
+  ASSERT_TRUE(result.ok());
+  ASSERT_EQ(result.value().paths.size(), 2u);
+  EXPECT_EQ(result.value().paths[0].nodes, (std::vector<NodeId>{a, d}));
+  EXPECT_DOUBLE_EQ(result.value().paths[0].stability(), 0.9);
+  EXPECT_DOUBLE_EQ(result.value().paths[1].stability(), 0.5);
+}
+
+TEST(NormalizedBfsTest, LminFiltersShortPaths) {
+  ClusterGraph g = MakeRandomGraph(5, 4, 2, 0, 3);
+  NormalizedFinderOptions opt;
+  opt.k = 20;
+  opt.lmin = 3;
+  auto result = NormalizedBfsFinder(opt).Find(g);
+  ASSERT_TRUE(result.ok());
+  for (const StablePath& p : result.value().paths) {
+    EXPECT_GE(p.length, 3u);
+  }
+}
+
+class NormalizedSweepTest
+    : public ::testing::TestWithParam<
+          std::tuple<uint32_t, uint32_t, uint32_t, uint32_t, size_t,
+                     uint32_t>> {};
+
+TEST_P(NormalizedSweepTest, BothVariantsMatchBruteForce) {
+  const auto [m, n, d, g, k, lmin] = GetParam();
+  for (uint64_t seed = 1; seed <= 4; ++seed) {
+    ClusterGraph graph = MakeRandomGraph(m, n, d, g, seed * 61 + 11);
+    NormalizedFinderOptions opt;
+    opt.k = k;
+    opt.lmin = lmin;
+    auto bfs = NormalizedBfsFinder(opt).Find(graph);
+    auto dfs = NormalizedDfsFinder(opt).Find(graph);
+    ASSERT_TRUE(bfs.ok());
+    ASSERT_TRUE(dfs.ok());
+    const auto expected = BruteForceFinder::TopKByStability(graph, k, lmin);
+    ASSERT_EQ(bfs.value().paths.size(), expected.size())
+        << "m=" << m << " n=" << n << " seed=" << seed;
+    for (size_t i = 0; i < expected.size(); ++i) {
+      ASSERT_EQ(bfs.value().paths[i].nodes, expected[i].nodes)
+          << "bfs rank " << i << " seed " << seed;
+      ASSERT_EQ(dfs.value().paths[i].nodes, expected[i].nodes)
+          << "dfs rank " << i << " seed " << seed;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, NormalizedSweepTest,
+    ::testing::Values(
+        std::make_tuple(3u, 4u, 2u, 0u, size_t{1}, 1u),
+        std::make_tuple(3u, 4u, 2u, 0u, size_t{5}, 2u),
+        std::make_tuple(4u, 4u, 2u, 0u, size_t{3}, 2u),
+        std::make_tuple(4u, 4u, 2u, 1u, size_t{3}, 2u),
+        std::make_tuple(5u, 3u, 2u, 0u, size_t{4}, 3u),
+        std::make_tuple(5u, 3u, 2u, 2u, size_t{4}, 2u),
+        std::make_tuple(6u, 3u, 1u, 0u, size_t{6}, 4u),
+        std::make_tuple(6u, 2u, 2u, 1u, size_t{3}, 1u)),
+    [](const auto& info) {
+      const auto& p = info.param;
+      return "m" + std::to_string(std::get<0>(p)) + "n" +
+             std::to_string(std::get<1>(p)) + "d" +
+             std::to_string(std::get<2>(p)) + "g" +
+             std::to_string(std::get<3>(p)) + "k" +
+             std::to_string(std::get<4>(p)) + "lmin" +
+             std::to_string(std::get<5>(p));
+    });
+
+// Theorem 1 as a property. The paper's statement is conditional: when
+// stability(pre) <= stability(curr), then IF appending a suffix improves
+// the combined path (stability(p+c) <= stability(p+c+s)), the reduced path
+// dominates (stability(p+c+s) <= stability(c+s)). Equivalently, p+c+s is
+// always dominated by p+c (already generated and ranked) or by c+s: the
+// extension of a reducible path can be skipped without losing the top-1.
+TEST(Theorem1Test, StatementHoldsOnRandomSplits) {
+  Rng rng(17);
+  for (int trial = 0; trial < 5000; ++trial) {
+    const double wp = rng.NextWeight() * 3;
+    const double wc = rng.NextWeight() * 3;
+    const double ws = rng.NextWeight() * 3;
+    const double np = 1 + rng.Uniform(5);
+    const double nc = 1 + rng.Uniform(5);
+    const double ns = 1 + rng.Uniform(5);
+    if (wp / np > wc / nc) continue;  // Not reducible.
+    const double pc = (wp + wc) / (np + nc);
+    const double pcs = (wp + wc + ws) / (np + nc + ns);
+    const double cs = (wc + ws) / (nc + ns);
+    // Conditional form, exactly as proved in the paper.
+    if (pc <= pcs) {
+      EXPECT_LE(pcs, cs + 1e-12);
+    }
+    // Dominator form used by the pruning implementation.
+    EXPECT_LE(pcs, std::max(pc, cs) + 1e-12);
+  }
+}
+
+TEST(Theorem1Test, ReducibleDetection) {
+  // Path a-b-c where the prefix edge (0.1) is weaker than the remaining
+  // tail (0.9): reducible for lmin = 1; not reducible for lmin = 2
+  // (the tail would be too short).
+  ClusterGraph g(3, 0);
+  const NodeId a = g.AddNode(0);
+  const NodeId b = g.AddNode(1);
+  const NodeId c = g.AddNode(2);
+  ASSERT_TRUE(g.AddEdge(a, b, 0.1).ok());
+  ASSERT_TRUE(g.AddEdge(b, c, 0.9).ok());
+  g.SortChildren();
+  StablePath p;
+  p.nodes = {a, b, c};
+  p.weight = 1.0;
+  p.length = 2;
+  EXPECT_TRUE(Theorem1Reducible(p, g, 1));
+  EXPECT_FALSE(Theorem1Reducible(p, g, 2));
+
+  // Strong prefix, weak tail: not reducible.
+  ClusterGraph h(3, 0);
+  const NodeId x = h.AddNode(0);
+  const NodeId y = h.AddNode(1);
+  const NodeId z = h.AddNode(2);
+  ASSERT_TRUE(h.AddEdge(x, y, 0.9).ok());
+  ASSERT_TRUE(h.AddEdge(y, z, 0.1).ok());
+  h.SortChildren();
+  StablePath q;
+  q.nodes = {x, y, z};
+  q.weight = 1.0;
+  q.length = 2;
+  EXPECT_FALSE(Theorem1Reducible(q, h, 1));
+}
+
+TEST(NormalizedBfsTest, Theorem1PruningPreservesTopOne) {
+  for (uint64_t seed = 1; seed <= 10; ++seed) {
+    ClusterGraph graph = MakeRandomGraph(5, 4, 2, 0, seed * 19 + 3);
+    NormalizedFinderOptions exact;
+    exact.k = 1;
+    exact.lmin = 2;
+    NormalizedFinderOptions pruned = exact;
+    pruned.theorem1_pruning = true;
+    auto a = NormalizedBfsFinder(exact).Find(graph);
+    auto b = NormalizedBfsFinder(pruned).Find(graph);
+    ASSERT_TRUE(a.ok());
+    ASSERT_TRUE(b.ok());
+    ASSERT_EQ(a.value().paths.empty(), b.value().paths.empty());
+    if (!a.value().paths.empty()) {
+      EXPECT_EQ(a.value().paths[0].nodes, b.value().paths[0].nodes)
+          << "seed " << seed;
+    }
+  }
+}
+
+TEST(NormalizedBfsTest, Theorem1PruningReducesOffers) {
+  ClusterGraph graph = MakeRandomGraph(8, 10, 3, 0, 44);
+  NormalizedFinderOptions exact;
+  exact.k = 3;
+  exact.lmin = 2;
+  NormalizedFinderOptions pruned = exact;
+  pruned.theorem1_pruning = true;
+  auto a = NormalizedBfsFinder(exact).Find(graph);
+  auto b = NormalizedBfsFinder(pruned).Find(graph);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_LT(b.value().heap_offers, a.value().heap_offers);
+}
+
+TEST(NormalizedBfsTest, RejectsBadLmin) {
+  ClusterGraph graph = MakeRandomGraph(4, 4, 2, 0, 1);
+  NormalizedFinderOptions opt;
+  opt.lmin = 9;
+  EXPECT_FALSE(NormalizedBfsFinder(opt).Find(graph).ok());
+  EXPECT_FALSE(NormalizedDfsFinder(opt).Find(graph).ok());
+}
+
+}  // namespace
+}  // namespace stabletext

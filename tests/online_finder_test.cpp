@@ -1,0 +1,154 @@
+// Section 4.6 (online version): after each arriving interval the streaming
+// finder's top-k equals the batch BFS finder run on the data so far, and
+// integrating an interval never touches earlier intervals' annotations.
+
+#include <gtest/gtest.h>
+
+#include "stable/bfs_finder.h"
+#include "stable/online_finder.h"
+#include "test_helpers.h"
+
+namespace stabletext {
+namespace {
+
+// Replays `graph` interval by interval into an online finder, checking the
+// streaming answer against batch BFS on the growing prefix after every
+// interval.
+void ReplayAndCheck(uint32_t m, uint32_t n, uint32_t d, uint32_t g,
+                    size_t k, uint32_t l, uint64_t seed) {
+  ClusterGraph full = MakeRandomGraph(m, n, d, g, seed);
+  OnlineFinderOptions opt;
+  opt.k = k;
+  opt.l = l;
+  opt.gap = g;
+  OnlineStableFinder online(opt);
+
+  for (uint32_t i = 0; i < m; ++i) {
+    online.BeginInterval();
+    for (size_t j = 0; j < full.IntervalNodes(i).size(); ++j) {
+      auto node = online.AddNode();
+      ASSERT_TRUE(node.ok());
+      // The generator assigns dense ids interval-major, so ids align.
+      ASSERT_EQ(node.value(), full.IntervalNodes(i)[j]);
+    }
+    for (NodeId c : full.IntervalNodes(i)) {
+      for (const ClusterGraphEdge& pe : full.Parents(c)) {
+        ASSERT_TRUE(online.AddEdge(pe.target, c, pe.weight).ok());
+      }
+    }
+    ASSERT_TRUE(online.EndInterval().ok());
+
+    if (i < l) {
+      // Not enough intervals yet for any length-l path.
+      EXPECT_TRUE(online.TopK().empty());
+      continue;
+    }
+    // Batch reference on the prefix graph [0, i].
+    ClusterGraph prefix(i + 1, g);
+    for (uint32_t iv = 0; iv <= i; ++iv) {
+      for (size_t j = 0; j < full.IntervalNodes(iv).size(); ++j) {
+        prefix.AddNode(iv);
+      }
+    }
+    for (uint32_t iv = 0; iv <= i; ++iv) {
+      for (NodeId c : full.IntervalNodes(iv)) {
+        for (const ClusterGraphEdge& pe : full.Parents(c)) {
+          ASSERT_TRUE(prefix.AddEdge(pe.target, c, pe.weight).ok());
+        }
+      }
+    }
+    prefix.SortChildren();
+    BfsFinderOptions bopt;
+    bopt.k = k;
+    bopt.l = l;
+    auto batch = BfsStableFinder(bopt).Find(prefix);
+    ASSERT_TRUE(batch.ok());
+    ASSERT_EQ(online.TopK().size(), batch.value().paths.size())
+        << "after interval " << i;
+    for (size_t r = 0; r < online.TopK().size(); ++r) {
+      ASSERT_EQ(online.TopK()[r].nodes, batch.value().paths[r].nodes)
+          << "after interval " << i << " rank " << r;
+      ASSERT_EQ(online.TopK()[r].weight, batch.value().paths[r].weight);
+    }
+  }
+}
+
+TEST(OnlineFinderTest, StreamingEqualsBatchNoGap) {
+  ReplayAndCheck(6, 6, 2, 0, 3, 2, 7);
+}
+
+TEST(OnlineFinderTest, StreamingEqualsBatchWithGap) {
+  ReplayAndCheck(6, 5, 2, 1, 4, 3, 11);
+}
+
+TEST(OnlineFinderTest, StreamingEqualsBatchLongerPaths) {
+  ReplayAndCheck(8, 4, 2, 2, 5, 4, 13);
+}
+
+TEST(OnlineFinderTest, ApiValidation) {
+  OnlineStableFinder online(OnlineFinderOptions{});
+  EXPECT_FALSE(online.AddNode().ok());  // No interval open.
+  EXPECT_FALSE(online.EndInterval().ok());
+  online.BeginInterval();
+  auto a = online.AddNode();
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(online.EndInterval().ok());
+
+  online.BeginInterval();
+  auto b = online.AddNode();
+  ASSERT_TRUE(b.ok());
+  EXPECT_FALSE(online.AddEdge(b.value(), a.value(), 0.5).ok());  // Backward.
+  EXPECT_FALSE(online.AddEdge(a.value(), b.value(), 1.5).ok());  // Weight.
+  EXPECT_FALSE(online.AddEdge(a.value(), 99, 0.5).ok());
+  EXPECT_TRUE(online.AddEdge(a.value(), b.value(), 0.5).ok());
+  ASSERT_TRUE(online.EndInterval().ok());
+  EXPECT_EQ(online.interval_count(), 2u);
+  EXPECT_EQ(online.node_count(), 2u);
+}
+
+TEST(OnlineFinderTest, GapBoundEnforced) {
+  OnlineFinderOptions opt;
+  opt.gap = 0;
+  OnlineStableFinder online(opt);
+  online.BeginInterval();
+  auto a = online.AddNode();
+  ASSERT_TRUE(online.EndInterval().ok());
+  online.BeginInterval();
+  ASSERT_TRUE(online.EndInterval().ok());
+  online.BeginInterval();
+  auto c = online.AddNode();
+  // a is 2 intervals back; with g = 0 only 1 interval is allowed.
+  EXPECT_FALSE(online.AddEdge(a.value(), c.value(), 0.5).ok());
+  ASSERT_TRUE(online.EndInterval().ok());
+}
+
+TEST(OnlineFinderTest, IoPerIntervalIsWindowBounded) {
+  // Integrating interval i reads only the g+1-interval window, not all
+  // past intervals: total reads grow linearly, not quadratically.
+  const uint32_t m = 10, n = 5;
+  ClusterGraph full = MakeRandomGraph(m, n, 2, 0, 5);
+  OnlineFinderOptions opt;
+  opt.k = 3;
+  opt.l = 2;
+  opt.gap = 0;
+  OnlineStableFinder online(opt);
+  uint64_t prev_reads = 0;
+  uint64_t max_delta = 0;
+  for (uint32_t i = 0; i < m; ++i) {
+    online.BeginInterval();
+    for (size_t j = 0; j < n; ++j) ASSERT_TRUE(online.AddNode().ok());
+    for (NodeId c : full.IntervalNodes(i)) {
+      for (const ClusterGraphEdge& pe : full.Parents(c)) {
+        ASSERT_TRUE(online.AddEdge(pe.target, c, pe.weight).ok());
+      }
+    }
+    ASSERT_TRUE(online.EndInterval().ok());
+    max_delta = std::max(max_delta, online.io().page_reads - prev_reads);
+    prev_reads = online.io().page_reads;
+  }
+  // Window (g+1=1 interval) + current interval = 2n reads per step.
+  EXPECT_LE(max_delta, 2ull * n);
+}
+
+}  // namespace
+}  // namespace stabletext

@@ -1,0 +1,132 @@
+// Porter stemmer: the reference behaviour from Porter (1980), including the
+// per-step example words from the paper, plus the stemmed keywords visible
+// in the VLDB paper's figures ("iphon", "galaxi", ...).
+
+#include <gtest/gtest.h>
+
+#include "text/porter_stemmer.h"
+
+namespace stabletext {
+namespace {
+
+struct Case {
+  const char* in;
+  const char* out;
+};
+
+class PorterCaseTest : public ::testing::TestWithParam<Case> {};
+
+TEST_P(PorterCaseTest, StemsToExpectedForm) {
+  EXPECT_EQ(PorterStemmer::Stem(GetParam().in), GetParam().out)
+      << "input: " << GetParam().in;
+}
+
+// Step 1a examples from Porter (1980).
+INSTANTIATE_TEST_SUITE_P(
+    Step1a, PorterCaseTest,
+    ::testing::Values(Case{"caresses", "caress"}, Case{"ponies", "poni"},
+                      Case{"ties", "ti"}, Case{"caress", "caress"},
+                      Case{"cats", "cat"}));
+
+// Step 1b examples.
+INSTANTIATE_TEST_SUITE_P(
+    Step1b, PorterCaseTest,
+    ::testing::Values(Case{"feed", "feed"}, Case{"agreed", "agre"},
+                      Case{"plastered", "plaster"}, Case{"bled", "bled"},
+                      Case{"motoring", "motor"}, Case{"sing", "sing"},
+                      Case{"conflated", "conflat"},
+                      Case{"troubled", "troubl"}, Case{"sized", "size"},
+                      Case{"hopping", "hop"}, Case{"tanned", "tan"},
+                      Case{"falling", "fall"}, Case{"hissing", "hiss"},
+                      Case{"fizzed", "fizz"}, Case{"failing", "fail"},
+                      Case{"filing", "file"}));
+
+// Step 1c examples.
+INSTANTIATE_TEST_SUITE_P(Step1c, PorterCaseTest,
+                         ::testing::Values(Case{"happy", "happi"},
+                                           Case{"sky", "sky"}));
+
+// Step 2 examples (selection).
+INSTANTIATE_TEST_SUITE_P(
+    Step2, PorterCaseTest,
+    ::testing::Values(Case{"relational", "relat"},
+                      Case{"conditional", "condit"},
+                      Case{"rational", "ration"},
+                      Case{"digitizer", "digit"},
+                      Case{"conformabli", "conform"},
+                      Case{"radicalli", "radic"},
+                      Case{"differentli", "differ"},
+                      Case{"vileli", "vile"},
+                      Case{"analogousli", "analog"},
+                      Case{"operator", "oper"}));
+
+// Step 3 examples.
+INSTANTIATE_TEST_SUITE_P(
+    Step3, PorterCaseTest,
+    ::testing::Values(Case{"triplicate", "triplic"},
+                      Case{"formative", "form"}, Case{"formalize", "formal"},
+                      Case{"electriciti", "electr"},
+                      Case{"electrical", "electr"}, Case{"hopeful", "hope"},
+                      Case{"goodness", "good"}));
+
+// Step 4 examples (selection).
+INSTANTIATE_TEST_SUITE_P(
+    Step4, PorterCaseTest,
+    ::testing::Values(Case{"revival", "reviv"}, Case{"allowance", "allow"},
+                      Case{"inference", "infer"}, Case{"airliner", "airlin"},
+                      Case{"adjustable", "adjust"},
+                      Case{"defensible", "defens"},
+                      Case{"adoption", "adopt"},
+                      Case{"replacement", "replac"},
+                      Case{"adjustment", "adjust"},
+                      Case{"dependent", "depend"},
+                      Case{"homologou", "homolog"},
+                      Case{"communism", "commun"}, Case{"activate", "activ"},
+                      Case{"angulariti", "angular"},
+                      Case{"effective", "effect"}, Case{"bowdlerize",
+                                                        "bowdler"}));
+
+// Step 5 examples.
+INSTANTIATE_TEST_SUITE_P(
+    Step5, PorterCaseTest,
+    ::testing::Values(Case{"probate", "probat"}, Case{"rate", "rate"},
+                      Case{"cease", "ceas"}, Case{"controll", "control"},
+                      Case{"roll", "roll"}));
+
+// Keywords the VLDB paper's figures show in stemmed form.
+INSTANTIATE_TEST_SUITE_P(
+    PaperKeywords, PorterCaseTest,
+    ::testing::Values(Case{"iphone", "iphon"}, Case{"galaxy", "galaxi"},
+                      Case{"apple", "appl"}, Case{"trial", "trial"},
+                      Case{"hussein", "hussein"}, Case{"saddam", "saddam"},
+                      Case{"beckham", "beckham"},
+                      Case{"stemcell", "stemcel"}));
+
+TEST(PorterStemmerTest, ShortWordsUnchanged) {
+  EXPECT_EQ(PorterStemmer::Stem(""), "");
+  EXPECT_EQ(PorterStemmer::Stem("a"), "a");
+  EXPECT_EQ(PorterStemmer::Stem("at"), "at");
+  EXPECT_EQ(PorterStemmer::Stem("is"), "is");
+}
+
+TEST(PorterStemmerTest, StemsNeverLongerThanInput) {
+  const char* words[] = {"running",   "nationalization", "hopefulness",
+                         "abilities", "troubles",        "generalizations"};
+  for (const char* w : words) {
+    EXPECT_LE(PorterStemmer::Stem(w).size(), std::string(w).size()) << w;
+  }
+}
+
+TEST(PorterStemmerTest, RelatedFormsShareAStem) {
+  EXPECT_EQ(PorterStemmer::Stem("connect"),
+            PorterStemmer::Stem("connected"));
+  EXPECT_EQ(PorterStemmer::Stem("connect"),
+            PorterStemmer::Stem("connecting"));
+  EXPECT_EQ(PorterStemmer::Stem("connect"),
+            PorterStemmer::Stem("connection"));
+  EXPECT_EQ(PorterStemmer::Stem("connect"),
+            PorterStemmer::Stem("connections"));
+}
+
+}  // namespace
+}  // namespace stabletext

@@ -1,0 +1,110 @@
+// SpillableStack: LIFO equivalence with std::vector under spill-forcing
+// configurations, mixed push/pop workloads, accounting.
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "storage/spillable_stack.h"
+#include "util/random.h"
+
+namespace stabletext {
+namespace {
+
+struct Entry {
+  uint32_t u;
+  uint32_t v;
+  friend bool operator==(const Entry&, const Entry&) = default;
+};
+
+SpillableStackOptions SmallOptions(size_t memory_entries,
+                                   size_t block_entries) {
+  SpillableStackOptions opt;
+  opt.memory_entries = memory_entries;
+  opt.block_entries = block_entries;
+  opt.page_size = 256;
+  return opt;
+}
+
+TEST(SpillableStackTest, BasicLifo) {
+  SpillableStack<Entry> stack(SmallOptions(64, 16));
+  EXPECT_TRUE(stack.empty());
+  ASSERT_TRUE(stack.Push(Entry{1, 2}).ok());
+  ASSERT_TRUE(stack.Push(Entry{3, 4}).ok());
+  EXPECT_EQ(stack.size(), 2u);
+  Entry e;
+  ASSERT_TRUE(stack.Top(&e).ok());
+  EXPECT_EQ(e, (Entry{3, 4}));
+  ASSERT_TRUE(stack.Pop(&e).ok());
+  EXPECT_EQ(e, (Entry{3, 4}));
+  ASSERT_TRUE(stack.Pop(&e).ok());
+  EXPECT_EQ(e, (Entry{1, 2}));
+  EXPECT_TRUE(stack.empty());
+}
+
+TEST(SpillableStackTest, PopEmptyIsError) {
+  SpillableStack<Entry> stack(SmallOptions(64, 16));
+  Entry e;
+  EXPECT_FALSE(stack.Pop(&e).ok());
+  EXPECT_FALSE(stack.Top(&e).ok());
+}
+
+TEST(SpillableStackTest, SpillsAndRestores) {
+  IoStats stats;
+  SpillableStack<Entry> stack(SmallOptions(64, 16), &stats);
+  for (uint32_t i = 0; i < 200; ++i) {
+    ASSERT_TRUE(stack.Push(Entry{i, i * 2}).ok());
+  }
+  EXPECT_GT(stack.cold_entries(), 0u);
+  EXPECT_GT(stats.page_writes, 0u);
+  EXPECT_LE(stack.hot_entries(), 64u + 1);
+  for (uint32_t i = 200; i-- > 0;) {
+    Entry e;
+    ASSERT_TRUE(stack.Pop(&e).ok());
+    EXPECT_EQ(e, (Entry{i, i * 2}));
+  }
+  EXPECT_TRUE(stack.empty());
+  EXPECT_GT(stats.page_reads, 0u);
+}
+
+class SpillableStackRandomTest : public ::testing::TestWithParam<size_t> {};
+
+TEST_P(SpillableStackRandomTest, MatchesReferenceUnderMixedWorkload) {
+  const size_t memory_entries = GetParam();
+  SpillableStack<Entry> stack(
+      SmallOptions(memory_entries, memory_entries / 2));
+  std::vector<Entry> reference;
+  Rng rng(memory_entries * 31 + 7);
+  for (int step = 0; step < 20000; ++step) {
+    const bool push = reference.empty() || rng.NextBool(0.55);
+    if (push) {
+      Entry e{static_cast<uint32_t>(step),
+              static_cast<uint32_t>(rng.Next() & 0xFFFF)};
+      ASSERT_TRUE(stack.Push(e).ok());
+      reference.push_back(e);
+    } else {
+      Entry e;
+      ASSERT_TRUE(stack.Pop(&e).ok());
+      ASSERT_EQ(e, reference.back());
+      reference.pop_back();
+    }
+    ASSERT_EQ(stack.size(), reference.size());
+  }
+  // Drain.
+  while (!reference.empty()) {
+    Entry e;
+    ASSERT_TRUE(stack.Pop(&e).ok());
+    ASSERT_EQ(e, reference.back());
+    reference.pop_back();
+  }
+  EXPECT_TRUE(stack.empty());
+}
+
+INSTANTIATE_TEST_SUITE_P(MemorySizes, SpillableStackRandomTest,
+                         ::testing::Values<size_t>(8, 32, 128, 4096),
+                         [](const auto& info) {
+                           return "mem" + std::to_string(info.param);
+                         });
+
+}  // namespace
+}  // namespace stabletext

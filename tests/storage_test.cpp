@@ -1,0 +1,257 @@
+// Unit tests for storage/: TempDir, PagedFile (caching, accounting,
+// persistence, error paths), RecordWriter/RecordReader.
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+
+#include "storage/paged_file.h"
+#include "storage/record_file.h"
+#include "storage/temp_dir.h"
+
+namespace stabletext {
+namespace {
+
+std::vector<uint8_t> FilledPage(size_t page_size, uint8_t fill) {
+  return std::vector<uint8_t>(page_size, fill);
+}
+
+TEST(TempDirTest, CreatesAndRemovesDirectory) {
+  std::string path;
+  {
+    TempDir dir("st_test");
+    path = dir.path();
+    EXPECT_TRUE(std::filesystem::is_directory(path));
+    EXPECT_EQ(dir.FilePath("x"), path + "/x");
+  }
+  EXPECT_FALSE(std::filesystem::exists(path));
+}
+
+TEST(TempDirTest, DistinctInstancesGetDistinctPaths) {
+  TempDir a("st_test"), b("st_test");
+  EXPECT_NE(a.path(), b.path());
+}
+
+TEST(PagedFileTest, WriteReadRoundTrip) {
+  TempDir dir;
+  IoStats stats;
+  PagedFile file;
+  PagedFileOptions opt;
+  opt.page_size = 256;
+  opt.truncate = true;
+  ASSERT_TRUE(file.Open(dir.FilePath("f"), opt, &stats).ok());
+  for (uint8_t i = 0; i < 10; ++i) {
+    auto page = FilledPage(256, i);
+    ASSERT_TRUE(file.WritePage(i, page.data()).ok());
+  }
+  EXPECT_EQ(file.PageCount(), 10u);
+  std::vector<uint8_t> out;
+  for (uint8_t i = 0; i < 10; ++i) {
+    ASSERT_TRUE(file.ReadPage(i, &out).ok());
+    EXPECT_EQ(out, FilledPage(256, i));
+  }
+}
+
+TEST(PagedFileTest, PersistsAcrossReopen) {
+  TempDir dir;
+  const std::string path = dir.FilePath("f");
+  {
+    PagedFile file;
+    PagedFileOptions opt;
+    opt.page_size = 128;
+    opt.truncate = true;
+    ASSERT_TRUE(file.Open(path, opt, nullptr).ok());
+    auto page = FilledPage(128, 0xAB);
+    ASSERT_TRUE(file.WritePage(0, page.data()).ok());
+    ASSERT_TRUE(file.Close().ok());
+  }
+  PagedFile file;
+  PagedFileOptions opt;
+  opt.page_size = 128;
+  ASSERT_TRUE(file.Open(path, opt, nullptr).ok());
+  EXPECT_EQ(file.PageCount(), 1u);
+  std::vector<uint8_t> out;
+  ASSERT_TRUE(file.ReadPage(0, &out).ok());
+  EXPECT_EQ(out, FilledPage(128, 0xAB));
+}
+
+TEST(PagedFileTest, CacheDisabledChargesEveryAccess) {
+  TempDir dir;
+  IoStats stats;
+  PagedFile file;
+  PagedFileOptions opt;
+  opt.page_size = 64;
+  opt.cache_pages = 0;  // The paper's "page cache disabled" environment.
+  opt.truncate = true;
+  ASSERT_TRUE(file.Open(dir.FilePath("f"), opt, &stats).ok());
+  auto page = FilledPage(64, 1);
+  ASSERT_TRUE(file.WritePage(0, page.data()).ok());
+  std::vector<uint8_t> out;
+  for (int i = 0; i < 5; ++i) ASSERT_TRUE(file.ReadPage(0, &out).ok());
+  EXPECT_EQ(stats.page_writes, 1u);
+  EXPECT_EQ(stats.page_reads, 5u);
+  EXPECT_EQ(stats.logical_reads, 0u);
+}
+
+TEST(PagedFileTest, CacheAbsorbsRepeatedReads) {
+  TempDir dir;
+  IoStats stats;
+  PagedFile file;
+  PagedFileOptions opt;
+  opt.page_size = 64;
+  opt.cache_pages = 4;
+  opt.truncate = true;
+  ASSERT_TRUE(file.Open(dir.FilePath("f"), opt, &stats).ok());
+  auto page = FilledPage(64, 1);
+  ASSERT_TRUE(file.WritePage(0, page.data()).ok());
+  std::vector<uint8_t> out;
+  for (int i = 0; i < 5; ++i) ASSERT_TRUE(file.ReadPage(0, &out).ok());
+  // The write stays cached; all five reads hit the dirty frame.
+  EXPECT_EQ(stats.page_reads, 0u);
+  EXPECT_EQ(stats.logical_reads, 5u);
+  ASSERT_TRUE(file.Flush().ok());
+  EXPECT_EQ(stats.page_writes, 1u);
+}
+
+TEST(PagedFileTest, LruEvictsColdestPage) {
+  TempDir dir;
+  IoStats stats;
+  PagedFile file;
+  PagedFileOptions opt;
+  opt.page_size = 64;
+  opt.cache_pages = 2;
+  opt.truncate = true;
+  ASSERT_TRUE(file.Open(dir.FilePath("f"), opt, &stats).ok());
+  for (uint8_t i = 0; i < 3; ++i) {
+    auto page = FilledPage(64, i);
+    ASSERT_TRUE(file.WritePage(i, page.data()).ok());
+  }
+  // Pages 0 was evicted (written); 1 and 2 cached.
+  EXPECT_EQ(stats.page_writes, 1u);
+  std::vector<uint8_t> out;
+  ASSERT_TRUE(file.ReadPage(2, &out).ok());
+  EXPECT_EQ(stats.page_reads, 0u);
+  ASSERT_TRUE(file.ReadPage(0, &out).ok());  // Miss: physical read.
+  EXPECT_EQ(stats.page_reads, 1u);
+  EXPECT_EQ(out, FilledPage(64, 0));
+}
+
+TEST(PagedFileTest, RandomSeeksCounted) {
+  TempDir dir;
+  IoStats stats;
+  PagedFile file;
+  PagedFileOptions opt;
+  opt.page_size = 64;
+  opt.cache_pages = 0;
+  opt.truncate = true;
+  ASSERT_TRUE(file.Open(dir.FilePath("f"), opt, &stats).ok());
+  auto page = FilledPage(64, 0);
+  for (int i = 0; i < 8; ++i) {
+    ASSERT_TRUE(file.WritePage(i, page.data()).ok());
+  }
+  EXPECT_EQ(stats.random_seeks, 0u);  // Sequential appends.
+  std::vector<uint8_t> out;
+  ASSERT_TRUE(file.ReadPage(0, &out).ok());  // Jump back: one seek.
+  ASSERT_TRUE(file.ReadPage(1, &out).ok());  // Sequential.
+  ASSERT_TRUE(file.ReadPage(5, &out).ok());  // Jump: another seek.
+  EXPECT_EQ(stats.random_seeks, 2u);
+}
+
+TEST(PagedFileTest, ErrorsOnBadAccesses) {
+  TempDir dir;
+  PagedFile file;
+  PagedFileOptions opt;
+  opt.page_size = 64;
+  opt.truncate = true;
+  ASSERT_TRUE(file.Open(dir.FilePath("f"), opt, nullptr).ok());
+  std::vector<uint8_t> out;
+  EXPECT_FALSE(file.ReadPage(0, &out).ok());  // Empty file.
+  auto page = FilledPage(64, 1);
+  EXPECT_FALSE(file.WritePage(5, page.data()).ok());  // Gap.
+  PagedFile second;
+  PagedFileOptions bad;
+  bad.page_size = 0;
+  EXPECT_EQ(second.Open(dir.FilePath("g"), bad, nullptr).code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(PagedFileTest, RejectsMisalignedExistingFile) {
+  TempDir dir;
+  const std::string path = dir.FilePath("odd");
+  {
+    std::FILE* f = std::fopen(path.c_str(), "wb");
+    ASSERT_NE(f, nullptr);
+    std::fputs("123", f);
+    std::fclose(f);
+  }
+  PagedFile file;
+  PagedFileOptions opt;
+  opt.page_size = 64;
+  EXPECT_EQ(file.Open(path, opt, nullptr).code(), StatusCode::kCorruption);
+}
+
+struct Rec {
+  uint32_t a;
+  uint64_t b;
+  friend bool operator==(const Rec&, const Rec&) = default;
+};
+
+TEST(RecordFileTest, RoundTripsRecords) {
+  TempDir dir;
+  IoStats stats;
+  RecordWriter<Rec> writer;
+  ASSERT_TRUE(writer.Open(dir.FilePath("r"), &stats, 128).ok());
+  std::vector<Rec> expected;
+  for (uint32_t i = 0; i < 100; ++i) {
+    Rec r{i, uint64_t{i} * 7};
+    expected.push_back(r);
+    ASSERT_TRUE(writer.Append(r).ok());
+  }
+  ASSERT_TRUE(writer.Finish().ok());
+  EXPECT_EQ(writer.count(), 100u);
+
+  RecordReader<Rec> reader;
+  ASSERT_TRUE(reader.Open(dir.FilePath("r"), &stats, 128).ok());
+  EXPECT_EQ(reader.count(), 100u);
+  std::vector<Rec> got;
+  Rec r;
+  while (reader.Next(&r)) got.push_back(r);
+  EXPECT_TRUE(reader.status().ok());
+  EXPECT_EQ(got, expected);
+}
+
+TEST(RecordFileTest, EmptyFile) {
+  TempDir dir;
+  RecordWriter<Rec> writer;
+  ASSERT_TRUE(writer.Open(dir.FilePath("r"), nullptr).ok());
+  ASSERT_TRUE(writer.Finish().ok());
+  RecordReader<Rec> reader;
+  ASSERT_TRUE(reader.Open(dir.FilePath("r"), nullptr).ok());
+  Rec r;
+  EXPECT_FALSE(reader.Next(&r));
+  EXPECT_EQ(reader.count(), 0u);
+}
+
+TEST(RecordFileTest, RejectsPageSmallerThanRecord) {
+  TempDir dir;
+  RecordWriter<Rec> writer;
+  EXPECT_FALSE(writer.Open(dir.FilePath("r"), nullptr, 8).ok());
+}
+
+TEST(IoStatsTest, AccumulatesAndPrints) {
+  IoStats a, b;
+  a.page_reads = 3;
+  a.bytes_read = 300;
+  b.page_writes = 2;
+  b.random_seeks = 1;
+  a += b;
+  EXPECT_EQ(a.page_reads, 3u);
+  EXPECT_EQ(a.page_writes, 2u);
+  EXPECT_EQ(a.random_seeks, 1u);
+  EXPECT_NE(a.ToString().find("reads=3"), std::string::npos);
+  a.Reset();
+  EXPECT_EQ(a.page_reads, 0u);
+}
+
+}  // namespace
+}  // namespace stabletext

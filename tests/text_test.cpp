@@ -1,0 +1,169 @@
+// Unit tests for text/: Tokenizer, StopWords, DocumentProcessor, Corpus IO.
+
+#include <gtest/gtest.h>
+
+#include "storage/temp_dir.h"
+#include "text/corpus.h"
+#include "text/document.h"
+
+namespace stabletext {
+namespace {
+
+TEST(TokenizerTest, LowercasesAndSplitsOnNonAlnum) {
+  Tokenizer t;
+  EXPECT_EQ(t.Tokenize("Hello, World!"),
+            (std::vector<std::string>{"hello", "world"}));
+}
+
+TEST(TokenizerTest, RemovesApostrophes) {
+  Tokenizer t;
+  EXPECT_EQ(t.Tokenize("don't can't"),
+            (std::vector<std::string>{"dont", "cant"}));
+}
+
+TEST(TokenizerTest, DropsShortAndLongTokens) {
+  TokenizerOptions opt;
+  opt.min_token_length = 3;
+  opt.max_token_length = 5;
+  Tokenizer t(opt);
+  EXPECT_EQ(t.Tokenize("a ab abc abcd abcdef"),
+            (std::vector<std::string>{"abc", "abcd"}));
+}
+
+TEST(TokenizerTest, DigitPolicy) {
+  TokenizerOptions opt;
+  opt.keep_digits = false;
+  Tokenizer t(opt);
+  EXPECT_EQ(t.Tokenize("win 2007 iphone2"),
+            (std::vector<std::string>{"win", "iphone2"}));
+  Tokenizer keep;  // Default keeps digits.
+  EXPECT_EQ(keep.Tokenize("win 2007"),
+            (std::vector<std::string>{"win", "2007"}));
+}
+
+TEST(TokenizerTest, NonAsciiBytesAreSeparators) {
+  Tokenizer t;
+  EXPECT_EQ(t.Tokenize("caf\xC3\xA9 bar"),
+            (std::vector<std::string>{"caf", "bar"}));
+}
+
+TEST(TokenizerTest, EmptyAndSeparatorOnlyInput) {
+  Tokenizer t;
+  EXPECT_TRUE(t.Tokenize("").empty());
+  EXPECT_TRUE(t.Tokenize("... !!! ---").empty());
+}
+
+TEST(StopWordsTest, DefaultListCatchesFunctionWords) {
+  StopWords sw;
+  EXPECT_TRUE(sw.Contains("the"));
+  EXPECT_TRUE(sw.Contains("and"));
+  EXPECT_TRUE(sw.Contains("dont"));  // Post-apostrophe-removal form.
+  EXPECT_FALSE(sw.Contains("beckham"));
+  EXPECT_GT(sw.size(), 100u);
+}
+
+TEST(StopWordsTest, CustomListAndAdd) {
+  StopWords sw(std::vector<std::string>{"foo"});
+  EXPECT_TRUE(sw.Contains("foo"));
+  EXPECT_FALSE(sw.Contains("the"));
+  sw.Add("bar");
+  EXPECT_TRUE(sw.Contains("bar"));
+}
+
+TEST(DocumentProcessorTest, StemsDeduplicatesAndSorts) {
+  DocumentProcessor p;
+  Document doc =
+      p.Process(3, "The runners were running and the runner ran!");
+  EXPECT_EQ(doc.interval, 3u);
+  // "the", "were", "and" are stop words; runners/running/runner stem
+  // together ("runner" -> "runner", "running" -> "run"...).
+  for (const auto& kw : doc.keywords) {
+    EXPECT_FALSE(kw.empty());
+  }
+  // Sorted and unique.
+  for (size_t i = 1; i < doc.keywords.size(); ++i) {
+    EXPECT_LT(doc.keywords[i - 1], doc.keywords[i]);
+  }
+  // No stop words survive.
+  StopWords sw;
+  for (const auto& kw : doc.keywords) EXPECT_FALSE(sw.Contains(kw));
+}
+
+TEST(DocumentProcessorTest, KeywordsAreDistinctPerDocument) {
+  DocumentProcessor p;
+  Document doc = p.Process(0, "apple apple apple iphone iphone");
+  EXPECT_EQ(doc.keywords.size(), 2u);
+}
+
+TEST(CorpusTest, WriteReadRoundTrip) {
+  TempDir dir;
+  const std::string path = dir.FilePath("corpus.txt");
+  CorpusWriter writer;
+  ASSERT_TRUE(writer.Open(path).ok());
+  ASSERT_TRUE(writer.Append(0, "first post").ok());
+  ASSERT_TRUE(writer.Append(0, "second\tpost\nwith breaks").ok());
+  ASSERT_TRUE(writer.Append(1, "day two").ok());
+  ASSERT_TRUE(writer.Finish().ok());
+  EXPECT_EQ(writer.count(), 3u);
+
+  CorpusReader reader;
+  ASSERT_TRUE(reader.Open(path).ok());
+  uint32_t interval;
+  std::string text;
+  ASSERT_TRUE(reader.Next(&interval, &text));
+  EXPECT_EQ(interval, 0u);
+  EXPECT_EQ(text, "first post");
+  ASSERT_TRUE(reader.Next(&interval, &text));
+  EXPECT_EQ(text, "second post with breaks");  // Breaks sanitized.
+  ASSERT_TRUE(reader.Next(&interval, &text));
+  EXPECT_EQ(interval, 1u);
+  EXPECT_FALSE(reader.Next(&interval, &text));
+  EXPECT_TRUE(reader.status().ok());
+}
+
+TEST(CorpusTest, ForEachVisitsAllPosts) {
+  TempDir dir;
+  const std::string path = dir.FilePath("corpus.txt");
+  CorpusWriter writer;
+  ASSERT_TRUE(writer.Open(path).ok());
+  for (uint32_t d = 0; d < 3; ++d) {
+    for (int p = 0; p < 4; ++p) {
+      ASSERT_TRUE(writer.Append(d, "post").ok());
+    }
+  }
+  ASSERT_TRUE(writer.Finish().ok());
+  CorpusReader reader;
+  ASSERT_TRUE(reader.Open(path).ok());
+  size_t count = 0;
+  ASSERT_TRUE(reader
+                  .ForEach([&](uint32_t iv, const std::string& t) {
+                    EXPECT_LT(iv, 3u);
+                    EXPECT_EQ(t, "post");
+                    ++count;
+                  })
+                  .ok());
+  EXPECT_EQ(count, 12u);
+}
+
+TEST(CorpusTest, DetectsMalformedLines) {
+  TempDir dir;
+  const std::string path = dir.FilePath("bad.txt");
+  {
+    std::ofstream out(path);
+    out << "no tab here\n";
+  }
+  CorpusReader reader;
+  ASSERT_TRUE(reader.Open(path).ok());
+  uint32_t interval;
+  std::string text;
+  EXPECT_FALSE(reader.Next(&interval, &text));
+  EXPECT_EQ(reader.status().code(), StatusCode::kCorruption);
+}
+
+TEST(CorpusTest, MissingFileFailsToOpen) {
+  CorpusReader reader;
+  EXPECT_FALSE(reader.Open("/nonexistent/path/corpus.txt").ok());
+}
+
+}  // namespace
+}  // namespace stabletext

@@ -1,0 +1,128 @@
+// TopKHeap: ordering, capacity, duplicate rejection, tie-breaking, and the
+// path comparators' monotonicity properties that the DP finders rely on.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "stable/topk_heap.h"
+#include "util/random.h"
+
+namespace stabletext {
+namespace {
+
+StablePath P(std::vector<NodeId> nodes, double weight, uint32_t length) {
+  StablePath p;
+  p.nodes = std::move(nodes);
+  p.weight = weight;
+  p.length = length;
+  return p;
+}
+
+TEST(TopKHeapTest, KeepsBestKSorted) {
+  TopKHeap<> heap(3);
+  EXPECT_TRUE(heap.Offer(P({1, 2}, 0.3, 1)));
+  EXPECT_TRUE(heap.Offer(P({2, 3}, 0.9, 1)));
+  EXPECT_TRUE(heap.Offer(P({3, 4}, 0.5, 1)));
+  EXPECT_TRUE(heap.full());
+  EXPECT_TRUE(heap.Offer(P({4, 5}, 0.7, 1)));   // Evicts 0.3.
+  EXPECT_FALSE(heap.Offer(P({5, 6}, 0.2, 1)));  // Too light.
+  ASSERT_EQ(heap.size(), 3u);
+  EXPECT_DOUBLE_EQ(heap.paths()[0].weight, 0.9);
+  EXPECT_DOUBLE_EQ(heap.paths()[1].weight, 0.7);
+  EXPECT_DOUBLE_EQ(heap.paths()[2].weight, 0.5);
+  EXPECT_DOUBLE_EQ(heap.MinWeight(), 0.5);
+}
+
+TEST(TopKHeapTest, RejectsExactDuplicates) {
+  TopKHeap<> heap(5);
+  EXPECT_TRUE(heap.Offer(P({1, 2, 3}, 0.5, 2)));
+  EXPECT_FALSE(heap.Offer(P({1, 2, 3}, 0.5, 2)));
+  EXPECT_EQ(heap.size(), 1u);
+}
+
+TEST(TopKHeapTest, ZeroCapacityAcceptsNothing) {
+  TopKHeap<> heap(0);
+  EXPECT_FALSE(heap.Offer(P({1, 2}, 1.0, 1)));
+  EXPECT_TRUE(heap.empty());
+}
+
+TEST(TopKHeapTest, TieBreaksLexicographically) {
+  TopKHeap<> heap(1);
+  EXPECT_TRUE(heap.Offer(P({5, 6}, 0.5, 1)));
+  EXPECT_TRUE(heap.Offer(P({1, 2}, 0.5, 1)));   // Same weight, smaller.
+  EXPECT_FALSE(heap.Offer(P({7, 8}, 0.5, 1)));  // Same weight, larger.
+  ASSERT_EQ(heap.size(), 1u);
+  EXPECT_EQ(heap.paths()[0].nodes, (std::vector<NodeId>{1, 2}));
+}
+
+TEST(TopKHeapTest, ClearResets) {
+  TopKHeap<> heap(2);
+  heap.Offer(P({1, 2}, 0.5, 1));
+  heap.Clear();
+  EXPECT_TRUE(heap.empty());
+  EXPECT_EQ(heap.capacity(), 2u);
+}
+
+TEST(TopKHeapTest, MemoryBytesGrowsWithContent) {
+  TopKHeap<> heap(4);
+  const size_t empty = heap.MemoryBytes();
+  heap.Offer(P({1, 2, 3, 4, 5}, 0.5, 4));
+  EXPECT_GT(heap.MemoryBytes(), empty);
+}
+
+TEST(TopKHeapTest, StabilityOrderUsedByNormalizedProblem) {
+  TopKHeap<PathMoreStable> heap(2);
+  heap.Offer(P({1, 2, 3}, 1.0, 2));     // stability 0.5
+  heap.Offer(P({4, 5}, 0.9, 1));        // stability 0.9
+  heap.Offer(P({6, 7, 8, 9}, 1.8, 3));  // stability 0.6
+  ASSERT_EQ(heap.size(), 2u);
+  EXPECT_DOUBLE_EQ(heap.paths()[0].stability(), 0.9);
+  EXPECT_DOUBLE_EQ(heap.paths()[1].stability(), 0.6);
+}
+
+TEST(PathTest, StabilityAndToString) {
+  StablePath p = P({3, 9}, 0.75, 3);
+  EXPECT_DOUBLE_EQ(p.stability(), 0.25);
+  EXPECT_NE(p.ToString().find("3-9"), std::string::npos);
+  StablePath zero;
+  EXPECT_EQ(zero.stability(), 0);
+}
+
+TEST(PathTest, IsSubpathDetectsContiguousRuns) {
+  StablePath super = P({1, 2, 3, 4}, 1, 3);
+  EXPECT_TRUE(IsSubpath(P({2, 3}, 0, 1), super));
+  EXPECT_TRUE(IsSubpath(P({1, 2, 3, 4}, 0, 3), super));
+  EXPECT_FALSE(IsSubpath(P({1, 3}, 0, 1), super));  // Not contiguous.
+  EXPECT_FALSE(IsSubpath(P({4, 5}, 0, 1), super));
+  EXPECT_FALSE(IsSubpath(P({}, 0, 0), super));
+}
+
+// Prefix monotonicity: if a > b under PathBetter (same end node, same
+// length), then a+edge > b+edge. This is the property that makes per-node
+// top-k pruning exact in the BFS/DFS DP.
+TEST(PathOrderTest, PrefixMonotoneUnderExtension) {
+  Rng rng(3);
+  PathBetter better;
+  for (int trial = 0; trial < 500; ++trial) {
+    // Two random same-length paths ending at the same node.
+    const double q = 1024.0;
+    StablePath a = P({static_cast<NodeId>(rng.Uniform(5)), 9},
+                     std::ceil(rng.NextDouble() * q) / q, 1);
+    StablePath b = P({static_cast<NodeId>(rng.Uniform(5)), 9},
+                     std::ceil(rng.NextDouble() * q) / q, 1);
+    if (a == b) continue;
+    const double w = std::ceil(rng.NextDouble() * q) / q;
+    StablePath ae = a, be = b;
+    ae.nodes.push_back(17);
+    be.nodes.push_back(17);
+    ae.weight += w;
+    be.weight += w;
+    ae.length += 1;
+    be.length += 1;
+    EXPECT_EQ(better(a, b), better(ae, be));
+  }
+}
+
+}  // namespace
+}  // namespace stabletext

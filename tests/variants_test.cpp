@@ -1,0 +1,154 @@
+// Extension variants from Section 4's discussion: diversified top-k
+// (prefix/suffix dedup) and the paper-literal normalized algorithm.
+
+#include <gtest/gtest.h>
+
+#include "stable/brute_force_finder.h"
+#include "stable/diversify.h"
+#include "stable/normalized_literal_finder.h"
+#include "test_helpers.h"
+
+namespace stabletext {
+namespace {
+
+StablePath P(std::vector<NodeId> nodes, double weight, uint32_t length) {
+  StablePath p;
+  p.nodes = std::move(nodes);
+  p.weight = weight;
+  p.length = length;
+  return p;
+}
+
+TEST(DiversifyTest, ConflictDetection) {
+  DiversifyOptions opt;
+  opt.prefix_nodes = 2;
+  opt.suffix_nodes = 2;
+  // Shared first edge.
+  EXPECT_TRUE(
+      PathsConflict(P({1, 2, 3}, 1, 2), P({1, 2, 9}, 1, 2), opt));
+  // Shared last edge.
+  EXPECT_TRUE(
+      PathsConflict(P({7, 2, 3}, 1, 2), P({9, 2, 3}, 1, 2), opt));
+  // Disjoint affixes.
+  EXPECT_FALSE(
+      PathsConflict(P({1, 2, 3}, 1, 2), P({4, 2, 9}, 1, 2), opt));
+  // Constraints disabled.
+  DiversifyOptions off;
+  off.prefix_nodes = 0;
+  off.suffix_nodes = 0;
+  EXPECT_FALSE(
+      PathsConflict(P({1, 2, 3}, 1, 2), P({1, 2, 3}, 1, 2), off));
+}
+
+TEST(DiversifyTest, GreedySelectionSkipsConflicts) {
+  DiversifyOptions opt;
+  opt.prefix_nodes = 2;
+  opt.suffix_nodes = 0;
+  std::vector<StablePath> ranked = {
+      P({1, 2, 3}, 0.9, 2),  // Kept.
+      P({1, 2, 4}, 0.8, 2),  // Same prefix (1,2): skipped.
+      P({5, 2, 4}, 0.7, 2),  // Kept.
+      P({5, 2, 9}, 0.6, 2),  // Same prefix (5,2): skipped.
+      P({6, 2, 9}, 0.5, 2),  // Kept.
+  };
+  auto out = DiversifyPaths(ranked, 3, opt);
+  ASSERT_EQ(out.size(), 3u);
+  EXPECT_EQ(out[0].nodes, (std::vector<NodeId>{1, 2, 3}));
+  EXPECT_EQ(out[1].nodes, (std::vector<NodeId>{5, 2, 4}));
+  EXPECT_EQ(out[2].nodes, (std::vector<NodeId>{6, 2, 9}));
+}
+
+TEST(DiversifyTest, EndToEndResultsAreConflictFreeAndRanked) {
+  ClusterGraph graph = MakeRandomGraph(6, 10, 3, 1, 77);
+  BfsFinderOptions fopt;
+  fopt.k = 5;
+  fopt.l = 3;
+  DiversifyOptions dopt;
+  auto result =
+      FindDiversifiedStableClusters(graph, fopt, dopt);
+  ASSERT_TRUE(result.ok());
+  const auto& paths = result.value().paths;
+  EXPECT_LE(paths.size(), 5u);
+  for (size_t i = 0; i < paths.size(); ++i) {
+    for (size_t j = i + 1; j < paths.size(); ++j) {
+      EXPECT_FALSE(PathsConflict(paths[i], paths[j], dopt));
+    }
+    if (i > 0) EXPECT_GE(paths[i - 1].weight, paths[i].weight);
+    EXPECT_EQ(paths[i].length, 3u);
+  }
+  // The best diversified path is the overall best path.
+  const auto best = BruteForceFinder::TopKByWeight(graph, 1, 3);
+  ASSERT_FALSE(best.empty());
+  ASSERT_FALSE(paths.empty());
+  EXPECT_EQ(paths[0].nodes, best[0].nodes);
+}
+
+TEST(NormalizedLiteralTest, TopOneMatchesOracle) {
+  for (uint64_t seed = 1; seed <= 8; ++seed) {
+    for (uint32_t lmin : {1u, 2u, 3u}) {
+      ClusterGraph graph = MakeRandomGraph(5, 4, 2, 0, seed * 23 + 1);
+      NormalizedFinderOptions opt;
+      opt.k = 1;
+      opt.lmin = lmin;
+      auto literal = NormalizedLiteralFinder(opt).Find(graph);
+      ASSERT_TRUE(literal.ok());
+      const auto expected =
+          BruteForceFinder::TopKByStability(graph, 1, lmin);
+      ASSERT_EQ(literal.value().paths.empty(), expected.empty())
+          << "seed " << seed << " lmin " << lmin;
+      if (!expected.empty()) {
+        // Theorem-1 substitution may return a dominating suffix with
+        // identical stability; the stability value itself is exact.
+        EXPECT_DOUBLE_EQ(literal.value().paths[0].stability(),
+                         expected[0].stability())
+            << "seed " << seed << " lmin " << lmin;
+      }
+    }
+  }
+}
+
+TEST(NormalizedLiteralTest, AllReturnedPathsAreValidAndLongEnough) {
+  ClusterGraph graph = MakeRandomGraph(6, 5, 2, 1, 3);
+  NormalizedFinderOptions opt;
+  opt.k = 5;
+  opt.lmin = 2;
+  auto result = NormalizedLiteralFinder(opt).Find(graph);
+  ASSERT_TRUE(result.ok());
+  for (const StablePath& p : result.value().paths) {
+    EXPECT_GE(p.length, 2u);
+    // Verify edges exist and the weight adds up.
+    double weight = 0;
+    for (size_t i = 1; i < p.nodes.size(); ++i) {
+      bool found = false;
+      for (const ClusterGraphEdge& e : graph.Children(p.nodes[i - 1])) {
+        if (e.target == p.nodes[i]) {
+          weight += e.weight;
+          found = true;
+          break;
+        }
+      }
+      ASSERT_TRUE(found) << "phantom edge in returned path";
+    }
+    EXPECT_DOUBLE_EQ(weight, p.weight);
+  }
+}
+
+TEST(NormalizedLiteralTest, CostGrowsWithLmin) {
+  // The paper's Figure 14 driver: smallpaths keep ALL paths of length
+  // < lmin, so work grows with lmin (contrast with the exact finder,
+  // whose per-length heaps make it lmin-insensitive).
+  ClusterGraph graph = MakeRandomGraph(8, 30, 3, 0, 9);
+  uint64_t prev = 0;
+  for (uint32_t lmin : {2u, 4u, 6u}) {
+    NormalizedFinderOptions opt;
+    opt.k = 5;
+    opt.lmin = lmin;
+    auto result = NormalizedLiteralFinder(opt).Find(graph);
+    ASSERT_TRUE(result.ok());
+    EXPECT_GE(result.value().heap_offers, prev) << "lmin " << lmin;
+    prev = result.value().heap_offers;
+  }
+}
+
+}  // namespace
+}  // namespace stabletext
