@@ -9,17 +9,156 @@
 #ifndef STABLETEXT_BENCH_BENCH_COMMON_H_
 #define STABLETEXT_BENCH_BENCH_COMMON_H_
 
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
+#include <fstream>
 #include <string>
+#include <type_traits>
 #include <vector>
 
 #include "gen/cluster_graph_generator.h"
 #include "stable/finder.h"
+#include "storage/io_stats.h"
+#include "util/strings.h"
 #include "util/timer.h"
 
 namespace stabletext {
 namespace bench {
+
+/// Common command-line knobs shared by the harness binaries:
+///   --threads N       worker threads for the parallel pipeline (default 1)
+///   --repetitions N   timed repetitions; the best is reported (default 1)
+///   --json PATH       write a machine-readable result file (default: the
+///                     harness's own BENCH_*.json name; "" disables)
+struct BenchArgs {
+  size_t threads = 1;
+  int repetitions = 1;
+  std::string json_path;
+};
+
+inline BenchArgs ParseArgs(int argc, char** argv,
+                           const char* default_json = "") {
+  BenchArgs args;
+  args.json_path = default_json;
+  for (int i = 1; i < argc; ++i) {
+    const char* a = argv[i];
+    auto value = [&]() -> const char* {
+      return i + 1 < argc ? argv[++i] : "";
+    };
+    if (std::strcmp(a, "--threads") == 0) {
+      args.threads = static_cast<size_t>(std::atol(value()));
+      if (args.threads == 0) args.threads = 1;
+    } else if (std::strcmp(a, "--repetitions") == 0) {
+      args.repetitions = std::max(1, std::atoi(value()));
+    } else if (std::strcmp(a, "--json") == 0) {
+      args.json_path = value();
+    } else {
+      std::fprintf(stderr,
+                   "unknown flag %s (known: --threads N "
+                   "--repetitions N --json PATH)\n",
+                   a);
+      std::exit(2);
+    }
+  }
+  return args;
+}
+
+/// Minimal JSON object builder for the BENCH_*.json trajectory files.
+/// Values are emitted in insertion order; Raw() splices nested
+/// objects/arrays built the same way.
+class Json {
+ public:
+  Json& Put(const std::string& key, const std::string& value) {
+    return Emit(key, "\"" + Escaped(value) + "\"");
+  }
+  Json& Put(const std::string& key, const char* value) {
+    return Put(key, std::string(value));
+  }
+  Json& Put(const std::string& key, double value) {
+    return Emit(key, StringPrintf("%.6f", value));
+  }
+  template <typename T,
+            typename = std::enable_if_t<std::is_integral_v<T>>>
+  Json& Put(const std::string& key, T value) {
+    if constexpr (std::is_signed_v<T>) {
+      return Emit(key, std::to_string(static_cast<long long>(value)));
+    } else {
+      return Emit(key,
+                  std::to_string(static_cast<unsigned long long>(value)));
+    }
+  }
+  Json& Raw(const std::string& key, const std::string& raw) {
+    return Emit(key, raw);
+  }
+  std::string ToString() const { return "{" + body_ + "}"; }
+
+  static std::string Array(const std::vector<std::string>& items) {
+    std::string out = "[";
+    for (size_t i = 0; i < items.size(); ++i) {
+      if (i > 0) out += ",";
+      out += items[i];
+    }
+    return out + "]";
+  }
+
+ private:
+  static std::string Escaped(const std::string& s) {
+    std::string out;
+    for (const char c : s) {
+      switch (c) {
+        case '"': out += "\\\""; break;
+        case '\\': out += "\\\\"; break;
+        case '\n': out += "\\n"; break;
+        case '\r': out += "\\r"; break;
+        case '\t': out += "\\t"; break;
+        default:
+          if (static_cast<unsigned char>(c) < 0x20) {
+            out += StringPrintf("\\u%04x", c);
+          } else {
+            out += c;
+          }
+      }
+    }
+    return out;
+  }
+  Json& Emit(const std::string& key, const std::string& rendered) {
+    if (!body_.empty()) body_ += ",";
+    body_ += "\"" + Escaped(key) + "\":" + rendered;
+    return *this;
+  }
+  std::string body_;
+};
+
+/// JSON object for an IoStats snapshot.
+inline std::string IoStatsJson(const IoStats& io) {
+  Json j;
+  j.Put("page_reads", io.page_reads)
+      .Put("page_writes", io.page_writes)
+      .Put("logical_reads", io.logical_reads)
+      .Put("random_seeks", io.random_seeks)
+      .Put("bytes_read", io.bytes_read)
+      .Put("bytes_written", io.bytes_written)
+      .Put("sort_runs_spilled", io.sort_runs_spilled)
+      .Put("sort_merge_passes", io.sort_merge_passes)
+      .Put("sort_in_memory_sorts", io.sort_in_memory_sorts)
+      .Put("sort_tail_records", io.sort_tail_records);
+  return j.ToString();
+}
+
+/// Writes `json` to `path` (no-op when path is empty).
+inline void WriteJsonFile(const std::string& path,
+                          const std::string& json) {
+  if (path.empty()) return;
+  std::ofstream out(path, std::ios::out | std::ios::trunc);
+  if (!out) {
+    std::fprintf(stderr, "cannot write %s\n", path.c_str());
+    return;
+  }
+  out << json << "\n";
+  std::printf("json written to %s\n", path.c_str());
+}
 
 /// True when the paper's full-scale parameters were requested.
 inline bool FullScale() {

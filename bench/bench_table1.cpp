@@ -5,8 +5,12 @@
 // The corpus is the synthetic BlogScope substitute (see DESIGN.md); the
 // shape claim — edges vastly outnumber keywords, consecutive days are
 // comparable — is scale-free.
+//
+// Flags: --threads N offloads external-sort run generation to a pool;
+// --json PATH (default BENCH_table1.json) records sizes and timings.
 
 #include <map>
+#include <memory>
 
 #include "bench_common.h"
 #include "cooccur/cooccurrence_counter.h"
@@ -15,15 +19,17 @@
 #include "text/corpus.h"
 #include "text/document.h"
 #include "util/strings.h"
+#include "util/thread_pool.h"
 
 namespace stabletext {
 namespace {
 
-void Run() {
+void Run(const bench::BenchArgs& args) {
   bench::Header("Table 1: keyword graph sizes per day",
                 "Section 3, Table 1",
                 "2 synthetic days of blog posts; pair counting after "
                 "stemming and stop-word removal");
+  std::printf("threads=%zu\n\n", args.threads);
 
   CorpusGenOptions copt;
   copt.days = 2;
@@ -32,9 +38,14 @@ void Run() {
   copt.script = EventScript::PaperWeek();
   CorpusGenerator gen(copt);
 
+  std::unique_ptr<ThreadPool> pool;
+  if (args.threads > 1) pool = std::make_unique<ThreadPool>(args.threads);
+
   TempDir dir("bench_table1");
-  std::printf("%-8s %12s %12s %14s\n", "Day", "File Size", "# keywords",
-              "# edges");
+  std::printf("%-8s %12s %12s %14s %10s\n", "Day", "File Size",
+              "# keywords", "# edges", "count s");
+  std::vector<std::string> day_json;
+  IoStats io;
   for (uint32_t day = 0; day < 2; ++day) {
     const std::string path =
         dir.FilePath("day" + std::to_string(day) + ".txt");
@@ -42,7 +53,10 @@ void Run() {
     if (!writer.Open(path).ok()) return;
     DocumentProcessor processor;
     KeywordDict dict;
-    CooccurrenceCounter counter(&dict);
+    CooccurrenceCounterOptions opt;
+    opt.sort_pool = pool.get();
+    CooccurrenceCounter counter(&dict, opt, &io);
+    WallTimer timer;
     for (const std::string& post : gen.GenerateDay(day)) {
       if (!writer.Append(day, post).ok()) return;
       if (!counter.Add(processor.Process(day, post)).ok()) return;
@@ -50,22 +64,39 @@ void Run() {
     if (!writer.Finish().ok()) return;
     CooccurrenceTable table;
     if (!counter.Finish(&table).ok()) return;
+    const double seconds = timer.ElapsedSeconds();
     size_t keywords = 0;
     for (uint32_t a : table.unary) keywords += a > 0;
-    std::printf("%-8u %12s %12zu %14zu\n", day,
+    std::printf("%-8u %12s %12zu %14zu %10.2f\n", day,
                 HumanBytes(FileSizeBytes(path)).c_str(), keywords,
-                table.triplets.size());
+                table.triplets.size(), seconds);
+    bench::Json j;
+    j.Put("day", day)
+        .Put("file_bytes", FileSizeBytes(path))
+        .Put("keywords", keywords)
+        .Put("edges", table.triplets.size())
+        .Put("seconds", seconds);
+    day_json.push_back(j.ToString());
   }
   std::printf(
       "\nshape check (paper: 2889k/2872k keywords, 138M/136M edges):\n"
       "  - edges >> keywords on both days\n"
       "  - consecutive days are comparable in size\n");
+
+  bench::Json out;
+  out.Put("bench", "table1")
+      .Put("full_scale", bench::FullScale() ? 1 : 0)
+      .Put("threads", args.threads)
+      .Raw("days", bench::Json::Array(day_json))
+      .Raw("io", bench::IoStatsJson(io));
+  bench::WriteJsonFile(args.json_path, out.ToString());
 }
 
 }  // namespace
 }  // namespace stabletext
 
-int main() {
-  stabletext::Run();
+int main(int argc, char** argv) {
+  stabletext::Run(stabletext::bench::ParseArgs(argc, argv,
+                                               "BENCH_table1.json"));
   return 0;
 }

@@ -5,6 +5,10 @@
 // were discovered", plus the example stable clusters of Figures 1, 2, 4,
 // 15 and 16. This harness reruns the study on the planted-event corpus
 // and prints the same quantities plus rendered chains.
+//
+// Flags: --threads N --repetitions N --json PATH (default BENCH_week.json)
+// record the perf trajectory; N-thread output is byte-identical to 1
+// thread (pipeline_parallel_test), so timings are comparable.
 
 #include <set>
 
@@ -16,10 +20,12 @@
 namespace stabletext {
 namespace {
 
-void Run() {
+void Run(const bench::BenchArgs& args) {
   bench::Header("Section 5.3: one-week qualitative study",
                 "Section 5.3, Figures 1/2/4/15/16",
                 "7 days, rho=0.2, Jaccard, theta=0.1, day intervals");
+  std::printf("threads=%zu repetitions=%d\n\n", args.threads,
+              args.repetitions);
 
   CorpusGenOptions copt;
   copt.days = 7;
@@ -35,49 +41,69 @@ void Run() {
 
   PipelineOptions popt;
   popt.gap = 2;
+  popt.threads = args.threads;
   popt.clustering.pruning.rho_threshold = 0.2;
   popt.clustering.pruning.min_pair_support = 5;
   popt.affinity.theta = 0.1;
-  StableClusterPipeline pipeline(popt);
 
-  WallTimer timer;
-  for (uint32_t day = 0; day < 7; ++day) {
-    if (!pipeline.AddIntervalText(gen.GenerateDay(day)).ok()) return;
+  // Pre-generate the posts so repetitions time the pipeline, not the
+  // corpus generator.
+  std::vector<std::vector<std::string>> days(7);
+  for (uint32_t day = 0; day < 7; ++day) days[day] = gen.GenerateDay(day);
+
+  std::vector<double> seconds;
+  std::unique_ptr<StableClusterPipeline> pipeline;
+  for (int rep = 0; rep < args.repetitions; ++rep) {
+    auto p = std::make_unique<StableClusterPipeline>(popt);
+    WallTimer timer;
+    for (uint32_t day = 0; day < 7; ++day) {
+      if (!p->AddIntervalText(days[day]).ok()) return;
+    }
+    if (!p->BuildClusterGraph().ok()) return;
+    seconds.push_back(timer.ElapsedSeconds());
+    pipeline = std::move(p);  // Keep the last run for reporting.
   }
-  if (!pipeline.BuildClusterGraph().ok()) return;
-  std::printf("pipeline (7 days) built in %.2fs\n\n",
-              timer.ElapsedSeconds());
+  const double best = *std::min_element(seconds.begin(), seconds.end());
+  std::printf("pipeline (7 days) built in %.2fs (best of %d)\n\n", best,
+              args.repetitions);
 
   std::printf("%-6s %10s %14s %14s\n", "day", "clusters", "raw edges",
               "pruned edges");
+  std::vector<std::string> day_json;
   for (uint32_t day = 0; day < 7; ++day) {
-    const IntervalResult& r = pipeline.interval_result(day);
+    const IntervalResult& r = pipeline->interval_result(day);
     std::printf("%-6u %10zu %14zu %14zu\n", day, r.clusters.size(),
                 r.graph_summary.raw_edge_count,
                 r.graph_summary.prune.surviving_edges);
+    bench::Json j;
+    j.Put("day", day)
+        .Put("clusters", r.clusters.size())
+        .Put("raw_edges", r.graph_summary.raw_edge_count)
+        .Put("pruned_edges", r.graph_summary.prune.surviving_edges);
+    day_json.push_back(j.ToString());
   }
 
   // Full paths spanning the complete week (paper: 42 of them).
   size_t full_paths = 0;
-  const ClusterGraph* graph = pipeline.cluster_graph();
+  const ClusterGraph* graph = pipeline->cluster_graph();
   BruteForceFinder::ForEachPath(*graph, [&](const StablePath& p) {
     if (p.length == 6) ++full_paths;
   });
   std::printf("\nfull paths spanning the week: %zu (paper: 42)\n",
               full_paths);
 
-  auto chains = pipeline.FindStableClusters(3, 0, FinderKind::kBfs);
+  auto chains = pipeline->FindStableClusters(3, 0, FinderKind::kBfs);
   if (chains.ok()) {
     std::printf("\ntop full-week stable clusters (Figure 16 analog):\n");
     for (const StableClusterChain& chain : chains.value()) {
-      std::printf("%s\n", pipeline.RenderChain(chain).c_str());
+      std::printf("%s\n", pipeline->RenderChain(chain).c_str());
     }
   }
-  auto drift = pipeline.FindStableClusters(2, 3, FinderKind::kBfs);
+  auto drift = pipeline->FindStableClusters(2, 3, FinderKind::kBfs);
   if (drift.ok()) {
     std::printf("top length-3 stable clusters (Figures 4/15 analog):\n");
     for (const StableClusterChain& chain : drift.value()) {
-      std::printf("%s\n", pipeline.RenderChain(chain).c_str());
+      std::printf("%s\n", pipeline->RenderChain(chain).c_str());
     }
   }
   std::printf(
@@ -85,12 +111,32 @@ void Run() {
       "hundreds-to-thousands\nband, a few dozen full-week paths, and the "
       "chains surface the planted events\n(gap survival and topic "
       "drift included).\n");
+
+  std::vector<std::string> seconds_json;
+  for (const double s : seconds) {
+    seconds_json.push_back(StringPrintf("%.6f", s));
+  }
+  bench::Json out;
+  out.Put("bench", "week")
+      .Put("full_scale", bench::FullScale() ? 1 : 0)
+      .Put("threads", args.threads)
+      .Put("repetitions", args.repetitions)
+      .Put("best_seconds", best)
+      .Raw("seconds", bench::Json::Array(seconds_json))
+      .Put("posts_per_day", copt.posts_per_day)
+      .Put("full_week_paths", full_paths)
+      .Put("graph_nodes", graph->node_count())
+      .Put("graph_edges", graph->edge_count())
+      .Raw("days", bench::Json::Array(day_json))
+      .Raw("io", bench::IoStatsJson(pipeline->io()));
+  bench::WriteJsonFile(args.json_path, out.ToString());
 }
 
 }  // namespace
 }  // namespace stabletext
 
-int main() {
-  stabletext::Run();
+int main(int argc, char** argv) {
+  stabletext::Run(stabletext::bench::ParseArgs(argc, argv,
+                                               "BENCH_week.json"));
   return 0;
 }

@@ -48,7 +48,7 @@ PipelineOptions DefaultPipelineOptions(uint32_t gap) {
   return options;
 }
 
-Status LoadPipeline(const std::string& corpus, uint32_t gap,
+Status LoadPipeline(const std::string& corpus, uint32_t /*gap*/,
                     StableClusterPipeline* pipeline) {
   ST_RETURN_IF_ERROR(pipeline->AddCorpusFile(corpus));
   std::fprintf(stderr, "clustered %u interval(s)\n",

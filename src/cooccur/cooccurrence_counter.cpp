@@ -8,6 +8,7 @@ ExternalSorterOptions MakeSorterOptions(
   ExternalSorterOptions out;
   out.memory_budget_bytes = options.sort_memory_bytes;
   out.page_size = options.page_size;
+  out.pool = options.sort_pool;
   return out;
 }
 }  // namespace
@@ -22,10 +23,20 @@ Status CooccurrenceCounter::Add(const Document& doc) {
   return emitter_.EmitDocument(doc);
 }
 
+Status CooccurrenceCounter::AddInterned(
+    const std::vector<KeywordId>& sorted_ids) {
+  return emitter_.EmitIds(sorted_ids);
+}
+
 Status CooccurrenceCounter::Finish(CooccurrenceTable* out) {
+  return Finish(out, dict_->size());
+}
+
+Status CooccurrenceCounter::Finish(CooccurrenceTable* out,
+                                   size_t keyword_count) {
   ST_RETURN_IF_ERROR(sorter_.Sort());
   return PairAggregator::Aggregate(&sorter_, emitter_.document_count(),
-                                   dict_->size(), out);
+                                   keyword_count, out);
 }
 
 }  // namespace stabletext

@@ -11,11 +11,16 @@
 
 namespace stabletext {
 
+class ThreadPool;
+
 /// Options for CooccurrenceCounter.
 struct CooccurrenceCounterOptions {
   /// Memory budget handed to the external sorter for the pair file.
   size_t sort_memory_bytes = 32 << 20;
   size_t page_size = 4096;
+  /// When set, external-sort run generation is offloaded to this pool
+  /// (see ExternalSorterOptions::pool). Caller-owned.
+  ThreadPool* sort_pool = nullptr;
 };
 
 /// \brief Counts keyword co-occurrences for one document collection.
@@ -31,12 +36,22 @@ class CooccurrenceCounter {
                       CooccurrenceCounterOptions options = {},
                       IoStats* stats = nullptr);
 
-  /// Adds one preprocessed document.
+  /// Adds one preprocessed document (interning its keywords).
   Status Add(const Document& doc);
+
+  /// Adds one document given its distinct keyword ids, ascending. Used by
+  /// the parallel pipeline (interning already happened on the submitting
+  /// thread); never touches the dictionary.
+  Status AddInterned(const std::vector<KeywordId>& sorted_ids);
 
   /// Finishes the pass: sorts the pair file and aggregates into *out.
   /// The counter cannot be reused afterwards.
   Status Finish(CooccurrenceTable* out);
+
+  /// Same, sizing the unary table to `keyword_count` instead of the
+  /// dictionary's current size (which may have grown past this interval's
+  /// snapshot while other intervals were interning).
+  Status Finish(CooccurrenceTable* out, size_t keyword_count);
 
   uint64_t document_count() const { return emitter_.document_count(); }
   uint64_t pair_count() const { return emitter_.pair_count(); }

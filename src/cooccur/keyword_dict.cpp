@@ -4,18 +4,54 @@
 
 namespace stabletext {
 
+uint64_t KeywordDict::Hash(std::string_view word) {
+  // FNV-1a; keywords are short stemmed tokens so the byte loop is cheap
+  // and the hash is stable across platforms (ids must not depend on the
+  // standard library's std::hash seed).
+  uint64_t h = 1469598103934665603ull;
+  for (const char c : word) {
+    h ^= static_cast<uint8_t>(c);
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+size_t KeywordDict::FindSlot(std::string_view word, uint64_t hash) const {
+  size_t i = static_cast<size_t>(hash) & slot_mask_;
+  for (;;) {
+    const KeywordId id = slots_[i];
+    if (id == kEmptySlot) return i;
+    if (hashes_[id] == hash && words_[id] == word) return i;
+    i = (i + 1) & slot_mask_;
+  }
+}
+
+void KeywordDict::Rehash(size_t new_slots) {
+  slots_.assign(new_slots, kEmptySlot);
+  slot_mask_ = new_slots - 1;
+  for (KeywordId id = 0; id < words_.size(); ++id) {
+    size_t i = static_cast<size_t>(hashes_[id]) & slot_mask_;
+    while (slots_[i] != kEmptySlot) i = (i + 1) & slot_mask_;
+    slots_[i] = id;
+  }
+}
+
 KeywordId KeywordDict::Intern(std::string_view word) {
-  auto it = index_.find(std::string(word));
-  if (it != index_.end()) return it->second;
+  const uint64_t hash = Hash(word);
+  const size_t slot = FindSlot(word, hash);
+  if (slots_[slot] != kEmptySlot) return slots_[slot];
   const KeywordId id = static_cast<KeywordId>(words_.size());
   words_.emplace_back(word);
-  index_.emplace(words_.back(), id);
+  hashes_.push_back(hash);
+  slots_[slot] = id;
+  // Grow at 70% load.
+  if (words_.size() * 10 >= slots_.size() * 7) Rehash(slots_.size() * 2);
   return id;
 }
 
 KeywordId KeywordDict::Lookup(std::string_view word) const {
-  auto it = index_.find(std::string(word));
-  return it == index_.end() ? kInvalidKeyword : it->second;
+  const size_t slot = FindSlot(word, Hash(word));
+  return slots_[slot] == kEmptySlot ? kInvalidKeyword : slots_[slot];
 }
 
 Status KeywordDict::Save(const std::string& path) const {
@@ -30,14 +66,16 @@ Status KeywordDict::Save(const std::string& path) const {
 Status KeywordDict::Load(const std::string& path) {
   std::ifstream in(path);
   if (!in) return Status::IOError("cannot open " + path);
-  index_.clear();
   words_.clear();
+  hashes_.clear();
   std::string line;
   while (std::getline(in, line)) {
-    const KeywordId id = static_cast<KeywordId>(words_.size());
-    words_.push_back(line);
-    index_.emplace(words_.back(), id);
+    hashes_.push_back(Hash(line));
+    words_.push_back(std::move(line));
   }
+  size_t slots = kInitialSlots;
+  while (words_.size() * 10 >= slots * 7) slots *= 2;
+  Rehash(slots);
   return Status::OK();
 }
 

@@ -1,6 +1,17 @@
 // Keyword dictionary: bidirectional mapping between keyword strings and
 // dense uint32 ids. All downstream graph machinery works on ids; the
 // dictionary is only consulted when rendering clusters back to text.
+//
+// The index is an open-addressing flat hash table (power-of-two capacity,
+// linear probing, cached hashes) rather than node-based unordered_map:
+// probes are cache-line friendly and lookups never allocate — the old
+// implementation built a std::string per Lookup/Intern call, which was the
+// single hottest allocation site of the counting pass.
+//
+// Concurrency contract: Intern() requires external serialization (the
+// pipeline interns on the submitting thread, in document order, so ids are
+// deterministic across thread counts). Lookup()/Word() are safe to call
+// concurrently from many threads once ingest is quiescent.
 
 #ifndef STABLETEXT_COOCCUR_KEYWORD_DICT_H_
 #define STABLETEXT_COOCCUR_KEYWORD_DICT_H_
@@ -8,7 +19,6 @@
 #include <cstdint>
 #include <string>
 #include <string_view>
-#include <unordered_map>
 #include <vector>
 
 #include "util/status.h"
@@ -24,6 +34,8 @@ inline constexpr KeywordId kInvalidKeyword = UINT32_MAX;
 /// \brief Append-only keyword interning table.
 class KeywordDict {
  public:
+  KeywordDict() { Rehash(kInitialSlots); }
+
   /// Returns the id of `word`, inserting it if new.
   KeywordId Intern(std::string_view word);
 
@@ -43,8 +55,20 @@ class KeywordDict {
   Status Load(const std::string& path);
 
  private:
-  std::unordered_map<std::string, KeywordId> index_;
+  static constexpr size_t kInitialSlots = 64;
+  static constexpr KeywordId kEmptySlot = kInvalidKeyword;
+
+  static uint64_t Hash(std::string_view word);
+  void Rehash(size_t new_slots);
+  // Probe for `word` with known hash; returns the slot holding its id or
+  // the empty slot where it would be inserted.
+  size_t FindSlot(std::string_view word, uint64_t hash) const;
+
+  // slots_[probe] = keyword id, or kEmptySlot. Capacity is a power of two.
+  std::vector<KeywordId> slots_;
+  size_t slot_mask_ = 0;
   std::vector<std::string> words_;
+  std::vector<uint64_t> hashes_;  // Cached Hash(words_[id]) for rehashing.
 };
 
 }  // namespace stabletext

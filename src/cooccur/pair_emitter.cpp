@@ -12,13 +12,18 @@ Status PairEmitter::EmitDocument(const Document& doc) {
   // Canonical pair order requires sorted ids (Document keywords are sorted
   // as strings, which is not id order).
   std::sort(ids.begin(), ids.end());
+  return EmitIds(ids);
+}
 
-  for (size_t i = 0; i < ids.size(); ++i) {
+Status PairEmitter::EmitIds(const std::vector<KeywordId>& sorted_ids) {
+  for (size_t i = 0; i < sorted_ids.size(); ++i) {
     // Diagonal record for A(u).
-    ST_RETURN_IF_ERROR(sorter_->Add(PairRecord{ids[i], ids[i]}));
+    ST_RETURN_IF_ERROR(sorter_->Add(PairRecord{sorted_ids[i],
+                                               sorted_ids[i]}));
     ++pairs_;
-    for (size_t j = i + 1; j < ids.size(); ++j) {
-      ST_RETURN_IF_ERROR(sorter_->Add(PairRecord{ids[i], ids[j]}));
+    for (size_t j = i + 1; j < sorted_ids.size(); ++j) {
+      ST_RETURN_IF_ERROR(sorter_->Add(PairRecord{sorted_ids[i],
+                                                 sorted_ids[j]}));
       ++pairs_;
     }
   }

@@ -42,8 +42,14 @@ class PairEmitter {
   PairEmitter(KeywordDict* dict, PairSorter* sorter)
       : dict_(dict), sorter_(sorter) {}
 
-  /// Emits pairs for one preprocessed document.
+  /// Emits pairs for one preprocessed document (interning its keywords).
   Status EmitDocument(const Document& doc);
+
+  /// Emits pairs for a document whose keywords are already interned.
+  /// `sorted_ids` must be distinct and ascending. This is the path the
+  /// parallel pipeline uses: interning happens deterministically on the
+  /// submitting thread, emission on a worker.
+  Status EmitIds(const std::vector<KeywordId>& sorted_ids);
 
   /// Documents processed so far.
   uint64_t document_count() const { return documents_; }

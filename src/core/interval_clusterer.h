@@ -42,6 +42,16 @@ class IntervalClusterer {
   Result<IntervalResult> Run(uint32_t interval,
                              const std::vector<Document>& documents) const;
 
+  /// Same, for documents already interned to sorted keyword-id sets.
+  /// Never touches the dictionary, so it is safe to run on a worker
+  /// thread while later intervals intern. `vocab_size` is the dictionary
+  /// size snapshot taken when this interval was submitted (keeps the
+  /// unary table identical to a sequential run). `sort_pool` may be null.
+  Result<IntervalResult> RunInterned(
+      uint32_t interval,
+      const std::vector<std::vector<KeywordId>>& documents,
+      size_t vocab_size, ThreadPool* sort_pool) const;
+
  private:
   KeywordDict* dict_;
   IntervalClustererOptions options_;

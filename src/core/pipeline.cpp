@@ -9,16 +9,39 @@
 namespace stabletext {
 
 StableClusterPipeline::StableClusterPipeline(PipelineOptions options)
-    : options_(std::move(options)) {}
+    : options_(std::move(options)) {
+  if (options_.threads > 1) {
+    pool_ = std::make_unique<ThreadPool>(options_.threads);
+  }
+}
 
 Status StableClusterPipeline::AddIntervalText(
     const std::vector<std::string>& posts) {
   const uint32_t interval = interval_count();
-  DocumentProcessor processor;
-  std::vector<Document> documents;
-  documents.reserve(posts.size());
-  for (const std::string& post : posts) {
-    documents.push_back(processor.Process(interval, post));
+  std::vector<Document> documents(posts.size());
+  if (pool_ != nullptr && posts.size() > 1) {
+    // Tokenization is document-independent: fan chunks out, write by
+    // index (order, and therefore downstream keyword ids, never depend
+    // on scheduling).
+    const size_t chunks = std::min(pool_->size() * 4, posts.size());
+    const size_t per_chunk = (posts.size() + chunks - 1) / chunks;
+    std::vector<std::future<void>> futures;
+    futures.reserve(chunks);
+    for (size_t begin = 0; begin < posts.size(); begin += per_chunk) {
+      const size_t end = std::min(posts.size(), begin + per_chunk);
+      futures.push_back(pool_->Submit([&, begin, end] {
+        DocumentProcessor processor;
+        for (size_t i = begin; i < end; ++i) {
+          documents[i] = processor.Process(interval, posts[i]);
+        }
+      }));
+    }
+    pool_->WaitAll(futures);
+  } else {
+    DocumentProcessor processor;
+    for (size_t i = 0; i < posts.size(); ++i) {
+      documents[i] = processor.Process(interval, posts[i]);
+    }
   }
   return AddIntervalDocuments(documents);
 }
@@ -30,11 +53,48 @@ Status StableClusterPipeline::AddIntervalDocuments(
     return Status::InvalidArgument(
         "cluster graph already built; create a new pipeline");
   }
-  IntervalClusterer clusterer(&dict_, options_.clustering, &io_);
-  auto result = clusterer.Run(interval, documents);
-  if (!result.ok()) return result.status();
-  interval_results_.push_back(std::move(result).value());
-  return Status::OK();
+  // Intern here, on the submitting thread, in document order: keyword ids
+  // are assigned exactly as a sequential run would assign them, no matter
+  // how many workers the heavy phase uses.
+  auto interned =
+      std::make_shared<std::vector<std::vector<KeywordId>>>();
+  interned->reserve(documents.size());
+  for (const Document& doc : documents) {
+    std::vector<KeywordId> ids;
+    ids.reserve(doc.keywords.size());
+    for (const std::string& w : doc.keywords) {
+      ids.push_back(dict_.Intern(w));
+    }
+    std::sort(ids.begin(), ids.end());
+    interned->push_back(std::move(ids));
+  }
+  const size_t vocab_snapshot = dict_.size();
+
+  slots_.push_back(std::make_unique<IntervalSlot>());
+  IntervalSlot* slot = slots_.back().get();
+  auto task = [this, interval, vocab_snapshot, interned, slot] {
+    // Exceptions must not die inside the packaged_task's shared state
+    // (the pool's Wait never calls get()): convert to a slot status.
+    try {
+      IntervalClusterer clusterer(&dict_, options_.clustering, &slot->io);
+      auto result = clusterer.RunInterned(interval, *interned,
+                                          vocab_snapshot, pool_.get());
+      if (result.ok()) {
+        slot->result = std::move(result).value();
+      } else {
+        slot->status = result.status();
+      }
+    } catch (const std::exception& e) {
+      slot->status = Status::Internal(
+          std::string("interval task threw: ") + e.what());
+    }
+  };
+  if (pool_ != nullptr) {
+    pending_.push_back(pool_->Submit(std::move(task)));
+    return Status::OK();
+  }
+  task();
+  return slot->status;
 }
 
 Status StableClusterPipeline::AddCorpusFile(const std::string& path) {
@@ -61,17 +121,36 @@ Status StableClusterPipeline::AddCorpusFile(const std::string& path) {
   return Status::OK();
 }
 
+Status StableClusterPipeline::JoinIntervals() {
+  if (pool_ != nullptr) {
+    pool_->WaitAll(pending_);
+    pending_.clear();
+  }
+  // Remember the verdict: a retried BuildClusterGraph must keep reporting
+  // a failed interval, not silently proceed with its empty result.
+  if (intervals_joined_) return join_status_;
+  intervals_joined_ = true;
+  for (const auto& slot : slots_) {
+    io_ += slot->io;
+    if (join_status_.ok() && !slot->status.ok()) {
+      join_status_ = slot->status;
+    }
+  }
+  return join_status_;
+}
+
 Status StableClusterPipeline::BuildClusterGraph() {
   if (graph_ != nullptr) {
     return Status::InvalidArgument("cluster graph already built");
   }
+  ST_RETURN_IF_ERROR(JoinIntervals());
   const uint32_t m = interval_count();
   if (m == 0) return Status::InvalidArgument("no intervals added");
   graph_ = std::make_unique<ClusterGraph>(m, options_.gap);
 
   node_of_.assign(m, {});
   for (uint32_t i = 0; i < m; ++i) {
-    const auto& clusters = interval_results_[i].clusters;
+    const auto& clusters = slots_[i]->result.clusters;
     node_of_[i].reserve(clusters.size());
     for (uint32_t j = 0; j < clusters.size(); ++j) {
       const NodeId id = graph_->AddNode(i);
@@ -80,27 +159,55 @@ Status StableClusterPipeline::BuildClusterGraph() {
     }
   }
 
-  // Affinity joins between interval pairs within the gap window. Raw
-  // intersection weights are normalized by the running maximum, per the
-  // paper's footnote on affinity functions without a (0, 1] range.
+  // Affinity joins between interval pairs within the gap window. Pairs
+  // are independent, so they fan out; the per-pair match lists land in
+  // fixed slots and are stitched in (i, j) order, keeping edge insertion
+  // deterministic. Raw intersection weights are normalized by the running
+  // maximum, per the paper's footnote on affinity functions without a
+  // (0, 1] range.
   const bool needs_normalization =
       options_.affinity.measure == AffinityMeasure::kIntersection;
+  struct JoinJob {
+    uint32_t i;
+    uint32_t j;
+    std::vector<AffinityMatch> matches;
+  };
+  std::vector<JoinJob> jobs;
+  for (uint32_t i = 0; i < m; ++i) {
+    for (uint32_t j = i + 1; j <= std::min(m - 1, i + options_.gap + 1);
+         ++j) {
+      jobs.push_back(JoinJob{i, j, {}});
+    }
+  }
+  if (pool_ != nullptr) {
+    std::vector<std::future<void>> futures;
+    futures.reserve(jobs.size());
+    for (JoinJob& job : jobs) {
+      futures.push_back(pool_->Submit([this, &job] {
+        SimilarityJoin join(options_.affinity);
+        job.matches = join.Join(slots_[job.i]->result.clusters,
+                                slots_[job.j]->result.clusters);
+      }));
+    }
+    pool_->WaitAll(futures);
+  } else {
+    SimilarityJoin join(options_.affinity);
+    for (JoinJob& job : jobs) {
+      job.matches = join.Join(slots_[job.i]->result.clusters,
+                              slots_[job.j]->result.clusters);
+    }
+  }
+
   struct RawEdge {
     NodeId from;
     NodeId to;
     double affinity;
   };
   std::vector<RawEdge> raw;
-  SimilarityJoin join(options_.affinity);
-  for (uint32_t i = 0; i < m; ++i) {
-    for (uint32_t j = i + 1; j <= std::min(m - 1, i + options_.gap + 1);
-         ++j) {
-      const auto matches = join.Join(interval_results_[i].clusters,
-                                     interval_results_[j].clusters);
-      for (const AffinityMatch& match : matches) {
-        raw.push_back(RawEdge{node_of_[i][match.left],
-                              node_of_[j][match.right], match.affinity});
-      }
+  for (const JoinJob& job : jobs) {
+    for (const AffinityMatch& match : job.matches) {
+      raw.push_back(RawEdge{node_of_[job.i][match.left],
+                            node_of_[job.j][match.right], match.affinity});
     }
   }
   double max_affinity = 0;
@@ -119,7 +226,7 @@ Status StableClusterPipeline::BuildClusterGraph() {
 
 const Cluster* StableClusterPipeline::NodeCluster(NodeId node) const {
   const auto& [i, j] = cluster_of_node_[node];
-  return &interval_results_[i].clusters[j];
+  return &slots_[i]->result.clusters[j];
 }
 
 Result<std::vector<StableClusterChain>> StableClusterPipeline::ToChains(

@@ -3,10 +3,18 @@
 // (Section 3), links them into a cluster graph via a threshold affinity
 // join (Section 4.1), and answers kl-stable and normalized stable cluster
 // queries with any of the finders (Sections 4.2-4.5).
+//
+// With options.threads > 1 the heavy per-interval work (pair counting,
+// external sort, pruning, biconnected decomposition) and the affinity
+// joins run on a thread pool. Output is deterministic across thread
+// counts: keyword ids are interned on the submitting thread in document
+// order, every interval writes its own result slot, and per-pair join
+// results are stitched in interval order.
 
 #ifndef STABLETEXT_CORE_PIPELINE_H_
 #define STABLETEXT_CORE_PIPELINE_H_
 
+#include <future>
 #include <memory>
 #include <string>
 #include <vector>
@@ -17,6 +25,7 @@
 #include "stable/cluster_graph.h"
 #include "stable/dfs_finder.h"
 #include "stable/normalized_bfs_finder.h"
+#include "util/thread_pool.h"
 
 namespace stabletext {
 
@@ -28,6 +37,10 @@ struct PipelineOptions {
   IntervalClustererOptions clustering;
   AffinityOptions affinity;
   uint32_t gap = 0;  ///< g of Section 4.
+  /// Worker threads for interval clustering, tokenization, external-sort
+  /// run generation and affinity joins. 1 = fully sequential (no pool).
+  /// Results are byte-identical for every value.
+  size_t threads = 1;
 };
 
 /// A stable cluster rendered for consumption: the chain of clusters plus
@@ -45,6 +58,10 @@ struct StableClusterChain {
 ///   ...
 ///   pipeline.BuildClusterGraph();
 ///   auto top = pipeline.FindStableClusters(k, l, FinderKind::kBfs);
+///
+/// With threads > 1, AddInterval* returns once the interval is scheduled;
+/// clustering errors surface from BuildClusterGraph(), and
+/// interval_result()/io() are valid only after BuildClusterGraph().
 class StableClusterPipeline {
  public:
   explicit StableClusterPipeline(PipelineOptions options = {});
@@ -61,7 +78,8 @@ class StableClusterPipeline {
   Status AddCorpusFile(const std::string& path);
 
   /// Computes cluster affinities and assembles the cluster graph. Must be
-  /// called after the last interval and before any Find*.
+  /// called after the last interval and before any Find*. Joins all
+  /// outstanding interval work first.
   Status BuildClusterGraph();
 
   /// Top-k stable clusters with paths of length l (0 = full). Requires
@@ -75,13 +93,15 @@ class StableClusterPipeline {
 
   // Introspection.
   uint32_t interval_count() const {
-    return static_cast<uint32_t>(interval_results_.size());
+    return static_cast<uint32_t>(slots_.size());
   }
   const IntervalResult& interval_result(uint32_t i) const {
-    return interval_results_[i];
+    return slots_[i]->result;
   }
   const KeywordDict& dict() const { return dict_; }
   const ClusterGraph* cluster_graph() const { return graph_.get(); }
+  /// Merged I/O accounting (per-interval stats summed in interval order,
+  /// plus graph-build traffic). Complete after BuildClusterGraph().
   const IoStats& io() const { return io_; }
 
   /// Renders a chain like the paper's stable-cluster figures: one line per
@@ -90,14 +110,31 @@ class StableClusterPipeline {
                           size_t max_keywords = 8) const;
 
  private:
+  // One interval's deferred outputs; workers write only their own slot.
+  struct IntervalSlot {
+    IntervalResult result;
+    Status status;
+    IoStats io;
+  };
+
   Result<std::vector<StableClusterChain>> ToChains(
       const std::vector<StablePath>& paths) const;
   const Cluster* NodeCluster(NodeId node) const;
+  // Blocks until all scheduled interval tasks finished; returns the first
+  // failure in interval order and folds per-interval IoStats into io_.
+  Status JoinIntervals();
 
   PipelineOptions options_;
   KeywordDict dict_;
   IoStats io_;
-  std::vector<IntervalResult> interval_results_;
+  std::vector<std::unique_ptr<IntervalSlot>> slots_;
+  std::vector<std::future<void>> pending_;
+  // Declared after slots_/pending_ so it is destroyed first: ~ThreadPool
+  // drains queued interval tasks, which write into the slots — those must
+  // still be alive if the pipeline is destroyed mid-flight.
+  std::unique_ptr<ThreadPool> pool_;  // Null when threads <= 1.
+  bool intervals_joined_ = false;
+  Status join_status_;
   // node_of_[i][j] = cluster graph node of cluster j in interval i.
   std::vector<std::vector<NodeId>> node_of_;
   // Reverse map: node -> (interval, index).

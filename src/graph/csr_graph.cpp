@@ -1,0 +1,42 @@
+#include "graph/csr_graph.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace stabletext {
+
+CsrGraph CsrGraph::FromArcs(size_t vertex_count, std::vector<Arc> arcs) {
+  // One global sort by (from, to) yields grouped, per-vertex-sorted arcs
+  // in a single cache-friendly pass — no per-vertex scratch allocations.
+  std::sort(arcs.begin(), arcs.end(), [](const Arc& a, const Arc& b) {
+    return a.from != b.from ? a.from < b.from : a.to < b.to;
+  });
+  CsrGraph g;
+  g.offsets_.assign(vertex_count + 1, 0);
+  g.targets_.resize(arcs.size());
+  g.weights_.resize(arcs.size());
+  for (size_t i = 0; i < arcs.size(); ++i) {
+    assert(arcs[i].from < vertex_count && arcs[i].to < vertex_count);
+    ++g.offsets_[arcs[i].from + 1];
+    g.targets_[i] = arcs[i].to;
+    g.weights_[i] = arcs[i].weight;
+  }
+  for (size_t v = 1; v <= vertex_count; ++v) {
+    g.offsets_[v] += g.offsets_[v - 1];
+  }
+  return g;
+}
+
+CsrGraph CsrGraph::FromUndirected(size_t vertex_count, const Arc* edges,
+                                  size_t edge_count) {
+  std::vector<Arc> arcs;
+  arcs.reserve(edge_count * 2);
+  for (size_t i = 0; i < edge_count; ++i) {
+    assert(edges[i].from != edges[i].to && "self-loops are not allowed");
+    arcs.push_back(edges[i]);
+    arcs.push_back(Arc{edges[i].to, edges[i].from, edges[i].weight});
+  }
+  return FromArcs(vertex_count, std::move(arcs));
+}
+
+}  // namespace stabletext

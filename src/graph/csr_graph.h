@@ -1,0 +1,70 @@
+// Immutable compressed-sparse-row adjacency over dense uint32 vertex ids.
+// One flat offsets array plus parallel target/weight arrays: traversal
+// touches contiguous memory instead of chasing per-vertex heap nodes, and
+// the structure is safely shared read-only across threads. Built once (from
+// the pruned co-occurrence edge list, or any arc list) and never mutated.
+
+#ifndef STABLETEXT_GRAPH_CSR_GRAPH_H_
+#define STABLETEXT_GRAPH_CSR_GRAPH_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace stabletext {
+
+/// \brief Immutable CSR adjacency structure.
+///
+/// Directed arcs grouped by source vertex, each group sorted by target id.
+/// Undirected graphs store every edge twice (one arc per direction).
+class CsrGraph {
+ public:
+  /// One directed arc used during construction.
+  struct Arc {
+    uint32_t from;
+    uint32_t to;
+    double weight;
+  };
+
+  CsrGraph() = default;
+
+  /// Builds from a directed arc list (consumed). Every endpoint must be
+  /// < vertex_count.
+  static CsrGraph FromArcs(size_t vertex_count, std::vector<Arc> arcs);
+
+  /// Builds from an undirected edge list: each (u, v, w) contributes arcs
+  /// u->v and v->u.
+  static CsrGraph FromUndirected(size_t vertex_count,
+                                 const Arc* edges, size_t edge_count);
+
+  size_t vertex_count() const {
+    return offsets_.empty() ? 0 : offsets_.size() - 1;
+  }
+  size_t arc_count() const { return targets_.size(); }
+
+  size_t Degree(uint32_t u) const {
+    return offsets_[u + 1] - offsets_[u];
+  }
+  const uint32_t* Targets(uint32_t u) const {
+    return targets_.data() + offsets_[u];
+  }
+  const double* Weights(uint32_t u) const {
+    return weights_.data() + offsets_[u];
+  }
+
+  /// Resident bytes of the adjacency arrays.
+  size_t MemoryBytes() const {
+    return offsets_.capacity() * sizeof(size_t) +
+           targets_.capacity() * sizeof(uint32_t) +
+           weights_.capacity() * sizeof(double);
+  }
+
+ private:
+  std::vector<size_t> offsets_;   // size vertex_count + 1
+  std::vector<uint32_t> targets_;
+  std::vector<double> weights_;
+};
+
+}  // namespace stabletext
+
+#endif  // STABLETEXT_GRAPH_CSR_GRAPH_H_

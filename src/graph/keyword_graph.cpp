@@ -1,49 +1,21 @@
 #include "graph/keyword_graph.h"
 
-#include <algorithm>
 #include <cassert>
 
 namespace stabletext {
 
 KeywordGraph KeywordGraph::FromEdges(
     size_t vertex_count, const std::vector<WeightedEdge>& edges) {
-  KeywordGraph g;
-  g.offsets_.assign(vertex_count + 1, 0);
+  std::vector<CsrGraph::Arc> arcs;
+  arcs.reserve(edges.size() * 2);
   for (const WeightedEdge& e : edges) {
     assert(e.u < vertex_count && e.v < vertex_count);
     assert(e.u != e.v && "self-loops are not allowed");
-    ++g.offsets_[e.u + 1];
-    ++g.offsets_[e.v + 1];
+    arcs.push_back(CsrGraph::Arc{e.u, e.v, e.weight});
+    arcs.push_back(CsrGraph::Arc{e.v, e.u, e.weight});
   }
-  for (size_t i = 1; i <= vertex_count; ++i) {
-    g.offsets_[i] += g.offsets_[i - 1];
-  }
-  g.targets_.resize(edges.size() * 2);
-  g.weights_.resize(edges.size() * 2);
-  std::vector<size_t> cursor(g.offsets_.begin(), g.offsets_.end() - 1);
-  for (const WeightedEdge& e : edges) {
-    g.targets_[cursor[e.u]] = e.v;
-    g.weights_[cursor[e.u]] = e.weight;
-    ++cursor[e.u];
-    g.targets_[cursor[e.v]] = e.u;
-    g.weights_[cursor[e.v]] = e.weight;
-    ++cursor[e.v];
-  }
-  // Sort each adjacency list by target id, keeping weights aligned.
-  for (size_t u = 0; u < vertex_count; ++u) {
-    const size_t begin = g.offsets_[u];
-    const size_t end = g.offsets_[u + 1];
-    std::vector<std::pair<KeywordId, double>> adj;
-    adj.reserve(end - begin);
-    for (size_t i = begin; i < end; ++i) {
-      adj.emplace_back(g.targets_[i], g.weights_[i]);
-    }
-    std::sort(adj.begin(), adj.end());
-    for (size_t i = begin; i < end; ++i) {
-      g.targets_[i] = adj[i - begin].first;
-      g.weights_[i] = adj[i - begin].second;
-    }
-  }
+  KeywordGraph g;
+  g.csr_ = CsrGraph::FromArcs(vertex_count, std::move(arcs));
   return g;
 }
 

@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "cooccur/keyword_dict.h"
+#include "graph/csr_graph.h"
 
 namespace stabletext {
 
@@ -37,23 +38,15 @@ class KeywordGraph {
   static KeywordGraph FromEdges(size_t vertex_count,
                                 const std::vector<WeightedEdge>& edges);
 
-  size_t vertex_count() const {
-    return offsets_.empty() ? 0 : offsets_.size() - 1;
-  }
-  size_t edge_count() const { return targets_.size() / 2; }
+  size_t vertex_count() const { return csr_.vertex_count(); }
+  size_t edge_count() const { return csr_.arc_count() / 2; }
 
   /// Degree of vertex u.
-  size_t Degree(KeywordId u) const {
-    return offsets_[u + 1] - offsets_[u];
-  }
+  size_t Degree(KeywordId u) const { return csr_.Degree(u); }
 
   /// Neighbors of u (ids), parallel to Weights(u).
-  const KeywordId* Neighbors(KeywordId u) const {
-    return targets_.data() + offsets_[u];
-  }
-  const double* Weights(KeywordId u) const {
-    return weights_.data() + offsets_[u];
-  }
+  const KeywordId* Neighbors(KeywordId u) const { return csr_.Targets(u); }
+  const double* Weights(KeywordId u) const { return csr_.Weights(u); }
 
   /// True if u has any incident edge.
   bool HasEdges(KeywordId u) const { return Degree(u) > 0; }
@@ -62,9 +55,7 @@ class KeywordGraph {
   size_t NonIsolatedCount() const;
 
  private:
-  std::vector<size_t> offsets_;   // size vertex_count + 1
-  std::vector<KeywordId> targets_;
-  std::vector<double> weights_;
+  CsrGraph csr_;
 };
 
 }  // namespace stabletext

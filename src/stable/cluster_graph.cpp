@@ -8,12 +8,21 @@ NodeId ClusterGraph::AddNode(uint32_t interval) {
   const NodeId id = static_cast<NodeId>(node_interval_.size());
   node_interval_.push_back(interval);
   intervals_[interval].push_back(id);
-  children_.emplace_back();
-  parents_.emplace_back();
+  build_children_.emplace_back();
+  build_parents_.emplace_back();
+  if (frozen_) {
+    // Late nodes keep the CSR indexable; they have no adjacency.
+    child_offsets_.push_back(child_offsets_.back());
+    parent_offsets_.push_back(parent_offsets_.back());
+  }
   return id;
 }
 
 Status ClusterGraph::AddEdge(NodeId from, NodeId to, double weight) {
+  if (frozen_) {
+    return Status::InvalidArgument(
+        "cluster graph is frozen (SortChildren already called)");
+  }
   if (from >= node_count() || to >= node_count()) {
     return Status::InvalidArgument("edge endpoint out of range");
   }
@@ -28,34 +37,58 @@ Status ClusterGraph::AddEdge(NodeId from, NodeId to, double weight) {
   if (!(weight > 0) || weight > 1) {
     return Status::InvalidArgument("edge weight must be in (0, 1]");
   }
-  children_[from].push_back(ClusterGraphEdge{to, weight});
-  parents_[to].push_back(ClusterGraphEdge{from, weight});
+  build_children_[from].push_back(ClusterGraphEdge{to, weight});
+  build_parents_[to].push_back(ClusterGraphEdge{from, weight});
   ++edge_count_;
   return Status::OK();
 }
 
+void ClusterGraph::Compact(
+    std::vector<std::vector<ClusterGraphEdge>>* lists,
+    std::vector<size_t>* offsets, std::vector<ClusterGraphEdge>* edges) {
+  offsets->assign(lists->size() + 1, 0);
+  size_t total = 0;
+  for (size_t v = 0; v < lists->size(); ++v) {
+    total += (*lists)[v].size();
+    (*offsets)[v + 1] = total;
+  }
+  edges->clear();
+  edges->reserve(total);
+  for (auto& list : *lists) {
+    edges->insert(edges->end(), list.begin(), list.end());
+  }
+  lists->clear();
+  lists->shrink_to_fit();
+}
+
 void ClusterGraph::SortChildren() {
+  if (frozen_) return;
   auto by_weight_desc = [](const ClusterGraphEdge& a,
                            const ClusterGraphEdge& b) {
     if (a.weight != b.weight) return a.weight > b.weight;
     return a.target < b.target;
   };
-  for (auto& list : children_) {
+  for (auto& list : build_children_) {
     std::sort(list.begin(), list.end(), by_weight_desc);
   }
   // Parents sorted by source id: deterministic iteration for the BFS
   // finder's parent probes.
-  for (auto& list : parents_) {
+  for (auto& list : build_parents_) {
     std::sort(list.begin(), list.end(),
               [](const ClusterGraphEdge& a, const ClusterGraphEdge& b) {
                 return a.target < b.target;
               });
   }
+  Compact(&build_children_, &child_offsets_, &child_edges_);
+  Compact(&build_parents_, &parent_offsets_, &parent_edges_);
+  frozen_ = true;
 }
 
 size_t ClusterGraph::MaxOutDegree() const {
   size_t d = 0;
-  for (const auto& list : children_) d = std::max(d, list.size());
+  for (NodeId v = 0; v < node_count(); ++v) {
+    d = std::max(d, Children(v).size());
+  }
   return d;
 }
 
@@ -65,11 +98,18 @@ size_t ClusterGraph::MemoryBytes() const {
   for (const auto& iv : intervals_) {
     bytes += iv.capacity() * sizeof(NodeId);
   }
-  for (const auto& list : children_) {
-    bytes += sizeof(list) + list.capacity() * sizeof(ClusterGraphEdge);
-  }
-  for (const auto& list : parents_) {
-    bytes += sizeof(list) + list.capacity() * sizeof(ClusterGraphEdge);
+  if (frozen_) {
+    bytes += (child_offsets_.capacity() + parent_offsets_.capacity()) *
+             sizeof(size_t);
+    bytes += (child_edges_.capacity() + parent_edges_.capacity()) *
+             sizeof(ClusterGraphEdge);
+  } else {
+    for (const auto& list : build_children_) {
+      bytes += sizeof(list) + list.capacity() * sizeof(ClusterGraphEdge);
+    }
+    for (const auto& list : build_parents_) {
+      bytes += sizeof(list) + list.capacity() * sizeof(ClusterGraphEdge);
+    }
   }
   return bytes;
 }

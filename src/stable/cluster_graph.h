@@ -20,6 +20,23 @@ struct ClusterGraphEdge {
   double weight;
 };
 
+/// Non-owning view of one node's adjacency list.
+class EdgeSpan {
+ public:
+  EdgeSpan(const ClusterGraphEdge* data, size_t size)
+      : data_(data), size_(size) {}
+
+  const ClusterGraphEdge* begin() const { return data_; }
+  const ClusterGraphEdge* end() const { return data_ + size_; }
+  size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+  const ClusterGraphEdge& operator[](size_t i) const { return data_[i]; }
+
+ private:
+  const ClusterGraphEdge* data_;
+  size_t size_;
+};
+
 /// \brief Interval-partitioned weighted DAG over cluster nodes.
 ///
 /// Nodes are added per interval; edges may only go forward in time by at
@@ -27,6 +44,11 @@ struct ClusterGraphEdge {
 /// kept sorted by descending weight — the DFS finder's exploration
 /// heuristic (Section 4.3: "while precomputing the list of children for all
 /// nodes, we sort them in the descending order of edge weights").
+///
+/// Two phases: while building, adjacency lives in per-node vectors;
+/// SortChildren() (= freeze) sorts them and compacts everything into
+/// immutable CSR arrays, which every finder then traverses without pointer
+/// chasing. AddEdge after the freeze is an error.
 class ClusterGraph {
  public:
   /// \param interval_count m, the number of temporal intervals.
@@ -39,13 +61,18 @@ class ClusterGraph {
   NodeId AddNode(uint32_t interval);
 
   /// Adds a directed edge. Requires interval(from) < interval(to),
-  /// interval distance <= gap+1, and weight in (0, 1].
+  /// interval distance <= gap+1, and weight in (0, 1]. Fails once the
+  /// graph has been frozen by SortChildren().
   Status AddEdge(NodeId from, NodeId to, double weight);
 
-  /// Re-sorts all children lists by descending weight (stable order:
-  /// weight desc, then target asc). Called automatically by AddEdge-heavy
-  /// builders once at the end; idempotent.
+  /// Freezes the graph: sorts all children lists by descending weight
+  /// (stable order: weight desc, then target asc), parents by source id,
+  /// and compacts the adjacency into CSR arrays. Called automatically by
+  /// AddEdge-heavy builders once at the end; idempotent.
   void SortChildren();
+
+  /// True once SortChildren() has compacted the adjacency.
+  bool frozen() const { return frozen_; }
 
   uint32_t interval_count() const { return interval_count_; }
   uint32_t gap() const { return gap_; }
@@ -57,11 +84,19 @@ class ClusterGraph {
     return intervals_[interval];
   }
 
-  const std::vector<ClusterGraphEdge>& Children(NodeId n) const {
-    return children_[n];
+  EdgeSpan Children(NodeId n) const {
+    if (frozen_) {
+      return EdgeSpan(child_edges_.data() + child_offsets_[n],
+                      child_offsets_[n + 1] - child_offsets_[n]);
+    }
+    return EdgeSpan(build_children_[n].data(), build_children_[n].size());
   }
-  const std::vector<ClusterGraphEdge>& Parents(NodeId n) const {
-    return parents_[n];
+  EdgeSpan Parents(NodeId n) const {
+    if (frozen_) {
+      return EdgeSpan(parent_edges_.data() + parent_offsets_[n],
+                      parent_offsets_[n + 1] - parent_offsets_[n]);
+    }
+    return EdgeSpan(build_parents_[n].data(), build_parents_[n].size());
   }
 
   /// Length of the edge (a, b) in intervals.
@@ -76,13 +111,25 @@ class ClusterGraph {
   size_t MemoryBytes() const;
 
  private:
+  // Flattens sorted per-node lists into offsets + one contiguous array.
+  static void Compact(std::vector<std::vector<ClusterGraphEdge>>* lists,
+                      std::vector<size_t>* offsets,
+                      std::vector<ClusterGraphEdge>* edges);
+
   uint32_t interval_count_;
   uint32_t gap_;
   size_t edge_count_ = 0;
+  bool frozen_ = false;
   std::vector<std::vector<NodeId>> intervals_;
   std::vector<uint32_t> node_interval_;
-  std::vector<std::vector<ClusterGraphEdge>> children_;
-  std::vector<std::vector<ClusterGraphEdge>> parents_;
+  // Build-phase adjacency; cleared by the freeze.
+  std::vector<std::vector<ClusterGraphEdge>> build_children_;
+  std::vector<std::vector<ClusterGraphEdge>> build_parents_;
+  // Frozen CSR adjacency.
+  std::vector<size_t> child_offsets_;
+  std::vector<ClusterGraphEdge> child_edges_;
+  std::vector<size_t> parent_offsets_;
+  std::vector<ClusterGraphEdge> parent_edges_;
 };
 
 }  // namespace stabletext

@@ -53,7 +53,8 @@ Result<StableFinderResult> DfsStableFinder::Find(
   // Section 4.3 heuristic); the ablation path re-sorts by target id.
   std::vector<std::vector<ClusterGraphEdge>> children(n);
   for (NodeId v = 0; v < n; ++v) {
-    children[v] = graph.Children(v);
+    children[v].assign(graph.Children(v).begin(),
+                       graph.Children(v).end());
     if (!options_.sort_children_by_weight) {
       std::sort(children[v].begin(), children[v].end(),
                 [](const ClusterGraphEdge& a, const ClusterGraphEdge& b) {

@@ -58,7 +58,6 @@ Result<StableFinderResult> NormalizedLiteralFinder::Find(
     return Status::InvalidArgument("lmin out of range");
   }
   const size_t k = options_.k;
-  const uint32_t g = graph.gap();
 
   // smallpaths[c][x]: all paths of length x (1 <= x < lmin) ending at c.
   std::vector<std::vector<std::vector<StablePath>>> smallpaths(

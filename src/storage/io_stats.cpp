@@ -11,17 +11,26 @@ IoStats& IoStats::operator+=(const IoStats& other) {
   random_seeks += other.random_seeks;
   bytes_read += other.bytes_read;
   bytes_written += other.bytes_written;
+  sort_runs_spilled += other.sort_runs_spilled;
+  sort_merge_passes += other.sort_merge_passes;
+  sort_in_memory_sorts += other.sort_in_memory_sorts;
+  sort_tail_records += other.sort_tail_records;
   return *this;
 }
 
 std::string IoStats::ToString() const {
   return StringPrintf(
-      "reads=%llu writes=%llu cached=%llu seeks=%llu read=%s written=%s",
+      "reads=%llu writes=%llu cached=%llu seeks=%llu read=%s written=%s "
+      "sort[runs=%llu passes=%llu memsorts=%llu tail=%llu]",
       static_cast<unsigned long long>(page_reads),
       static_cast<unsigned long long>(page_writes),
       static_cast<unsigned long long>(logical_reads),
       static_cast<unsigned long long>(random_seeks),
-      HumanBytes(bytes_read).c_str(), HumanBytes(bytes_written).c_str());
+      HumanBytes(bytes_read).c_str(), HumanBytes(bytes_written).c_str(),
+      static_cast<unsigned long long>(sort_runs_spilled),
+      static_cast<unsigned long long>(sort_merge_passes),
+      static_cast<unsigned long long>(sort_in_memory_sorts),
+      static_cast<unsigned long long>(sort_tail_records));
 }
 
 }  // namespace stabletext

@@ -24,6 +24,12 @@ struct IoStats {
   uint64_t random_seeks = 0;      ///< Non-sequential repositionings.
   uint64_t bytes_read = 0;        ///< Physical bytes read.
   uint64_t bytes_written = 0;     ///< Physical bytes written.
+  // External-sort phase accounting (ExternalSorter).
+  uint64_t sort_runs_spilled = 0;      ///< Sorted runs written to disk.
+  uint64_t sort_merge_passes = 0;      ///< Intermediate merge passes.
+  uint64_t sort_in_memory_sorts = 0;   ///< Sorts that never touched disk.
+  uint64_t sort_tail_records = 0;      ///< Records merged straight from the
+                                       ///< in-memory tail (spill avoided).
 
   void Reset() { *this = IoStats(); }
 

@@ -1,0 +1,96 @@
+// Loser-tree k-way merge (Knuth TAOCP Vol. 3, replacement selection). The
+// tree keeps the loser of each internal match and replays only the root
+// path when the winner's source advances: ceil(log2 k) comparisons per
+// record versus ~2 log2 k for a binary heap, and no per-record heap-node
+// shuffling. Used by ExternalSorter to merge spilled runs (plus the final
+// in-memory tail) in one pass.
+
+#ifndef STABLETEXT_STORAGE_LOSER_TREE_H_
+#define STABLETEXT_STORAGE_LOSER_TREE_H_
+
+#include <cstddef>
+#include <vector>
+
+namespace stabletext {
+
+/// \brief Merges k sorted sources into one sorted stream.
+///
+/// `Source` must provide `bool Next(Record* out)` yielding its records in
+/// `Less` order; false means exhausted. Ties between sources break toward
+/// the lower source index, making the merged order deterministic.
+template <typename Record, typename Source, typename Less>
+class LoserTree {
+ public:
+  /// Takes ownership of `sources` and plays the initial tournament.
+  LoserTree(std::vector<Source> sources, Less less)
+      : sources_(std::move(sources)),
+        less_(less),
+        k_(sources_.size()),
+        current_(k_),
+        exhausted_(k_, false),
+        tree_(k_ > 0 ? k_ : 1, 0) {
+    for (size_t i = 0; i < k_; ++i) {
+      exhausted_[i] = !sources_[i].Next(&current_[i]);
+    }
+    if (k_ > 0) tree_[0] = Play(1);
+  }
+
+  /// Produces the next record of the merged stream; false at end.
+  bool Next(Record* out) {
+    if (k_ == 0) return false;
+    const size_t w = tree_[0];
+    if (exhausted_[w]) return false;
+    *out = current_[w];
+    if (!sources_[w].Next(&current_[w])) exhausted_[w] = true;
+    // Replay the path from w's leaf to the root.
+    size_t winner = w;
+    for (size_t node = (k_ + w) / 2; node >= 1; node /= 2) {
+      if (Beats(tree_[node], winner)) {
+        std::swap(tree_[node], winner);
+      }
+    }
+    tree_[0] = winner;
+    return true;
+  }
+
+  /// Source that produced the last record (for error reporting).
+  size_t last_winner() const { return tree_[0]; }
+
+  Source& source(size_t i) { return sources_[i]; }
+
+ private:
+  // True if source a's head record wins against source b's.
+  bool Beats(size_t a, size_t b) const {
+    if (exhausted_[a]) return false;
+    if (exhausted_[b]) return true;
+    if (less_(current_[a], current_[b])) return true;
+    if (less_(current_[b], current_[a])) return false;
+    return a < b;
+  }
+
+  // Recursively plays the bracket under `node`, storing losers in tree_
+  // and returning the winner. Leaves are nodes [k, 2k) mapping to sources.
+  size_t Play(size_t node) {
+    if (node >= k_) return node - k_;
+    const size_t left = Play(2 * node);
+    const size_t right = Play(2 * node + 1);
+    if (Beats(left, right)) {
+      tree_[node] = right;
+      return left;
+    }
+    tree_[node] = left;
+    return right;
+  }
+
+  std::vector<Source> sources_;
+  Less less_;
+  size_t k_;
+  std::vector<Record> current_;
+  std::vector<char> exhausted_;
+  // tree_[0] is the overall winner; tree_[1..k) hold match losers.
+  std::vector<size_t> tree_;
+};
+
+}  // namespace stabletext
+
+#endif  // STABLETEXT_STORAGE_LOSER_TREE_H_

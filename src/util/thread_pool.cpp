@@ -1,0 +1,80 @@
+#include "util/thread_pool.h"
+
+#include <algorithm>
+#include <chrono>
+
+namespace stabletext {
+
+ThreadPool::ThreadPool(size_t threads) {
+  const size_t n = std::max<size_t>(1, threads);
+  workers_.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  for (std::thread& w : workers_) w.join();
+}
+
+std::future<void> ThreadPool::Submit(std::function<void()> fn) {
+  std::packaged_task<void()> task(std::move(fn));
+  std::future<void> future = task.get_future();
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    queue_.push_back(std::move(task));
+  }
+  cv_.notify_one();
+  return future;
+}
+
+bool ThreadPool::TryRunOneTask() {
+  std::packaged_task<void()> task;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (queue_.empty()) return false;
+    task = std::move(queue_.front());
+    queue_.pop_front();
+  }
+  task();
+  return true;
+}
+
+void ThreadPool::Wait(std::future<void>& future) {
+  while (future.wait_for(std::chrono::seconds(0)) !=
+         std::future_status::ready) {
+    if (!TryRunOneTask()) {
+      // Nothing to steal: the task is running on a worker; block briefly.
+      future.wait_for(std::chrono::milliseconds(1));
+    }
+  }
+  // Rethrow anything the task threw; otherwise the exception dies in the
+  // shared state and the failure is silently swallowed. Tasks that must
+  // not throw across this boundary catch internally and report a Status.
+  future.get();
+}
+
+void ThreadPool::WaitAll(std::vector<std::future<void>>& futures) {
+  for (std::future<void>& f : futures) Wait(f);
+}
+
+void ThreadPool::WorkerLoop() {
+  for (;;) {
+    std::packaged_task<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+      if (stop_ && queue_.empty()) return;
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    task();
+  }
+}
+
+}  // namespace stabletext

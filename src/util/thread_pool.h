@@ -1,0 +1,58 @@
+// Fixed-size thread pool used to parallelize per-interval work (Section 3
+// counting passes are independent across intervals) and external-sort run
+// generation. Waiting helpers let a blocked submitter execute queued tasks
+// itself, so nested submission (an interval task spawning sort-run tasks)
+// cannot deadlock the fixed worker set.
+
+#ifndef STABLETEXT_UTIL_THREAD_POOL_H_
+#define STABLETEXT_UTIL_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace stabletext {
+
+/// \brief Fixed-size pool of worker threads with a FIFO task queue.
+class ThreadPool {
+ public:
+  /// Spawns `threads` workers (at least 1).
+  explicit ThreadPool(size_t threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  size_t size() const { return workers_.size(); }
+
+  /// Enqueues a task; the future resolves when it finishes.
+  std::future<void> Submit(std::function<void()> fn);
+
+  /// Runs one queued task on the calling thread, if any is pending.
+  /// Returns false when the queue was empty.
+  bool TryRunOneTask();
+
+  /// Blocks until `future` is ready, draining queued tasks on this thread
+  /// while waiting (deadlock-free when called from inside a pool task).
+  void Wait(std::future<void>& future);
+
+  /// Wait() over a batch.
+  void WaitAll(std::vector<std::future<void>>& futures);
+
+ private:
+  void WorkerLoop();
+
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<std::packaged_task<void()>> queue_;
+  std::vector<std::thread> workers_;
+  bool stop_ = false;
+};
+
+}  // namespace stabletext
+
+#endif  // STABLETEXT_UTIL_THREAD_POOL_H_

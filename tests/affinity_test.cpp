@@ -87,7 +87,9 @@ TEST(AffinityTest, SymmetryAndRange) {
       const double ba = ClusterAffinity(b, a, measure);
       ASSERT_DOUBLE_EQ(ab, ba);
       ASSERT_GE(ab, 0.0);
-      if (measure != AffinityMeasure::kIntersection) ASSERT_LE(ab, 1.0);
+      if (measure != AffinityMeasure::kIntersection) {
+        ASSERT_LE(ab, 1.0);
+      }
     }
   }
 }

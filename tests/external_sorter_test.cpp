@@ -19,7 +19,9 @@ struct Pair {
   friend bool operator<(const Pair& x, const Pair& y) {
     return x.a != y.a ? x.a < y.a : x.b < y.b;
   }
-  friend bool operator==(const Pair&, const Pair&) = default;
+  friend bool operator==(const Pair& x, const Pair& y) {
+    return x.a == y.a && x.b == y.b;
+  }
 };
 
 std::vector<Pair> RandomPairs(size_t n, uint64_t seed, uint32_t key_space) {

@@ -1,0 +1,134 @@
+// Parallel-pipeline determinism: 1-thread and N-thread runs must produce
+// byte-identical cluster and stable-path output. Keyword ids are interned
+// on the submitting thread and join results stitched in interval order, so
+// nothing downstream may depend on worker scheduling. A tight sort budget
+// additionally forces spilled runs through the pooled run-generation path.
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "core/pipeline.h"
+#include "gen/corpus_generator.h"
+#include "util/strings.h"
+
+namespace stabletext {
+namespace {
+
+CorpusGenOptions SmallCorpus() {
+  CorpusGenOptions opt;
+  opt.days = 6;
+  opt.posts_per_day = 400;
+  opt.vocabulary = 1500;
+  opt.min_words_per_post = 10;
+  opt.max_words_per_post = 24;
+  opt.micro_events = 40;
+  opt.seed = 31;
+  opt.script = EventScript::PaperWeek();
+  return opt;
+}
+
+PipelineOptions BaseOptions(size_t threads) {
+  PipelineOptions opt;
+  opt.gap = 2;
+  opt.threads = threads;
+  opt.clustering.pruning.rho_threshold = 0.2;
+  opt.clustering.pruning.min_pair_support = 5;
+  opt.affinity.theta = 0.1;
+  return opt;
+}
+
+// Renders everything observable about a finished pipeline: per-interval
+// cluster sets (keywords as text), graph shape, and top-k stable chains.
+std::string Fingerprint(const StableClusterPipeline& pipeline) {
+  std::string out;
+  for (uint32_t i = 0; i < pipeline.interval_count(); ++i) {
+    const IntervalResult& r = pipeline.interval_result(i);
+    out += StringPrintf("interval %u: %zu clusters, %zu pruned edges\n", i,
+                        r.clusters.size(),
+                        r.graph_summary.prune.surviving_edges);
+    for (const Cluster& c : r.clusters) {
+      out += "  " + c.ToString(pipeline.dict(), 64) + "\n";
+    }
+  }
+  const ClusterGraph* graph = pipeline.cluster_graph();
+  out += StringPrintf("graph: %zu nodes, %zu edges\n", graph->node_count(),
+                      graph->edge_count());
+  for (NodeId v = 0; v < graph->node_count(); ++v) {
+    for (const ClusterGraphEdge& e : graph->Children(v)) {
+      out += StringPrintf("  %u -> %u %.9f\n", v, e.target, e.weight);
+    }
+  }
+  return out;
+}
+
+std::string ChainFingerprint(const StableClusterPipeline& pipeline) {
+  std::string out;
+  auto full = pipeline.FindStableClusters(5, 0, FinderKind::kBfs);
+  EXPECT_TRUE(full.ok());
+  for (const StableClusterChain& chain : full.value()) {
+    out += pipeline.RenderChain(chain, 16);
+  }
+  auto dfs = pipeline.FindStableClusters(4, 3, FinderKind::kDfs);
+  EXPECT_TRUE(dfs.ok());
+  for (const StableClusterChain& chain : dfs.value()) {
+    out += pipeline.RenderChain(chain, 16);
+  }
+  auto norm = pipeline.FindNormalizedStableClusters(4, 2);
+  EXPECT_TRUE(norm.ok());
+  for (const StableClusterChain& chain : norm.value()) {
+    out += pipeline.RenderChain(chain, 16);
+  }
+  return out;
+}
+
+struct RunOutput {
+  std::string pipeline;
+  std::string chains;
+};
+
+RunOutput RunWithThreads(size_t threads, size_t sort_memory_bytes) {
+  CorpusGenerator gen(SmallCorpus());
+  PipelineOptions popt = BaseOptions(threads);
+  popt.clustering.counting.sort_memory_bytes = sort_memory_bytes;
+  StableClusterPipeline pipeline(popt);
+  for (uint32_t day = 0; day < 6; ++day) {
+    EXPECT_TRUE(pipeline.AddIntervalText(gen.GenerateDay(day)).ok());
+  }
+  EXPECT_TRUE(pipeline.BuildClusterGraph().ok());
+  return RunOutput{Fingerprint(pipeline), ChainFingerprint(pipeline)};
+}
+
+TEST(PipelineParallelTest, ThreadCountDoesNotChangeOutput) {
+  const RunOutput sequential = RunWithThreads(1, 32 << 20);
+  ASSERT_FALSE(sequential.pipeline.empty());
+  for (const size_t threads : {2u, 4u, 8u}) {
+    const RunOutput parallel = RunWithThreads(threads, 32 << 20);
+    EXPECT_EQ(sequential.pipeline, parallel.pipeline)
+        << "threads=" << threads;
+    EXPECT_EQ(sequential.chains, parallel.chains)
+        << "threads=" << threads;
+  }
+}
+
+TEST(PipelineParallelTest, SpilledSortRunsAreDeterministicToo) {
+  // A tiny sort budget forces every interval through spilled runs and the
+  // pooled run-generation + loser-tree merge path.
+  const RunOutput sequential = RunWithThreads(1, 64 << 10);
+  const RunOutput parallel = RunWithThreads(4, 64 << 10);
+  EXPECT_EQ(sequential.pipeline, parallel.pipeline);
+  EXPECT_EQ(sequential.chains, parallel.chains);
+  // And the budget itself must not change the answer either.
+  const RunOutput roomy = RunWithThreads(4, 32 << 20);
+  EXPECT_EQ(sequential.pipeline, roomy.pipeline);
+}
+
+TEST(PipelineParallelTest, ParallelErrorsSurfaceAtBuild) {
+  PipelineOptions popt = BaseOptions(4);
+  StableClusterPipeline pipeline(popt);
+  EXPECT_FALSE(pipeline.BuildClusterGraph().ok());  // No intervals.
+}
+
+}  // namespace
+}  // namespace stabletext

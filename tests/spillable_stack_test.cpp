@@ -14,7 +14,9 @@ namespace {
 struct Entry {
   uint32_t u;
   uint32_t v;
-  friend bool operator==(const Entry&, const Entry&) = default;
+  friend bool operator==(const Entry& a, const Entry& b) {
+    return a.u == b.u && a.v == b.v;
+  }
 };
 
 SpillableStackOptions SmallOptions(size_t memory_entries,

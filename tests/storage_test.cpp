@@ -193,7 +193,9 @@ TEST(PagedFileTest, RejectsMisalignedExistingFile) {
 struct Rec {
   uint32_t a;
   uint64_t b;
-  friend bool operator==(const Rec&, const Rec&) = default;
+  friend bool operator==(const Rec& x, const Rec& y) {
+    return x.a == y.a && x.b == y.b;
+  }
 };
 
 TEST(RecordFileTest, RoundTripsRecords) {

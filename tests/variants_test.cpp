@@ -73,7 +73,9 @@ TEST(DiversifyTest, EndToEndResultsAreConflictFreeAndRanked) {
     for (size_t j = i + 1; j < paths.size(); ++j) {
       EXPECT_FALSE(PathsConflict(paths[i], paths[j], dopt));
     }
-    if (i > 0) EXPECT_GE(paths[i - 1].weight, paths[i].weight);
+    if (i > 0) {
+      EXPECT_GE(paths[i - 1].weight, paths[i].weight);
+    }
     EXPECT_EQ(paths[i].length, 3u);
   }
   // The best diversified path is the overall best path.
