@@ -1,14 +1,16 @@
 // query_refinement: the search application motivated in Sections 1 and 3
 // of the paper — "If a search query for a specific interval falls in a
 // cluster, the rest of the keywords in that cluster are good candidates
-// for query refinement." Builds a week of clusters, then answers
+// for query refinement." Ingests a week of posts, then answers
 // refinement queries per day, showing how suggestions for the same query
-// change as the story evolves.
+// change as the story evolves. Because the engine commits per tick,
+// refinements for a day are available the moment that day is ingested.
 //
 // Build & run:  ./build/examples/query_refinement
 
 #include <cstdio>
 
+#include "core/engine.h"
 #include "core/query_refiner.h"
 #include "gen/corpus_generator.h"
 
@@ -24,17 +26,17 @@ int main() {
   corpus_options.script = EventScript::PaperWeek();
   CorpusGenerator generator(corpus_options);
 
-  PipelineOptions options;
+  EngineOptions options;
   options.clustering.pruning.min_pair_support = 5;
-  StableClusterPipeline pipeline(options);
+  Engine engine(options);
   std::printf("building clusters for 7 days...\n");
   for (uint32_t day = 0; day < 7; ++day) {
-    if (!pipeline.AddIntervalText(generator.GenerateDay(day)).ok()) {
+    if (!engine.IngestText(generator.GenerateDay(day)).ok()) {
       return 1;
     }
   }
 
-  QueryRefiner refiner(&pipeline);
+  QueryRefiner refiner(&engine);
   auto show = [&](const char* query, uint32_t day) {
     auto suggestions = refiner.Suggest(query, day, 6);
     std::printf("query \"%s\" on day %u:", query, day);

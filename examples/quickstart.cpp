@@ -1,28 +1,29 @@
 // Quickstart: the whole API on a tiny hand-written corpus.
 //
-//   1. Feed raw posts, one interval (day) at a time.
-//   2. Build the cluster graph.
-//   3. Ask for stable clusters.
+//   1. Ingest raw posts, one interval (day) at a time.
+//   2. Query whenever you like — there is no build barrier; results
+//      always reflect everything ingested so far.
 //
 // Build & run:  ./build/examples/quickstart
 
 #include <cstdio>
 
-#include "core/pipeline.h"
+#include "core/engine.h"
 
-using stabletext::FinderKind;
-using stabletext::PipelineOptions;
-using stabletext::StableClusterPipeline;
+using stabletext::Engine;
+using stabletext::EngineOptions;
+using stabletext::FinderAlgorithm;
+using stabletext::Query;
 
 int main() {
-  PipelineOptions options;
+  EngineOptions options;
   options.gap = 1;  // Allow one missing day inside a stable cluster.
 
-  StableClusterPipeline pipeline(options);
+  Engine engine(options);
 
   // Day 0: lots of chatter about a phone launch; some soccer noise.
-  std::printf("adding day 0...\n");
-  stabletext::Status s = pipeline.AddIntervalText({
+  std::printf("ingesting day 0...\n");
+  auto day = engine.IngestText({
       "the new apple iphone launch amazed everyone at macworld",
       "apple iphone macworld keynote today",
       "iphone apple launch macworld touchscreen demo",
@@ -30,56 +31,62 @@ int main() {
       "soccer game tonight was great",
       "my cat slept all day",
   });
-  if (!s.ok()) return 1;
+  if (!day.ok()) return 1;
 
   // Day 1: the story continues.
-  std::printf("adding day 1...\n");
-  s = pipeline.AddIntervalText({
+  std::printf("ingesting day 1...\n");
+  day = engine.IngestText({
       "apple iphone reviews macworld recap",
       "the iphone apple hype continues after macworld",
       "iphone apple pricing rumors from macworld",
       "apple iphone macworld what a week",
       "made pasta for dinner",
   });
-  if (!s.ok()) return 1;
+  if (!day.ok()) return 1;
+
+  // Queries are valid between ingests: after two days the best chain is
+  // one day long.
+  Query query;
+  query.algorithm = FinderAlgorithm::kBfs;
+  query.k = 1;
+  query.l = 1;
+  auto so_far = engine.Query(query);
+  if (so_far.ok() && !so_far.value().chains.empty()) {
+    std::printf("\nbest chain after two days:\n%s\n",
+                engine.RenderChain(so_far.value().chains[0]).c_str());
+  }
 
   // Day 2: the topic drifts to a lawsuit.
-  std::printf("adding day 2...\n");
-  s = pipeline.AddIntervalText({
+  std::printf("ingesting day 2...\n");
+  day = engine.IngestText({
       "cisco sues apple over the iphone trademark",
       "apple iphone cisco lawsuit trademark claim",
       "the cisco apple iphone lawsuit surprised nobody",
       "iphone apple cisco trademark fight",
       "raining again today",
   });
-  if (!s.ok()) return 1;
+  if (!day.ok()) return 1;
 
   // Per-day keyword clusters (Section 3 of the paper).
-  for (uint32_t day = 0; day < pipeline.interval_count(); ++day) {
-    const auto& result = pipeline.interval_result(day);
-    std::printf("day %u: %zu cluster(s)\n", day, result.clusters.size());
+  for (uint32_t d = 0; d < engine.interval_count(); ++d) {
+    const auto& result = engine.interval_result(d);
+    std::printf("day %u: %zu cluster(s)\n", d, result.clusters.size());
     for (const auto& cluster : result.clusters) {
-      std::printf("  %s\n",
-                  cluster.ToString(pipeline.dict()).c_str());
+      std::printf("  %s\n", cluster.ToString(engine.dict()).c_str());
     }
   }
 
-  // Link clusters across days and find stable ones (Section 4).
-  s = pipeline.BuildClusterGraph();
-  if (!s.ok()) {
-    std::printf("BuildClusterGraph: %s\n", s.ToString().c_str());
-    return 1;
-  }
-  auto chains = pipeline.FindStableClusters(/*k=*/3, /*l=*/2,
-                                            FinderKind::kBfs);
-  if (!chains.ok()) {
-    std::printf("FindStableClusters: %s\n",
-                chains.status().ToString().c_str());
+  // Stable clusters across days (Section 4), now spanning all three.
+  query.k = 3;
+  query.l = 2;
+  auto top = engine.Query(query);
+  if (!top.ok()) {
+    std::printf("Query: %s\n", top.status().ToString().c_str());
     return 1;
   }
   std::printf("\ntop stable clusters across the three days:\n");
-  for (const auto& chain : chains.value()) {
-    std::printf("%s\n", pipeline.RenderChain(chain).c_str());
+  for (const auto& chain : top.value().chains) {
+    std::printf("%s\n", engine.RenderChain(chain).c_str());
   }
   std::printf(
       "note the topic drift: the chain tracks the iphone cluster from "

@@ -1,34 +1,39 @@
-// stabletext_cli: command-line driver for the full system. Subcommands:
+// stabletext_cli: command-line driver for the engine. Subcommands:
 //
 //   gen <out.corpus> [days] [posts_per_day] [micro_events] [seed]
 //       Generate a synthetic planted-event corpus (PaperWeek script).
+//   ingest <corpus> [--gap N] [--threads N] [--save out.graph]
+//       Stream the corpus tick by tick through the engine, printing
+//       per-tick commit stats; optionally persist the cluster graph.
+//   query <corpus> [--algo bfs|dfs|ta|brute-force|online]
+//         [--mode kl-stable|normalized] [--k N] [--l N] [--gap N]
+//         [--threads N] [--diversify P,S] [--per-tick]
+//       Ingest and answer one query; --per-tick re-reports the top-k
+//       after every ingested interval (the Section 4.6 monitor).
+//   stats <corpus> [--gap N] [--threads N]
+//       Engine stats after ingesting the corpus.
 //   cluster <corpus> <out_prefix>
 //       Run Section 3 per interval; writes <out_prefix>.dayN.clusters
 //       (cluster_io format) and <out_prefix>.dict.
-//   stable <corpus> [k] [l] [gap] [bfs|dfs]
-//       End-to-end kl-stable clusters; l = 0 means full paths.
-//   normalized <corpus> [k] [lmin] [gap]
-//       Normalized stable clusters.
 //   refine <corpus> <keyword> <day>
 //       Query-refinement suggestions for a keyword on a given day.
-//   savegraph <corpus> <out.graph> [gap]
-//       Build and persist the cluster graph.
-//   topk <in.graph> [k] [l] [bfs|dfs]
-//       Query a persisted cluster graph.
+//   topk <in.graph> [--algo ...] [--mode ...] [--k N] [--l N]
+//       Query a persisted cluster graph through the finder registry.
 //
 // Build & run:  ./build/examples/stabletext_cli gen /tmp/week.corpus
 
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <string>
+#include <vector>
 
 #include "cluster/cluster_io.h"
-#include "core/pipeline.h"
+#include "core/engine.h"
 #include "core/query_refiner.h"
 #include "gen/corpus_generator.h"
 #include "stable/cluster_graph_io.h"
-#include "stable/dfs_finder.h"
 
 namespace {
 
@@ -39,21 +44,116 @@ int Fail(const Status& s) {
   return 1;
 }
 
-PipelineOptions DefaultPipelineOptions(uint32_t gap) {
-  PipelineOptions options;
+EngineOptions DefaultEngineOptions(uint32_t gap, size_t threads = 1) {
+  EngineOptions options;
   options.gap = gap;
+  options.threads = threads;
   options.clustering.pruning.rho_threshold = 0.2;
   options.clustering.pruning.min_pair_support = 5;
   options.affinity.theta = 0.1;
   return options;
 }
 
-Status LoadPipeline(const std::string& corpus, uint32_t /*gap*/,
-                    StableClusterPipeline* pipeline) {
-  ST_RETURN_IF_ERROR(pipeline->AddCorpusFile(corpus));
-  std::fprintf(stderr, "clustered %u interval(s)\n",
-               pipeline->interval_count());
-  return Status::OK();
+// Shared flag set for the engine-backed subcommands. Positional arguments
+// (the corpus path, etc.) are collected in order.
+struct CliArgs {
+  std::vector<std::string> positional;
+  Query query;
+  uint32_t gap = 1;
+  size_t threads = 1;
+  bool per_tick = false;
+  std::string save_path;
+  Status status;
+};
+
+// Strict decimal parse: the whole string must be a number (no silent
+// zero for a forgotten or garbled flag value).
+bool ParseNum(const std::string& s, long* out) {
+  if (s.empty()) return false;
+  char* end = nullptr;
+  *out = std::strtol(s.c_str(), &end, 10);
+  return end == s.c_str() + s.size();
+}
+
+CliArgs ParseCliArgs(int argc, char** argv) {
+  CliArgs args;
+  for (int i = 0; i < argc; ++i) {
+    const std::string a = argv[i];
+    auto value = [&]() -> std::string {
+      return i + 1 < argc ? argv[++i] : "";
+    };
+    auto numeric = [&](long* out) {
+      const std::string v = value();
+      if (!ParseNum(v, out)) {
+        args.status = Status::InvalidArgument(
+            "flag " + a + " needs a numeric value, got \"" + v + "\"");
+        return false;
+      }
+      return true;
+    };
+    long n = 0;
+    if (a == "--algo") {
+      auto algo = ParseFinderAlgorithm(value());
+      if (!algo.ok()) {
+        args.status = algo.status();
+        return args;
+      }
+      args.query.algorithm = algo.value();
+    } else if (a == "--mode") {
+      auto mode = ParseFinderMode(value());
+      if (!mode.ok()) {
+        args.status = mode.status();
+        return args;
+      }
+      args.query.mode = mode.value();
+    } else if (a == "--k") {
+      if (!numeric(&n)) return args;
+      args.query.k = static_cast<size_t>(n);
+    } else if (a == "--l") {
+      if (!numeric(&n)) return args;
+      args.query.l = static_cast<uint32_t>(n);
+    } else if (a == "--gap") {
+      if (!numeric(&n)) return args;
+      args.gap = static_cast<uint32_t>(n);
+    } else if (a == "--threads") {
+      if (!numeric(&n)) return args;
+      args.threads = static_cast<size_t>(std::max(1L, n));
+    } else if (a == "--diversify") {
+      // P,S — prefix and suffix node counts (just P applies to both).
+      const std::string spec = value();
+      const size_t comma = spec.find(',');
+      long prefix = 0;
+      long suffix = 0;
+      const bool ok =
+          comma == std::string::npos
+              ? ParseNum(spec, &prefix) && (suffix = prefix, true)
+              : ParseNum(spec.substr(0, comma), &prefix) &&
+                    ParseNum(spec.substr(comma + 1), &suffix);
+      if (!ok) {
+        args.status = Status::InvalidArgument(
+            "--diversify needs P or P,S numbers, got \"" + spec + "\"");
+        return args;
+      }
+      args.query.diversify_prefix = static_cast<uint32_t>(prefix);
+      args.query.diversify_suffix = static_cast<uint32_t>(suffix);
+    } else if (a == "--per-tick") {
+      args.per_tick = true;
+    } else if (a == "--save") {
+      args.save_path = value();
+    } else if (!a.empty() && a[0] == '-') {
+      args.status = Status::InvalidArgument("unknown flag " + a);
+      return args;
+    } else {
+      args.positional.push_back(a);
+    }
+  }
+  return args;
+}
+
+void PrintChains(const Engine& engine, const QueryResult& result) {
+  for (const StableClusterChain& chain : result.chains) {
+    std::printf("%s\n", engine.RenderChain(chain).c_str());
+  }
 }
 
 int CmdGen(int argc, char** argv) {
@@ -74,73 +174,118 @@ int CmdGen(int argc, char** argv) {
   return 0;
 }
 
+// Streams the corpus through the engine tick by tick, printing a commit
+// line per interval — the serving-shaped ingest path.
+int CmdIngest(int argc, char** argv) {
+  CliArgs args = ParseCliArgs(argc, argv);
+  if (!args.status.ok()) return Fail(args.status);
+  if (args.positional.empty()) return 2;
+  Engine engine(DefaultEngineOptions(args.gap, args.threads));
+
+  auto ingested = engine.IngestCorpusFile(
+      args.positional[0],
+      [&](uint32_t tick, const std::vector<std::string>& posts) {
+        const EngineStats stats = engine.stats();
+        std::printf(
+            "tick %2u committed: %4zu posts, %3zu clusters, graph now "
+            "%zu nodes / %zu edges\n",
+            tick, posts.size(),
+            engine.interval_result(tick).clusters.size(), stats.clusters,
+            stats.edges);
+        return Status::OK();
+      });
+  if (!ingested.ok()) return Fail(ingested.status());
+  if (!args.save_path.empty()) {
+    Status s = engine.Compact();
+    if (!s.ok()) return Fail(s);
+    s = SaveClusterGraph(engine.graph(), args.save_path);
+    if (!s.ok()) return Fail(s);
+    std::printf("cluster graph (%zu nodes, %zu edges) -> %s\n",
+                engine.graph().node_count(), engine.graph().edge_count(),
+                args.save_path.c_str());
+  }
+  return 0;
+}
+
+int CmdQuery(int argc, char** argv) {
+  CliArgs args = ParseCliArgs(argc, argv);
+  if (!args.status.ok()) return Fail(args.status);
+  if (args.positional.empty()) return 2;
+  Engine engine(DefaultEngineOptions(args.gap, args.threads));
+
+  if (!args.per_tick) {
+    auto ingested = engine.IngestCorpusFile(args.positional[0]);
+    if (!ingested.ok()) return Fail(ingested.status());
+    std::fprintf(stderr, "ingested %u interval(s)\n", ingested.value());
+    auto result = engine.Query(args.query);
+    if (!result.ok()) return Fail(result.status());
+    PrintChains(engine, result.value());
+    std::printf("io: %s\n", result.value().finder.io.ToString().c_str());
+    return 0;
+  }
+
+  // --per-tick: the Section 4.6 monitor — re-report after every arrival.
+  auto ingested = engine.IngestCorpusFile(
+      args.positional[0],
+      [&](uint32_t tick, const std::vector<std::string>&) {
+        auto result = engine.Query(args.query);
+        if (!result.ok()) return result.status();
+        std::printf("tick %2u: top-%zu", tick, args.query.k);
+        for (const StableClusterChain& chain : result.value().chains) {
+          std::printf(" %s", chain.path.ToString().c_str());
+        }
+        std::printf("\n");
+        return Status::OK();
+      });
+  if (!ingested.ok()) return Fail(ingested.status());
+  return 0;
+}
+
+int CmdStats(int argc, char** argv) {
+  CliArgs args = ParseCliArgs(argc, argv);
+  if (!args.status.ok()) return Fail(args.status);
+  if (args.positional.empty()) return 2;
+  Engine engine(DefaultEngineOptions(args.gap, args.threads));
+  auto ingested = engine.IngestCorpusFile(args.positional[0]);
+  if (!ingested.ok()) return Fail(ingested.status());
+  const EngineStats stats = engine.stats();
+  std::printf("intervals:   %u\n", stats.intervals);
+  std::printf("clusters:    %zu\n", stats.clusters);
+  std::printf("edges:       %zu\n", stats.edges);
+  std::printf("keywords:    %zu\n", stats.keywords);
+  std::printf("graph bytes: %zu\n", stats.graph_bytes);
+  std::printf("ingest io:   %s\n", stats.io.ToString().c_str());
+  return 0;
+}
+
 int CmdCluster(int argc, char** argv) {
   if (argc < 2) return 2;
-  StableClusterPipeline pipeline(DefaultPipelineOptions(0));
-  Status s = LoadPipeline(argv[0], 0, &pipeline);
-  if (!s.ok()) return Fail(s);
+  Engine engine(DefaultEngineOptions(0));
+  auto ingested = engine.IngestCorpusFile(argv[0]);
+  if (!ingested.ok()) return Fail(ingested.status());
   const std::string prefix = argv[1];
-  for (uint32_t day = 0; day < pipeline.interval_count(); ++day) {
-    const auto& result = pipeline.interval_result(day);
+  for (uint32_t day = 0; day < engine.interval_count(); ++day) {
+    const auto& result = engine.interval_result(day);
     const std::string path =
         prefix + ".day" + std::to_string(day) + ".clusters";
-    s = SaveClusters(result.clusters, path);
+    Status s = SaveClusters(result.clusters, path);
     if (!s.ok()) return Fail(s);
     std::printf("day %u: %zu clusters -> %s\n", day,
                 result.clusters.size(), path.c_str());
   }
-  s = pipeline.dict().Save(prefix + ".dict");
+  Status s = engine.dict().Save(prefix + ".dict");
   if (!s.ok()) return Fail(s);
   std::printf("dictionary (%zu keywords) -> %s.dict\n",
-              pipeline.dict().size(), prefix.c_str());
-  return 0;
-}
-
-int CmdStable(int argc, char** argv) {
-  if (argc < 1) return 2;
-  const size_t k = argc > 1 ? std::atoi(argv[1]) : 5;
-  const uint32_t l = argc > 2 ? std::atoi(argv[2]) : 0;
-  const uint32_t gap = argc > 3 ? std::atoi(argv[3]) : 1;
-  const FinderKind kind =
-      (argc > 4 && std::strcmp(argv[4], "dfs") == 0) ? FinderKind::kDfs
-                                                     : FinderKind::kBfs;
-  StableClusterPipeline pipeline(DefaultPipelineOptions(gap));
-  Status s = LoadPipeline(argv[0], gap, &pipeline);
-  if (!s.ok()) return Fail(s);
-  s = pipeline.BuildClusterGraph();
-  if (!s.ok()) return Fail(s);
-  auto chains = pipeline.FindStableClusters(k, l, kind);
-  if (!chains.ok()) return Fail(chains.status());
-  for (const auto& chain : chains.value()) {
-    std::printf("%s\n", pipeline.RenderChain(chain).c_str());
-  }
-  return 0;
-}
-
-int CmdNormalized(int argc, char** argv) {
-  if (argc < 1) return 2;
-  const size_t k = argc > 1 ? std::atoi(argv[1]) : 5;
-  const uint32_t lmin = argc > 2 ? std::atoi(argv[2]) : 2;
-  const uint32_t gap = argc > 3 ? std::atoi(argv[3]) : 1;
-  StableClusterPipeline pipeline(DefaultPipelineOptions(gap));
-  Status s = LoadPipeline(argv[0], gap, &pipeline);
-  if (!s.ok()) return Fail(s);
-  s = pipeline.BuildClusterGraph();
-  if (!s.ok()) return Fail(s);
-  auto chains = pipeline.FindNormalizedStableClusters(k, lmin);
-  if (!chains.ok()) return Fail(chains.status());
-  for (const auto& chain : chains.value()) {
-    std::printf("%s\n", pipeline.RenderChain(chain).c_str());
-  }
+              engine.dict().size(), prefix.c_str());
   return 0;
 }
 
 int CmdRefine(int argc, char** argv) {
   if (argc < 3) return 2;
-  StableClusterPipeline pipeline(DefaultPipelineOptions(0));
-  Status s = LoadPipeline(argv[0], 0, &pipeline);
-  if (!s.ok()) return Fail(s);
-  QueryRefiner refiner(&pipeline);
+  Engine engine(DefaultEngineOptions(0));
+  auto ingested = engine.IngestCorpusFile(argv[0]);
+  if (!ingested.ok()) return Fail(ingested.status());
+  QueryRefiner refiner(&engine);
   const uint32_t day = std::atoi(argv[2]);
   auto suggestions = refiner.Suggest(argv[1], day);
   if (suggestions.empty()) {
@@ -153,49 +298,18 @@ int CmdRefine(int argc, char** argv) {
   return 0;
 }
 
-int CmdSaveGraph(int argc, char** argv) {
-  if (argc < 2) return 2;
-  const uint32_t gap = argc > 2 ? std::atoi(argv[2]) : 1;
-  StableClusterPipeline pipeline(DefaultPipelineOptions(gap));
-  Status s = LoadPipeline(argv[0], gap, &pipeline);
-  if (!s.ok()) return Fail(s);
-  s = pipeline.BuildClusterGraph();
-  if (!s.ok()) return Fail(s);
-  s = SaveClusterGraph(*pipeline.cluster_graph(), argv[1]);
-  if (!s.ok()) return Fail(s);
-  std::printf("cluster graph (%zu nodes, %zu edges) -> %s\n",
-              pipeline.cluster_graph()->node_count(),
-              pipeline.cluster_graph()->edge_count(), argv[1]);
-  return 0;
-}
-
 int CmdTopK(int argc, char** argv) {
-  if (argc < 1) return 2;
-  const size_t k = argc > 1 ? std::atoi(argv[1]) : 5;
-  const uint32_t l = argc > 2 ? std::atoi(argv[2]) : 0;
-  const bool dfs = argc > 3 && std::strcmp(argv[3], "dfs") == 0;
-  auto graph = LoadClusterGraph(argv[0]);
+  CliArgs args = ParseCliArgs(argc, argv);
+  if (!args.status.ok()) return Fail(args.status);
+  if (args.positional.empty()) return 2;
+  auto graph = LoadClusterGraph(args.positional[0]);
   if (!graph.ok()) return Fail(graph.status());
-  StableFinderResult result;
-  if (dfs) {
-    DfsFinderOptions options;
-    options.k = k;
-    options.l = l;
-    auto r = DfsStableFinder(options).Find(graph.value());
-    if (!r.ok()) return Fail(r.status());
-    result = std::move(r).value();
-  } else {
-    BfsFinderOptions options;
-    options.k = k;
-    options.l = l;
-    auto r = BfsStableFinder(options).Find(graph.value());
-    if (!r.ok()) return Fail(r.status());
-    result = std::move(r).value();
-  }
-  for (const StablePath& p : result.paths) {
+  auto result = RunFinder(graph.value(), args.query);
+  if (!result.ok()) return Fail(result.status());
+  for (const StablePath& p : result.value().paths) {
     std::printf("%s\n", p.ToString().c_str());
   }
-  std::printf("io: %s\n", result.io.ToString().c_str());
+  std::printf("io: %s\n", result.value().io.ToString().c_str());
   return 0;
 }
 
@@ -205,19 +319,19 @@ int main(int argc, char** argv) {
   if (argc < 2) {
     std::fprintf(
         stderr,
-        "usage: %s <gen|cluster|stable|normalized|refine|savegraph|topk> "
-        "...\n(see the header comment of stabletext_cli.cpp)\n",
+        "usage: %s <gen|ingest|query|stats|cluster|refine|topk> ...\n"
+        "(see the header comment of stabletext_cli.cpp)\n",
         argv[0]);
     return 2;
   }
   const std::string cmd = argv[1];
   int rc = 2;
   if (cmd == "gen") rc = CmdGen(argc - 2, argv + 2);
+  else if (cmd == "ingest") rc = CmdIngest(argc - 2, argv + 2);
+  else if (cmd == "query") rc = CmdQuery(argc - 2, argv + 2);
+  else if (cmd == "stats") rc = CmdStats(argc - 2, argv + 2);
   else if (cmd == "cluster") rc = CmdCluster(argc - 2, argv + 2);
-  else if (cmd == "stable") rc = CmdStable(argc - 2, argv + 2);
-  else if (cmd == "normalized") rc = CmdNormalized(argc - 2, argv + 2);
   else if (cmd == "refine") rc = CmdRefine(argc - 2, argv + 2);
-  else if (cmd == "savegraph") rc = CmdSaveGraph(argc - 2, argv + 2);
   else if (cmd == "topk") rc = CmdTopK(argc - 2, argv + 2);
   else std::fprintf(stderr, "unknown command: %s\n", cmd.c_str());
   if (rc == 2) std::fprintf(stderr, "bad arguments for %s\n", cmd.c_str());

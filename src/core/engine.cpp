@@ -1,0 +1,348 @@
+#include "core/engine.h"
+
+#include <algorithm>
+#include <cassert>
+#include <map>
+
+#include "text/corpus.h"
+#include "util/strings.h"
+
+namespace stabletext {
+
+Engine::Engine(EngineOptions options)
+    : options_(std::move(options)), graph_(0, options_.gap) {
+  if (options_.threads > 1) {
+    pool_ = std::make_unique<ThreadPool>(options_.threads);
+  }
+}
+
+Result<uint32_t> Engine::IngestText(const std::vector<std::string>& posts) {
+  const uint32_t interval = interval_count();
+  std::vector<Document> documents(posts.size());
+  if (pool_ != nullptr && posts.size() > 1) {
+    // Tokenization is document-independent: fan chunks out, write by
+    // index (order, and therefore downstream keyword ids, never depend
+    // on scheduling).
+    const size_t chunks = std::min(pool_->size() * 4, posts.size());
+    const size_t per_chunk = (posts.size() + chunks - 1) / chunks;
+    std::vector<std::future<void>> futures;
+    futures.reserve(chunks);
+    for (size_t begin = 0; begin < posts.size(); begin += per_chunk) {
+      const size_t end = std::min(posts.size(), begin + per_chunk);
+      futures.push_back(pool_->Submit([&, begin, end] {
+        DocumentProcessor processor;
+        for (size_t i = begin; i < end; ++i) {
+          documents[i] = processor.Process(interval, posts[i]);
+        }
+      }));
+    }
+    pool_->WaitAll(futures);
+  } else {
+    DocumentProcessor processor;
+    for (size_t i = 0; i < posts.size(); ++i) {
+      documents[i] = processor.Process(interval, posts[i]);
+    }
+  }
+  return IngestDocuments(documents);
+}
+
+Result<uint32_t> Engine::IngestDocuments(
+    const std::vector<Document>& documents) {
+  if (graph_.frozen()) {
+    return Status::InvalidArgument(
+        "engine is compacted; create a new engine to ingest");
+  }
+  // Intern on the calling thread, in document order: keyword ids are
+  // assigned exactly as a sequential run would assign them, no matter how
+  // many workers the heavy phase uses.
+  std::vector<std::vector<KeywordId>> interned;
+  interned.reserve(documents.size());
+  for (const Document& doc : documents) {
+    std::vector<KeywordId> ids;
+    ids.reserve(doc.keywords.size());
+    for (const std::string& w : doc.keywords) {
+      ids.push_back(dict_.Intern(w));
+    }
+    std::sort(ids.begin(), ids.end());
+    interned.push_back(std::move(ids));
+  }
+  return IngestInterned(interned, dict_.size());
+}
+
+Result<uint32_t> Engine::IngestInterned(
+    const std::vector<std::vector<KeywordId>>& interned,
+    size_t vocab_snapshot) {
+  const uint32_t interval = interval_count();
+  auto slot = std::make_unique<IntervalSlot>();
+  IntervalClusterer clusterer(&dict_, options_.clustering, &slot->io);
+  auto result =
+      clusterer.RunInterned(interval, interned, vocab_snapshot, pool_.get());
+  if (!result.ok()) return result.status();
+  slot->result = std::move(result).value();
+  io_ += slot->io;
+  slots_.push_back(std::move(slot));
+  ST_RETURN_IF_ERROR(ExtendGraph(interval));
+  {
+    std::lock_guard<std::mutex> lock(online_mutex_);
+    if (online_ != nullptr) {
+      ST_RETURN_IF_ERROR(FeedOnline(interval));
+      online_fed_ = interval + 1;
+    }
+  }
+  return interval;
+}
+
+Result<uint32_t> Engine::IngestCorpusFile(const std::filesystem::path& path,
+                                          const TickCallback& on_tick) {
+  CorpusReader reader;
+  ST_RETURN_IF_ERROR(reader.Open(path.string()));
+  // Group posts by interval; intervals must be contiguous from the
+  // engine's next interval.
+  std::map<uint32_t, std::vector<std::string>> by_interval;
+  uint32_t interval;
+  std::string text;
+  while (reader.Next(&interval, &text)) {
+    by_interval[interval].push_back(text);
+  }
+  ST_RETURN_IF_ERROR(reader.status());
+  uint32_t expected = interval_count();
+  uint32_t ingested = 0;
+  for (const auto& [iv, posts] : by_interval) {
+    if (iv != expected) {
+      return Status::InvalidArgument(
+          "corpus intervals must be contiguous from the engine's next "
+          "interval");
+    }
+    auto r = IngestText(posts);
+    if (!r.ok()) return r.status();
+    ++expected;
+    ++ingested;
+    if (on_tick != nullptr) {
+      ST_RETURN_IF_ERROR(on_tick(r.value(), posts));
+    }
+  }
+  return ingested;
+}
+
+Status Engine::ExtendGraph(uint32_t interval) {
+  const uint32_t added = graph_.AddInterval();
+  assert(added == interval);
+  (void)added;
+  const auto& clusters = slots_[interval]->result.clusters;
+  node_of_.emplace_back();
+  node_of_.back().reserve(clusters.size());
+  for (uint32_t j = 0; j < clusters.size(); ++j) {
+    const NodeId id = graph_.AddNode(interval);
+    node_of_.back().push_back(id);
+    cluster_of_node_.emplace_back(interval, j);
+  }
+  if (interval == 0) return Status::OK();
+
+  // Affinity joins between the new interval and the gap-window frontier.
+  // Window intervals are independent, so they fan out; per-interval match
+  // lists land in fixed slots and are stitched in ascending interval
+  // order, keeping edge insertion deterministic.
+  const uint32_t window_begin =
+      interval > options_.gap + 1 ? interval - options_.gap - 1 : 0;
+  struct JoinJob {
+    uint32_t iv;
+    std::vector<AffinityMatch> matches;
+  };
+  std::vector<JoinJob> jobs;
+  for (uint32_t iv = window_begin; iv < interval; ++iv) {
+    jobs.push_back(JoinJob{iv, {}});
+  }
+  if (pool_ != nullptr && jobs.size() > 1) {
+    std::vector<std::future<void>> futures;
+    futures.reserve(jobs.size());
+    for (JoinJob& job : jobs) {
+      futures.push_back(pool_->Submit([this, &job, &clusters] {
+        SimilarityJoin join(options_.affinity);
+        job.matches =
+            join.Join(slots_[job.iv]->result.clusters, clusters);
+      }));
+    }
+    pool_->WaitAll(futures);
+  } else {
+    SimilarityJoin join(options_.affinity);
+    for (JoinJob& job : jobs) {
+      job.matches = join.Join(slots_[job.iv]->result.clusters, clusters);
+    }
+  }
+
+  struct RawEdge {
+    NodeId from;
+    NodeId to;
+    double affinity;
+  };
+  std::vector<RawEdge> raw;
+  for (const JoinJob& job : jobs) {
+    for (const AffinityMatch& match : job.matches) {
+      raw.push_back(RawEdge{node_of_[job.iv][match.left],
+                            node_of_[interval][match.right],
+                            match.affinity});
+    }
+  }
+
+  // Measures without a (0, 1] range (raw intersection counts) are
+  // normalized by the running maximum, per the paper's footnote on
+  // affinity functions. When a new tick raises the maximum, the weights
+  // already in the graph are rescaled in place, so at any point every
+  // edge is normalized by the same constant — path rankings are
+  // unaffected by the shared scale.
+  const bool needs_normalization =
+      options_.affinity.measure == AffinityMeasure::kIntersection;
+  if (needs_normalization) {
+    double tick_max = 0;
+    for (const RawEdge& e : raw) {
+      tick_max = std::max(tick_max, e.affinity);
+    }
+    if (tick_max > running_max_affinity_) {
+      if (running_max_affinity_ > 0) {
+        ST_RETURN_IF_ERROR(
+            graph_.ScaleEdgeWeights(running_max_affinity_ / tick_max));
+        // The warm online finder holds paths built from the old scale.
+        online_.reset();
+      }
+      running_max_affinity_ = tick_max;
+    }
+  }
+  for (const RawEdge& e : raw) {
+    double w = e.affinity;
+    if (needs_normalization && running_max_affinity_ > 0) {
+      w /= running_max_affinity_;
+    }
+    w = std::min(w, 1.0);
+    ST_RETURN_IF_ERROR(graph_.AddEdge(e.from, e.to, w));
+  }
+  graph_.SortTouched();
+  return Status::OK();
+}
+
+Status Engine::FeedOnline(uint32_t interval) const {
+  online_->BeginInterval();
+  for (size_t j = 0; j < graph_.IntervalNodes(interval).size(); ++j) {
+    auto node = online_->AddNode();
+    if (!node.ok()) return node.status();
+  }
+  for (NodeId c : graph_.IntervalNodes(interval)) {
+    for (const ClusterGraphEdge& pe : graph_.Parents(c)) {
+      ST_RETURN_IF_ERROR(online_->AddEdge(pe.target, c, pe.weight));
+    }
+  }
+  return online_->EndInterval();
+}
+
+Result<QueryResult> Engine::QueryOnline(
+    const stabletext::Query& query) const {
+  const uint32_t m = interval_count();
+  QueryResult out;
+  if (m < 2) return out;
+  const uint32_t l = query.l == 0 ? m - 1 : query.l;
+  // The stream simply has no length-l paths yet: an empty answer, not an
+  // error — the monitor keeps polling as intervals arrive.
+  if (l > m - 1) return out;
+  std::lock_guard<std::mutex> lock(online_mutex_);
+  if (online_ == nullptr || online_k_ != query.k || online_l_ != l) {
+    OnlineFinderOptions options;
+    options.k = query.k;
+    options.l = l;
+    options.gap = options_.gap;
+    online_ = std::make_unique<OnlineStableFinder>(options);
+    online_k_ = query.k;
+    online_l_ = l;
+    online_fed_ = 0;
+  }
+  // Catch up on intervals not yet fed (0 after a post-ingest query: the
+  // ingest already did the marginal Section 4.6 work). Report only this
+  // query's marginal I/O, like every other algorithm — a fully warm
+  // query costs nothing.
+  const IoStats before = online_->io();
+  for (uint32_t iv = online_fed_; iv < m; ++iv) {
+    ST_RETURN_IF_ERROR(FeedOnline(iv));
+  }
+  online_fed_ = m;
+  out.finder.paths = online_->TopK();
+  out.finder.io = online_->io() - before;
+  ST_ASSIGN_OR_RETURN(out.chains, ToChains(out.finder.paths));
+  return out;
+}
+
+Result<QueryResult> Engine::Query(const stabletext::Query& query) const {
+  if (query.k == 0) {
+    return Status::InvalidArgument("k must be positive");
+  }
+  // Serving semantics: asking for chains of (minimum) length l before
+  // l+1 intervals exist is not an error, the stream just has no such
+  // chains yet — in either mode. (The graph-level RunFinder keeps strict
+  // validation.)
+  if (query.l != 0 && interval_count() > 0 &&
+      query.l > interval_count() - 1) {
+    return QueryResult{};
+  }
+  const bool diversify =
+      query.diversify_prefix > 0 || query.diversify_suffix > 0;
+  if (query.algorithm == FinderAlgorithm::kOnline &&
+      query.mode == FinderMode::kKlStable && !diversify) {
+    // The warm streaming path; everything else goes through the registry
+    // (a diversified online query replays, trading the warm cache for the
+    // enlarged candidate pool).
+    return QueryOnline(query);
+  }
+  auto r = RunFinder(graph_, query);
+  if (!r.ok()) return r.status();
+  QueryResult out;
+  out.finder = std::move(r).value();
+  ST_ASSIGN_OR_RETURN(out.chains, ToChains(out.finder.paths));
+  return out;
+}
+
+Status Engine::Compact() {
+  graph_.SortChildren();
+  return Status::OK();
+}
+
+EngineStats Engine::stats() const {
+  EngineStats stats;
+  stats.intervals = interval_count();
+  stats.clusters = graph_.node_count();
+  stats.edges = graph_.edge_count();
+  stats.keywords = dict_.size();
+  stats.graph_bytes = graph_.MemoryBytes();
+  stats.io = io_;
+  return stats;
+}
+
+const Cluster* Engine::NodeCluster(NodeId node) const {
+  const auto& [i, j] = cluster_of_node_[node];
+  return &slots_[i]->result.clusters[j];
+}
+
+Result<std::vector<StableClusterChain>> Engine::ToChains(
+    const std::vector<StablePath>& paths) const {
+  std::vector<StableClusterChain> chains;
+  chains.reserve(paths.size());
+  for (const StablePath& path : paths) {
+    StableClusterChain chain;
+    chain.path = path;
+    for (NodeId node : path.nodes) {
+      chain.clusters.push_back(NodeCluster(node));
+    }
+    chains.push_back(std::move(chain));
+  }
+  return chains;
+}
+
+std::string Engine::RenderChain(const StableClusterChain& chain,
+                                size_t max_keywords) const {
+  std::string out = StringPrintf(
+      "stable cluster: length=%u weight=%.3f stability=%.3f\n",
+      chain.path.length, chain.path.weight, chain.path.stability());
+  for (const Cluster* cluster : chain.clusters) {
+    out += StringPrintf("  interval %u: %s\n", cluster->interval,
+                        cluster->ToString(dict_, max_keywords).c_str());
+  }
+  return out;
+}
+
+}  // namespace stabletext

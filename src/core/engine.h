@@ -1,0 +1,207 @@
+// Engine: the library's public serving API, shaped for the paper's online
+// scenario (Section 4.6) — intervals arrive continuously from a crawler and
+// queries may be asked at any time. Ingest(interval) commits one interval:
+// it clusters the documents (Section 3), affinity-joins the new clusters
+// against the gap-window frontier (Section 4.1), and extends the cluster
+// graph in place. Query() is valid between any two ingests — there is no
+// build barrier — and reaches every finder (bfs, dfs, ta, brute-force,
+// online; kl-stable and normalized modes; optional diversification)
+// through the finder registry.
+//
+// With options.threads > 1 the heavy per-tick work (tokenization, pair
+// counting, external sort, pruning, biconnected decomposition, and the
+// per-window affinity joins) fans out on a thread pool. Output is
+// deterministic across thread counts.
+//
+// The legacy batch facade (StableClusterPipeline in core/pipeline.h) is a
+// deprecated shim over this class.
+
+#ifndef STABLETEXT_CORE_ENGINE_H_
+#define STABLETEXT_CORE_ENGINE_H_
+
+#include <filesystem>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "affinity/similarity_join.h"
+#include "core/interval_clusterer.h"
+#include "stable/cluster_graph.h"
+#include "stable/finder.h"
+#include "stable/online_finder.h"
+#include "util/thread_pool.h"
+
+namespace stabletext {
+
+/// Options for the engine.
+struct EngineOptions {
+  IntervalClustererOptions clustering;
+  AffinityOptions affinity;
+  uint32_t gap = 0;  ///< g of Section 4: edges span <= gap+1 intervals.
+  /// Worker threads for tokenization, interval clustering internals and
+  /// the per-tick affinity joins. 1 = fully sequential (no pool).
+  /// Results are byte-identical for every value.
+  size_t threads = 1;
+};
+
+/// The library-wide query type: algorithm, mode, k, l, diversification.
+/// (Defined next to the finder registry; the gap is an ingest-time
+/// property fixed by EngineOptions, not a query-time knob.)
+using Query = FinderQuery;
+
+/// A stable cluster rendered for consumption: the chain of clusters plus
+/// the path's weight/length/stability.
+struct StableClusterChain {
+  StablePath path;
+  std::vector<const Cluster*> clusters;  ///< Borrowed from the engine.
+};
+
+/// \brief Answer to one Query: resolved chains plus the finder's raw
+/// paths and cost counters.
+struct QueryResult {
+  std::vector<StableClusterChain> chains;
+  StableFinderResult finder;  ///< paths mirror chains; io/memory/work.
+};
+
+/// Aggregate engine state for monitoring endpoints.
+struct EngineStats {
+  uint32_t intervals = 0;
+  size_t clusters = 0;       ///< Graph nodes.
+  size_t edges = 0;
+  size_t keywords = 0;       ///< Dictionary size.
+  size_t graph_bytes = 0;    ///< Resident adjacency bytes.
+  IoStats io;                ///< Ingest-side traffic, all ticks summed.
+};
+
+/// \brief Incremental stable-cluster engine.
+///
+/// Usage:
+///   Engine engine(options);
+///   engine.IngestText(day0_posts);        // one call per arriving tick
+///   auto r = engine.Query({...});         // valid at any time
+///   engine.IngestText(day1_posts);
+///   r = engine.Query({...});              // reflects both intervals
+///
+/// Ingest commits synchronously: when it returns OK the interval is
+/// queryable. Query never mutates observable state (the warm online-finder
+/// cache is invisible). Compact() optionally freezes the graph into CSR
+/// for read-only serving; ingest is an error afterwards.
+///
+/// Thread contract: Ingest*/Compact are writers and must be externally
+/// exclusive with every other call; between ingests, any number of
+/// Query() calls may run concurrently (the warm online cache is
+/// internally synchronized).
+class Engine {
+ public:
+  explicit Engine(EngineOptions options = {});
+
+  /// Preprocesses, clusters and commits one interval of raw posts.
+  /// Intervals are implicitly numbered 0, 1, ... in arrival order.
+  /// Returns the interval index.
+  Result<uint32_t> IngestText(const std::vector<std::string>& posts);
+
+  /// Same, for already-preprocessed documents.
+  Result<uint32_t> IngestDocuments(const std::vector<Document>& documents);
+
+  /// Invoked after each corpus interval commits: the interval index and
+  /// its raw posts. A non-OK return aborts the ingest.
+  using TickCallback =
+      std::function<Status(uint32_t interval,
+                           const std::vector<std::string>& posts)>;
+
+  /// Streams a whole corpus file (CorpusWriter format; intervals must be
+  /// contiguous from the engine's next interval) tick by tick. Returns
+  /// the number of intervals ingested. `on_tick`, when non-null, runs
+  /// after each committed interval (per-tick reporting, interleaved
+  /// queries).
+  Result<uint32_t> IngestCorpusFile(const std::filesystem::path& path,
+                                    const TickCallback& on_tick = nullptr);
+
+  /// Answers `query` on everything ingested so far. Algorithms: bfs, dfs,
+  /// ta (full paths, gap 0), brute-force, online (kept warm across
+  /// ingests). Modes: kl-stable, normalized. See FinderQuery for the
+  /// diversification and tuning knobs.
+  Result<QueryResult> Query(const stabletext::Query& query) const;
+
+  /// Freezes the cluster graph into immutable CSR adjacency for read-only
+  /// serving. Idempotent; Ingest* fails afterwards.
+  Status Compact();
+
+  /// True once Compact() has been called.
+  bool compacted() const { return graph_.frozen(); }
+
+  // Introspection.
+  uint32_t interval_count() const {
+    return static_cast<uint32_t>(slots_.size());
+  }
+  const IntervalResult& interval_result(uint32_t i) const {
+    return slots_[i]->result;
+  }
+  const KeywordDict& dict() const { return dict_; }
+  const ClusterGraph& graph() const { return graph_; }
+  /// Ingest-side I/O accounting (per-interval stats summed in order).
+  const IoStats& io() const { return io_; }
+  EngineStats stats() const;
+
+  /// Renders a chain like the paper's stable-cluster figures: one line per
+  /// interval with the cluster's keywords.
+  std::string RenderChain(const StableClusterChain& chain,
+                          size_t max_keywords = 8) const;
+
+ private:
+  // One committed interval's outputs.
+  struct IntervalSlot {
+    IntervalResult result;
+    IoStats io;
+  };
+
+  // Clusters `interned` documents as interval interval_count() and
+  // commits: node allocation, frontier joins, graph extension, online
+  // cache feed.
+  Result<uint32_t> IngestInterned(
+      const std::vector<std::vector<KeywordId>>& interned,
+      size_t vocab_snapshot);
+  // Joins the new interval's clusters against the gap window and extends
+  // the graph in place (the incremental half of the old BuildClusterGraph).
+  Status ExtendGraph(uint32_t interval);
+  // Feeds interval `interval`'s nodes and parent edges into the warm
+  // online finder, if one is active.
+  Status FeedOnline(uint32_t interval) const;
+  Result<QueryResult> QueryOnline(const stabletext::Query& query) const;
+  Result<std::vector<StableClusterChain>> ToChains(
+      const std::vector<StablePath>& paths) const;
+  const Cluster* NodeCluster(NodeId node) const;
+
+  EngineOptions options_;
+  KeywordDict dict_;
+  IoStats io_;
+  std::vector<std::unique_ptr<IntervalSlot>> slots_;
+  std::unique_ptr<ThreadPool> pool_;  // Null when threads <= 1.
+  ClusterGraph graph_;
+  // node_of_[i][j] = cluster graph node of cluster j in interval i.
+  std::vector<std::vector<NodeId>> node_of_;
+  // Reverse map: node -> (interval, index).
+  std::vector<std::pair<uint32_t, uint32_t>> cluster_of_node_;
+  // Running maximum raw affinity, for measures without a (0, 1] range
+  // (kIntersection): edge weights are stored normalized by this value and
+  // rescaled in place whenever it grows.
+  double running_max_affinity_ = 0;
+
+  // Warm streaming-finder state (Section 4.6). Created by the first
+  // online query; subsequent ingests feed it incrementally, so online
+  // queries after a tick cost O(1). Invisible to callers: the cached
+  // answer is identical to a from-scratch replay. Guarded by
+  // online_mutex_ so concurrent (const) queries do not race on the lazy
+  // build/catch-up.
+  mutable std::mutex online_mutex_;
+  mutable std::unique_ptr<OnlineStableFinder> online_;
+  mutable size_t online_k_ = 0;
+  mutable uint32_t online_l_ = 0;
+  mutable uint32_t online_fed_ = 0;  // Intervals already fed.
+};
+
+}  // namespace stabletext
+
+#endif  // STABLETEXT_CORE_ENGINE_H_

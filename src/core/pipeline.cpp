@@ -1,298 +1,87 @@
 #include "core/pipeline.h"
 
-#include <algorithm>
-#include <map>
-
-#include "text/corpus.h"
-#include "util/strings.h"
-
 namespace stabletext {
-
-StableClusterPipeline::StableClusterPipeline(PipelineOptions options)
-    : options_(std::move(options)) {
-  if (options_.threads > 1) {
-    pool_ = std::make_unique<ThreadPool>(options_.threads);
-  }
-}
 
 Status StableClusterPipeline::AddIntervalText(
     const std::vector<std::string>& posts) {
-  const uint32_t interval = interval_count();
-  std::vector<Document> documents(posts.size());
-  if (pool_ != nullptr && posts.size() > 1) {
-    // Tokenization is document-independent: fan chunks out, write by
-    // index (order, and therefore downstream keyword ids, never depend
-    // on scheduling).
-    const size_t chunks = std::min(pool_->size() * 4, posts.size());
-    const size_t per_chunk = (posts.size() + chunks - 1) / chunks;
-    std::vector<std::future<void>> futures;
-    futures.reserve(chunks);
-    for (size_t begin = 0; begin < posts.size(); begin += per_chunk) {
-      const size_t end = std::min(posts.size(), begin + per_chunk);
-      futures.push_back(pool_->Submit([&, begin, end] {
-        DocumentProcessor processor;
-        for (size_t i = begin; i < end; ++i) {
-          documents[i] = processor.Process(interval, posts[i]);
-        }
-      }));
-    }
-    pool_->WaitAll(futures);
-  } else {
-    DocumentProcessor processor;
-    for (size_t i = 0; i < posts.size(); ++i) {
-      documents[i] = processor.Process(interval, posts[i]);
-    }
+  if (built_) {
+    return Status::InvalidArgument(
+        "cluster graph already built; create a new pipeline");
   }
-  return AddIntervalDocuments(documents);
+  return engine_.IngestText(posts).status();
 }
 
 Status StableClusterPipeline::AddIntervalDocuments(
     const std::vector<Document>& documents) {
-  const uint32_t interval = interval_count();
-  if (graph_ != nullptr) {
+  if (built_) {
     return Status::InvalidArgument(
         "cluster graph already built; create a new pipeline");
   }
-  // Intern here, on the submitting thread, in document order: keyword ids
-  // are assigned exactly as a sequential run would assign them, no matter
-  // how many workers the heavy phase uses.
-  auto interned =
-      std::make_shared<std::vector<std::vector<KeywordId>>>();
-  interned->reserve(documents.size());
-  for (const Document& doc : documents) {
-    std::vector<KeywordId> ids;
-    ids.reserve(doc.keywords.size());
-    for (const std::string& w : doc.keywords) {
-      ids.push_back(dict_.Intern(w));
-    }
-    std::sort(ids.begin(), ids.end());
-    interned->push_back(std::move(ids));
-  }
-  const size_t vocab_snapshot = dict_.size();
-
-  slots_.push_back(std::make_unique<IntervalSlot>());
-  IntervalSlot* slot = slots_.back().get();
-  auto task = [this, interval, vocab_snapshot, interned, slot] {
-    // Exceptions must not die inside the packaged_task's shared state
-    // (the pool's Wait never calls get()): convert to a slot status.
-    try {
-      IntervalClusterer clusterer(&dict_, options_.clustering, &slot->io);
-      auto result = clusterer.RunInterned(interval, *interned,
-                                          vocab_snapshot, pool_.get());
-      if (result.ok()) {
-        slot->result = std::move(result).value();
-      } else {
-        slot->status = result.status();
-      }
-    } catch (const std::exception& e) {
-      slot->status = Status::Internal(
-          std::string("interval task threw: ") + e.what());
-    }
-  };
-  if (pool_ != nullptr) {
-    pending_.push_back(pool_->Submit(std::move(task)));
-    return Status::OK();
-  }
-  task();
-  return slot->status;
+  return engine_.IngestDocuments(documents).status();
 }
 
-Status StableClusterPipeline::AddCorpusFile(const std::string& path) {
-  CorpusReader reader;
-  ST_RETURN_IF_ERROR(reader.Open(path));
-  // Group posts by interval; intervals must be contiguous from 0.
-  std::map<uint32_t, std::vector<std::string>> by_interval;
-  uint32_t interval;
-  std::string text;
-  while (reader.Next(&interval, &text)) {
-    by_interval[interval].push_back(text);
+Result<uint32_t> StableClusterPipeline::AddCorpusFile(
+    const std::filesystem::path& path) {
+  if (built_) {
+    return Status::InvalidArgument(
+        "cluster graph already built; create a new pipeline");
   }
-  ST_RETURN_IF_ERROR(reader.status());
-  uint32_t expected = interval_count();
-  for (const auto& [iv, posts] : by_interval) {
-    if (iv != expected) {
-      return Status::InvalidArgument(
-          "corpus intervals must be contiguous from the pipeline's next "
-          "interval");
-    }
-    ST_RETURN_IF_ERROR(AddIntervalText(posts));
-    ++expected;
-  }
-  return Status::OK();
-}
-
-Status StableClusterPipeline::JoinIntervals() {
-  if (pool_ != nullptr) {
-    pool_->WaitAll(pending_);
-    pending_.clear();
-  }
-  // Remember the verdict: a retried BuildClusterGraph must keep reporting
-  // a failed interval, not silently proceed with its empty result.
-  if (intervals_joined_) return join_status_;
-  intervals_joined_ = true;
-  for (const auto& slot : slots_) {
-    io_ += slot->io;
-    if (join_status_.ok() && !slot->status.ok()) {
-      join_status_ = slot->status;
-    }
-  }
-  return join_status_;
+  return engine_.IngestCorpusFile(path);
 }
 
 Status StableClusterPipeline::BuildClusterGraph() {
-  if (graph_ != nullptr) {
+  if (built_) {
     return Status::InvalidArgument("cluster graph already built");
   }
-  ST_RETURN_IF_ERROR(JoinIntervals());
-  const uint32_t m = interval_count();
-  if (m == 0) return Status::InvalidArgument("no intervals added");
-  graph_ = std::make_unique<ClusterGraph>(m, options_.gap);
-
-  node_of_.assign(m, {});
-  for (uint32_t i = 0; i < m; ++i) {
-    const auto& clusters = slots_[i]->result.clusters;
-    node_of_[i].reserve(clusters.size());
-    for (uint32_t j = 0; j < clusters.size(); ++j) {
-      const NodeId id = graph_->AddNode(i);
-      node_of_[i].push_back(id);
-      cluster_of_node_.emplace_back(i, j);
-    }
+  if (engine_.interval_count() == 0) {
+    return Status::InvalidArgument("no intervals added");
   }
-
-  // Affinity joins between interval pairs within the gap window. Pairs
-  // are independent, so they fan out; the per-pair match lists land in
-  // fixed slots and are stitched in (i, j) order, keeping edge insertion
-  // deterministic. Raw intersection weights are normalized by the running
-  // maximum, per the paper's footnote on affinity functions without a
-  // (0, 1] range.
-  const bool needs_normalization =
-      options_.affinity.measure == AffinityMeasure::kIntersection;
-  struct JoinJob {
-    uint32_t i;
-    uint32_t j;
-    std::vector<AffinityMatch> matches;
-  };
-  std::vector<JoinJob> jobs;
-  for (uint32_t i = 0; i < m; ++i) {
-    for (uint32_t j = i + 1; j <= std::min(m - 1, i + options_.gap + 1);
-         ++j) {
-      jobs.push_back(JoinJob{i, j, {}});
-    }
-  }
-  if (pool_ != nullptr) {
-    std::vector<std::future<void>> futures;
-    futures.reserve(jobs.size());
-    for (JoinJob& job : jobs) {
-      futures.push_back(pool_->Submit([this, &job] {
-        SimilarityJoin join(options_.affinity);
-        job.matches = join.Join(slots_[job.i]->result.clusters,
-                                slots_[job.j]->result.clusters);
-      }));
-    }
-    pool_->WaitAll(futures);
-  } else {
-    SimilarityJoin join(options_.affinity);
-    for (JoinJob& job : jobs) {
-      job.matches = join.Join(slots_[job.i]->result.clusters,
-                              slots_[job.j]->result.clusters);
-    }
-  }
-
-  struct RawEdge {
-    NodeId from;
-    NodeId to;
-    double affinity;
-  };
-  std::vector<RawEdge> raw;
-  for (const JoinJob& job : jobs) {
-    for (const AffinityMatch& match : job.matches) {
-      raw.push_back(RawEdge{node_of_[job.i][match.left],
-                            node_of_[job.j][match.right], match.affinity});
-    }
-  }
-  double max_affinity = 0;
-  for (const RawEdge& e : raw) {
-    max_affinity = std::max(max_affinity, e.affinity);
-  }
-  for (const RawEdge& e : raw) {
-    double w = e.affinity;
-    if (needs_normalization && max_affinity > 0) w /= max_affinity;
-    w = std::min(w, 1.0);
-    ST_RETURN_IF_ERROR(graph_->AddEdge(e.from, e.to, w));
-  }
-  graph_->SortChildren();
+  ST_RETURN_IF_ERROR(engine_.Compact());
+  built_ = true;
   return Status::OK();
-}
-
-const Cluster* StableClusterPipeline::NodeCluster(NodeId node) const {
-  const auto& [i, j] = cluster_of_node_[node];
-  return &slots_[i]->result.clusters[j];
-}
-
-Result<std::vector<StableClusterChain>> StableClusterPipeline::ToChains(
-    const std::vector<StablePath>& paths) const {
-  std::vector<StableClusterChain> chains;
-  chains.reserve(paths.size());
-  for (const StablePath& path : paths) {
-    StableClusterChain chain;
-    chain.path = path;
-    for (NodeId node : path.nodes) {
-      chain.clusters.push_back(NodeCluster(node));
-    }
-    chains.push_back(std::move(chain));
-  }
-  return chains;
 }
 
 Result<std::vector<StableClusterChain>>
 StableClusterPipeline::FindStableClusters(size_t k, uint32_t l,
                                           FinderKind kind) const {
-  if (graph_ == nullptr) {
+  if (!built_) {
     return Status::InvalidArgument("BuildClusterGraph() not called");
   }
-  StableFinderResult result;
-  if (kind == FinderKind::kBfs) {
-    BfsFinderOptions options;
-    options.k = k;
-    options.l = l;
-    auto r = BfsStableFinder(options).Find(*graph_);
-    if (!r.ok()) return r.status();
-    result = std::move(r).value();
-  } else {
-    DfsFinderOptions options;
-    options.k = k;
-    options.l = l;
-    auto r = DfsStableFinder(options).Find(*graph_);
-    if (!r.ok()) return r.status();
-    result = std::move(r).value();
+  // Historical contract: an out-of-range l is an error here, where the
+  // serving-shaped Engine::Query returns an empty answer.
+  if (l != 0 && engine_.interval_count() > 0 &&
+      l > engine_.interval_count() - 1) {
+    return Status::InvalidArgument("path length l out of range");
   }
-  return ToChains(result.paths);
+  Query query;
+  query.algorithm = kind == FinderKind::kBfs ? FinderAlgorithm::kBfs
+                                             : FinderAlgorithm::kDfs;
+  query.mode = FinderMode::kKlStable;
+  query.k = k;
+  query.l = l;
+  auto r = engine_.Query(query);
+  if (!r.ok()) return r.status();
+  return std::move(r).value().chains;
 }
 
 Result<std::vector<StableClusterChain>>
 StableClusterPipeline::FindNormalizedStableClusters(size_t k,
                                                     uint32_t lmin) const {
-  if (graph_ == nullptr) {
+  if (!built_) {
     return Status::InvalidArgument("BuildClusterGraph() not called");
   }
-  NormalizedFinderOptions options;
-  options.k = k;
-  options.lmin = lmin;
-  auto r = NormalizedBfsFinder(options).Find(*graph_);
-  if (!r.ok()) return r.status();
-  return ToChains(r.value().paths);
-}
-
-std::string StableClusterPipeline::RenderChain(
-    const StableClusterChain& chain, size_t max_keywords) const {
-  std::string out = StringPrintf(
-      "stable cluster: length=%u weight=%.3f stability=%.3f\n",
-      chain.path.length, chain.path.weight, chain.path.stability());
-  for (const Cluster* cluster : chain.clusters) {
-    out += StringPrintf("  interval %u: %s\n", cluster->interval,
-                        cluster->ToString(dict_, max_keywords).c_str());
+  if (engine_.interval_count() >= 2 &&
+      (lmin < 1 || lmin > engine_.interval_count() - 1)) {
+    return Status::InvalidArgument("lmin out of range");
   }
-  return out;
+  Query query;
+  query.algorithm = FinderAlgorithm::kBfs;
+  query.mode = FinderMode::kNormalized;
+  query.k = k;
+  query.l = lmin;
+  auto r = engine_.Query(query);
+  if (!r.ok()) return r.status();
+  return std::move(r).value().chains;
 }
 
 }  // namespace stabletext

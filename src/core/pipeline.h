@@ -1,56 +1,43 @@
-// StableClusterPipeline: the library's end-to-end public API. Feed it raw
-// posts (or a corpus file); it produces per-interval keyword clusters
-// (Section 3), links them into a cluster graph via a threshold affinity
-// join (Section 4.1), and answers kl-stable and normalized stable cluster
-// queries with any of the finders (Sections 4.2-4.5).
+// StableClusterPipeline: the legacy batch facade, kept as a thin
+// DEPRECATED shim over the incremental Engine (core/engine.h). New code
+// should use Engine directly — it has no build barrier, reaches every
+// finder (bfs/dfs/ta/brute-force/online, diversified, normalized) through
+// one Query surface, and serves queries between ingests.
 //
-// With options.threads > 1 the heavy per-interval work (pair counting,
-// external sort, pruning, biconnected decomposition) and the affinity
-// joins run on a thread pool. Output is deterministic across thread
-// counts: keyword ids are interned on the submitting thread in document
-// order, every interval writes its own result slot, and per-pair join
-// results are stitched in interval order.
+// Mapping:
+//   AddIntervalText/AddIntervalDocuments  -> Engine::IngestText/Documents
+//   AddCorpusFile                         -> Engine::IngestCorpusFile
+//   BuildClusterGraph                     -> Engine::Compact (the barrier
+//                                            is now only a freeze)
+//   FindStableClusters(k, l, kind)        -> Engine::Query({bfs|dfs,
+//                                            kl-stable, k, l})
+//   FindNormalizedStableClusters(k, lmin) -> Engine::Query({bfs,
+//                                            normalized, k, lmin})
+//
+// The shim preserves the historical lifecycle contract (queries are an
+// error before BuildClusterGraph, ingest is an error after) so existing
+// callers keep their validation semantics; the Engine underneath imposes
+// neither restriction.
 
 #ifndef STABLETEXT_CORE_PIPELINE_H_
 #define STABLETEXT_CORE_PIPELINE_H_
 
-#include <future>
-#include <memory>
+#include <filesystem>
 #include <string>
 #include <vector>
 
-#include "affinity/similarity_join.h"
-#include "core/interval_clusterer.h"
-#include "stable/bfs_finder.h"
-#include "stable/cluster_graph.h"
-#include "stable/dfs_finder.h"
-#include "stable/normalized_bfs_finder.h"
-#include "util/thread_pool.h"
+#include "core/engine.h"
 
 namespace stabletext {
 
-/// Which traversal answers stable-cluster queries.
+/// Which traversal answers stable-cluster queries (deprecated; use
+/// Query::algorithm, which also reaches ta/brute-force/online).
 enum class FinderKind { kBfs, kDfs };
 
-/// Options for the full pipeline.
-struct PipelineOptions {
-  IntervalClustererOptions clustering;
-  AffinityOptions affinity;
-  uint32_t gap = 0;  ///< g of Section 4.
-  /// Worker threads for interval clustering, tokenization, external-sort
-  /// run generation and affinity joins. 1 = fully sequential (no pool).
-  /// Results are byte-identical for every value.
-  size_t threads = 1;
-};
+/// Options for the full pipeline (same fields as EngineOptions).
+using PipelineOptions = EngineOptions;
 
-/// A stable cluster rendered for consumption: the chain of clusters plus
-/// the path's weight/length/stability.
-struct StableClusterChain {
-  StablePath path;
-  std::vector<const Cluster*> clusters;  ///< Borrowed from the pipeline.
-};
-
-/// \brief End-to-end blogosphere stable-cluster analysis.
+/// \brief Deprecated batch facade over Engine.
 ///
 /// Usage:
 ///   StableClusterPipeline pipeline(options);
@@ -58,13 +45,10 @@ struct StableClusterChain {
 ///   ...
 ///   pipeline.BuildClusterGraph();
 ///   auto top = pipeline.FindStableClusters(k, l, FinderKind::kBfs);
-///
-/// With threads > 1, AddInterval* returns once the interval is scheduled;
-/// clustering errors surface from BuildClusterGraph(), and
-/// interval_result()/io() are valid only after BuildClusterGraph().
 class StableClusterPipeline {
  public:
-  explicit StableClusterPipeline(PipelineOptions options = {});
+  explicit StableClusterPipeline(PipelineOptions options = {})
+      : engine_(std::move(options)) {}
 
   /// Preprocesses and clusters one interval's raw posts. Intervals must be
   /// added in increasing order starting at 0.
@@ -74,12 +58,13 @@ class StableClusterPipeline {
   Status AddIntervalDocuments(const std::vector<Document>& documents);
 
   /// Loads a whole corpus file (CorpusWriter format; intervals contiguous
-  /// from 0) and clusters every interval.
-  Status AddCorpusFile(const std::string& path);
+  /// from 0) and clusters every interval. Returns the number of intervals
+  /// loaded.
+  Result<uint32_t> AddCorpusFile(const std::filesystem::path& path);
 
-  /// Computes cluster affinities and assembles the cluster graph. Must be
-  /// called after the last interval and before any Find*. Joins all
-  /// outstanding interval work first.
+  /// Freezes the engine's cluster graph. Must be called after the last
+  /// interval and before any Find* (the historical contract; the Engine
+  /// itself answers queries at any time).
   Status BuildClusterGraph();
 
   /// Top-k stable clusters with paths of length l (0 = full). Requires
@@ -91,55 +76,30 @@ class StableClusterPipeline {
   Result<std::vector<StableClusterChain>> FindNormalizedStableClusters(
       size_t k, uint32_t lmin) const;
 
-  // Introspection.
-  uint32_t interval_count() const {
-    return static_cast<uint32_t>(slots_.size());
-  }
+  // Introspection (forwarded to the engine).
+  uint32_t interval_count() const { return engine_.interval_count(); }
   const IntervalResult& interval_result(uint32_t i) const {
-    return slots_[i]->result;
+    return engine_.interval_result(i);
   }
-  const KeywordDict& dict() const { return dict_; }
-  const ClusterGraph* cluster_graph() const { return graph_.get(); }
-  /// Merged I/O accounting (per-interval stats summed in interval order,
-  /// plus graph-build traffic). Complete after BuildClusterGraph().
-  const IoStats& io() const { return io_; }
+  const KeywordDict& dict() const { return engine_.dict(); }
+  const ClusterGraph* cluster_graph() const {
+    return built_ ? &engine_.graph() : nullptr;
+  }
+  const IoStats& io() const { return engine_.io(); }
 
-  /// Renders a chain like the paper's stable-cluster figures: one line per
-  /// interval with the cluster's keywords.
+  /// The engine underneath, for incremental callers migrating off the
+  /// shim.
+  const Engine& engine() const { return engine_; }
+
+  /// Renders a chain like the paper's stable-cluster figures.
   std::string RenderChain(const StableClusterChain& chain,
-                          size_t max_keywords = 8) const;
+                          size_t max_keywords = 8) const {
+    return engine_.RenderChain(chain, max_keywords);
+  }
 
  private:
-  // One interval's deferred outputs; workers write only their own slot.
-  struct IntervalSlot {
-    IntervalResult result;
-    Status status;
-    IoStats io;
-  };
-
-  Result<std::vector<StableClusterChain>> ToChains(
-      const std::vector<StablePath>& paths) const;
-  const Cluster* NodeCluster(NodeId node) const;
-  // Blocks until all scheduled interval tasks finished; returns the first
-  // failure in interval order and folds per-interval IoStats into io_.
-  Status JoinIntervals();
-
-  PipelineOptions options_;
-  KeywordDict dict_;
-  IoStats io_;
-  std::vector<std::unique_ptr<IntervalSlot>> slots_;
-  std::vector<std::future<void>> pending_;
-  // Declared after slots_/pending_ so it is destroyed first: ~ThreadPool
-  // drains queued interval tasks, which write into the slots — those must
-  // still be alive if the pipeline is destroyed mid-flight.
-  std::unique_ptr<ThreadPool> pool_;  // Null when threads <= 1.
-  bool intervals_joined_ = false;
-  Status join_status_;
-  // node_of_[i][j] = cluster graph node of cluster j in interval i.
-  std::vector<std::vector<NodeId>> node_of_;
-  // Reverse map: node -> (interval, index).
-  std::vector<std::pair<uint32_t, uint32_t>> cluster_of_node_;
-  std::unique_ptr<ClusterGraph> graph_;
+  Engine engine_;
+  bool built_ = false;
 };
 
 }  // namespace stabletext

@@ -3,26 +3,30 @@
 #include <algorithm>
 #include <unordered_map>
 
+#include "core/pipeline.h"
 #include "text/porter_stemmer.h"
 #include "util/strings.h"
 
 namespace stabletext {
+
+QueryRefiner::QueryRefiner(const StableClusterPipeline* pipeline)
+    : engine_(&pipeline->engine()) {}
 
 std::vector<Refinement> QueryRefiner::Suggest(const std::string& query,
                                               uint32_t interval,
                                               size_t max_suggestions)
     const {
   std::vector<Refinement> out;
-  if (interval >= pipeline_->interval_count()) return out;
+  if (interval >= engine_->interval_count()) return out;
   std::string lowered = query;
   ToLowerAscii(&lowered);
   const std::string stem = PorterStemmer::Stem(lowered);
-  const KeywordId id = pipeline_->dict().Lookup(stem);
+  const KeywordId id = engine_->dict().Lookup(stem);
   if (id == kInvalidKeyword) return out;
 
   // Strongest correlation per co-clustered keyword.
   std::unordered_map<KeywordId, double> best;
-  const IntervalResult& result = pipeline_->interval_result(interval);
+  const IntervalResult& result = engine_->interval_result(interval);
   for (const Cluster& cluster : result.clusters) {
     if (!cluster.Contains(id)) continue;
     // Direct edges first: the strongest correlations.
@@ -49,7 +53,7 @@ std::vector<Refinement> QueryRefiner::Suggest(const std::string& query,
 
   out.reserve(best.size());
   for (const auto& [kw, score] : best) {
-    out.push_back(Refinement{pipeline_->dict().Word(kw), score, interval});
+    out.push_back(Refinement{engine_->dict().Word(kw), score, interval});
   }
   std::sort(out.begin(), out.end(),
             [](const Refinement& a, const Refinement& b) {

@@ -10,9 +10,11 @@
 #include <string>
 #include <vector>
 
-#include "core/pipeline.h"
+#include "core/engine.h"
 
 namespace stabletext {
+
+class StableClusterPipeline;
 
 /// One refinement suggestion.
 struct Refinement {
@@ -21,12 +23,16 @@ struct Refinement {
   uint32_t interval;  ///< Interval the evidence comes from.
 };
 
-/// \brief Suggests query refinements from a pipeline's interval clusters.
+/// \brief Suggests query refinements from an engine's interval clusters.
 class QueryRefiner {
  public:
-  /// \param pipeline must have at least one interval; borrowed.
-  explicit QueryRefiner(const StableClusterPipeline* pipeline)
-      : pipeline_(pipeline) {}
+  /// \param engine must outlive the refiner; borrowed. Suggestions track
+  ///        the engine live: refinements for an interval are available as
+  ///        soon as its ingest committed.
+  explicit QueryRefiner(const Engine* engine) : engine_(engine) {}
+
+  /// Deprecated: refine against the legacy pipeline shim's engine.
+  explicit QueryRefiner(const StableClusterPipeline* pipeline);
 
   /// Top refinements for `query` in `interval`: keywords sharing a cluster
   /// with the query keyword, scored by the correlation (edge weight) to
@@ -37,7 +43,7 @@ class QueryRefiner {
                                   size_t max_suggestions = 10) const;
 
  private:
-  const StableClusterPipeline* pipeline_;
+  const Engine* engine_;
 };
 
 }  // namespace stabletext

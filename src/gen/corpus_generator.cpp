@@ -126,7 +126,8 @@ std::vector<std::string> CorpusGenerator::GenerateDay(uint32_t day) const {
   return posts;
 }
 
-Status CorpusGenerator::GenerateToFile(const std::string& path) const {
+Status CorpusGenerator::GenerateToFile(
+    const std::filesystem::path& path) const {
   CorpusWriter writer;
   ST_RETURN_IF_ERROR(writer.Open(path));
   for (uint32_t day = 0; day < options_.days; ++day) {

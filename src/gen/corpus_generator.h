@@ -45,7 +45,7 @@ class CorpusGenerator {
   explicit CorpusGenerator(CorpusGenOptions options);
 
   /// Writes the whole corpus to `path` in CorpusWriter format.
-  Status GenerateToFile(const std::string& path) const;
+  Status GenerateToFile(const std::filesystem::path& path) const;
 
   /// Returns the raw posts for one day.
   std::vector<std::string> GenerateDay(uint32_t day) const;

@@ -4,12 +4,19 @@
 
 namespace stabletext {
 
+uint32_t ClusterGraph::AddInterval() {
+  intervals_.emplace_back();
+  return interval_count_++;
+}
+
 NodeId ClusterGraph::AddNode(uint32_t interval) {
   const NodeId id = static_cast<NodeId>(node_interval_.size());
   node_interval_.push_back(interval);
   intervals_[interval].push_back(id);
   build_children_.emplace_back();
   build_parents_.emplace_back();
+  child_touched_flag_.push_back(0);
+  parent_touched_flag_.push_back(0);
   if (frozen_) {
     // Late nodes keep the CSR indexable; they have no adjacency.
     child_offsets_.push_back(child_offsets_.back());
@@ -39,6 +46,14 @@ Status ClusterGraph::AddEdge(NodeId from, NodeId to, double weight) {
   }
   build_children_[from].push_back(ClusterGraphEdge{to, weight});
   build_parents_[to].push_back(ClusterGraphEdge{from, weight});
+  if (!child_touched_flag_[from]) {
+    child_touched_flag_[from] = 1;
+    touched_children_.push_back(from);
+  }
+  if (!parent_touched_flag_[to]) {
+    parent_touched_flag_[to] = 1;
+    touched_parents_.push_back(to);
+  }
   ++edge_count_;
   return Status::OK();
 }
@@ -61,26 +76,72 @@ void ClusterGraph::Compact(
   lists->shrink_to_fit();
 }
 
+namespace {
+
+// Children: weight desc, then target asc (Section 4.3's exploration
+// heuristic, and a total order so incremental re-sorts match the freeze).
+bool ByWeightDesc(const ClusterGraphEdge& a, const ClusterGraphEdge& b) {
+  if (a.weight != b.weight) return a.weight > b.weight;
+  return a.target < b.target;
+}
+
+// Parents sorted by source id: deterministic iteration for the BFS
+// finder's parent probes.
+bool BySourceAsc(const ClusterGraphEdge& a, const ClusterGraphEdge& b) {
+  return a.target < b.target;
+}
+
+}  // namespace
+
+void ClusterGraph::SortTouched() {
+  if (frozen_) return;
+  for (NodeId v : touched_children_) {
+    std::sort(build_children_[v].begin(), build_children_[v].end(),
+              ByWeightDesc);
+    child_touched_flag_[v] = 0;
+  }
+  for (NodeId v : touched_parents_) {
+    std::sort(build_parents_[v].begin(), build_parents_[v].end(),
+              BySourceAsc);
+    parent_touched_flag_[v] = 0;
+  }
+  touched_children_.clear();
+  touched_parents_.clear();
+}
+
+Status ClusterGraph::ScaleEdgeWeights(double factor) {
+  if (frozen_) {
+    return Status::InvalidArgument(
+        "cannot rescale a frozen cluster graph");
+  }
+  if (!(factor > 0)) {
+    return Status::InvalidArgument("scale factor must be positive");
+  }
+  for (auto& list : build_children_) {
+    for (ClusterGraphEdge& e : list) e.weight *= factor;
+    // Rounding can collapse two distinct weights into a tie, whose
+    // (weight desc, target asc) order differs from the pre-scale one;
+    // re-sort so the total order always holds.
+    std::sort(list.begin(), list.end(), ByWeightDesc);
+  }
+  for (auto& list : build_parents_) {
+    for (ClusterGraphEdge& e : list) e.weight *= factor;
+  }
+  return Status::OK();
+}
+
 void ClusterGraph::SortChildren() {
   if (frozen_) return;
-  auto by_weight_desc = [](const ClusterGraphEdge& a,
-                           const ClusterGraphEdge& b) {
-    if (a.weight != b.weight) return a.weight > b.weight;
-    return a.target < b.target;
-  };
   for (auto& list : build_children_) {
-    std::sort(list.begin(), list.end(), by_weight_desc);
+    std::sort(list.begin(), list.end(), ByWeightDesc);
   }
-  // Parents sorted by source id: deterministic iteration for the BFS
-  // finder's parent probes.
   for (auto& list : build_parents_) {
-    std::sort(list.begin(), list.end(),
-              [](const ClusterGraphEdge& a, const ClusterGraphEdge& b) {
-                return a.target < b.target;
-              });
+    std::sort(list.begin(), list.end(), BySourceAsc);
   }
   Compact(&build_children_, &child_offsets_, &child_edges_);
   Compact(&build_parents_, &parent_offsets_, &parent_edges_);
+  touched_children_.clear();
+  touched_parents_.clear();
   frozen_ = true;
 }
 

@@ -57,6 +57,11 @@ class ClusterGraph {
       : interval_count_(interval_count), gap_(gap),
         intervals_(interval_count) {}
 
+  /// Appends a new (empty) temporal interval and returns its index. The
+  /// streaming entry point: a graph constructed with interval_count 0
+  /// grows one interval per ingested tick.
+  uint32_t AddInterval();
+
   /// Adds a node to interval `interval` (0-based). Returns its id.
   NodeId AddNode(uint32_t interval);
 
@@ -70,6 +75,19 @@ class ClusterGraph {
   /// and compacts the adjacency into CSR arrays. Called automatically by
   /// AddEdge-heavy builders once at the end; idempotent.
   void SortChildren();
+
+  /// Build-phase (streaming) variant of SortChildren: re-sorts only the
+  /// adjacency lists touched by AddEdge since the last sort, into the same
+  /// total order the freeze would produce, without compacting — the graph
+  /// stays extendable. Queries between ingests rely on this; a no-op on a
+  /// frozen graph. O(touched lists) per call.
+  void SortTouched();
+
+  /// Multiplies every edge weight by `factor` (> 0), preserving sort
+  /// order. Build phase only (error once frozen). Used by streaming
+  /// ingestion to renormalize raw-intersection affinities when the
+  /// running maximum grows.
+  Status ScaleEdgeWeights(double factor);
 
   /// True once SortChildren() has compacted the adjacency.
   bool frozen() const { return frozen_; }
@@ -125,6 +143,11 @@ class ClusterGraph {
   // Build-phase adjacency; cleared by the freeze.
   std::vector<std::vector<ClusterGraphEdge>> build_children_;
   std::vector<std::vector<ClusterGraphEdge>> build_parents_;
+  // Nodes whose build-phase lists gained edges since the last sort.
+  std::vector<NodeId> touched_children_;
+  std::vector<NodeId> touched_parents_;
+  std::vector<uint8_t> child_touched_flag_;
+  std::vector<uint8_t> parent_touched_flag_;
   // Frozen CSR adjacency.
   std::vector<size_t> child_offsets_;
   std::vector<ClusterGraphEdge> child_edges_;

@@ -1,0 +1,188 @@
+#include "stable/finder.h"
+
+#include <algorithm>
+
+#include "stable/bfs_finder.h"
+#include "stable/brute_force_finder.h"
+#include "stable/cluster_graph.h"
+#include "stable/dfs_finder.h"
+#include "stable/diversify.h"
+#include "stable/normalized_bfs_finder.h"
+#include "stable/normalized_dfs_finder.h"
+#include "stable/online_finder.h"
+#include "stable/ta_finder.h"
+
+namespace stabletext {
+
+namespace {
+
+Result<StableFinderResult> RunBfs(const ClusterGraph& graph,
+                                  const FinderQuery& query) {
+  if (query.mode == FinderMode::kNormalized) {
+    NormalizedFinderOptions options;
+    options.k = query.k;
+    options.lmin = query.l;
+    options.theorem1_pruning = query.theorem1_pruning;
+    return NormalizedBfsFinder(options).Find(graph);
+  }
+  BfsFinderOptions options;
+  options.k = query.k;
+  options.l = query.l;
+  options.memory_budget_bytes = query.memory_budget_bytes;
+  return BfsStableFinder(options).Find(graph);
+}
+
+Result<StableFinderResult> RunDfs(const ClusterGraph& graph,
+                                  const FinderQuery& query) {
+  if (query.mode == FinderMode::kNormalized) {
+    NormalizedFinderOptions options;
+    options.k = query.k;
+    options.lmin = query.l;
+    options.theorem1_pruning = query.theorem1_pruning;
+    return NormalizedDfsFinder(options).Find(graph);
+  }
+  DfsFinderOptions options;
+  options.k = query.k;
+  options.l = query.l;
+  return DfsStableFinder(options).Find(graph);
+}
+
+Result<StableFinderResult> RunTa(const ClusterGraph& graph,
+                                 const FinderQuery& query) {
+  const uint32_t m = graph.interval_count();
+  if (query.l != 0 && (m < 2 || query.l != m - 1)) {
+    return Status::NotSupported(
+        "the TA finder answers full-path queries only (l = 0 or m-1)");
+  }
+  TaFinderOptions options;
+  options.k = query.k;
+  options.max_probes = query.max_probes;
+  return TaStableFinder(options).Find(graph);
+}
+
+Result<StableFinderResult> RunBruteForce(const ClusterGraph& graph,
+                                         const FinderQuery& query) {
+  StableFinderResult result;
+  if (query.mode == FinderMode::kNormalized) {
+    result.paths =
+        BruteForceFinder::TopKByStability(graph, query.k, query.l);
+  } else {
+    result.paths = BruteForceFinder::TopKByWeight(graph, query.k, query.l);
+  }
+  return result;
+}
+
+// Replays the graph interval by interval through the streaming finder —
+// the same code path Engine feeds incrementally, so a batch caller can
+// cross-check the online answer against bfs/dfs on any static graph.
+Result<StableFinderResult> RunOnline(const ClusterGraph& graph,
+                                     const FinderQuery& query) {
+  const uint32_t m = graph.interval_count();
+  StableFinderResult result;
+  if (m < 2) return result;
+  const uint32_t l = query.l == 0 ? m - 1 : query.l;
+  if (l < 1 || l > m - 1) {
+    return Status::InvalidArgument("path length l out of range");
+  }
+  OnlineFinderOptions options;
+  options.k = query.k;
+  options.l = l;
+  options.gap = graph.gap();
+  OnlineStableFinder finder(options);
+  for (uint32_t i = 0; i < m; ++i) {
+    finder.BeginInterval();
+    for (size_t j = 0; j < graph.IntervalNodes(i).size(); ++j) {
+      auto node = finder.AddNode();
+      if (!node.ok()) return node.status();
+    }
+    for (NodeId c : graph.IntervalNodes(i)) {
+      for (const ClusterGraphEdge& pe : graph.Parents(c)) {
+        ST_RETURN_IF_ERROR(finder.AddEdge(pe.target, c, pe.weight));
+      }
+    }
+    ST_RETURN_IF_ERROR(finder.EndInterval());
+  }
+  result.paths = finder.TopK();
+  result.io = finder.io();
+  return result;
+}
+
+}  // namespace
+
+const std::vector<FinderInfo>& FinderRegistry() {
+  static const std::vector<FinderInfo> registry = {
+      {FinderAlgorithm::kBfs, "bfs", true, true, &RunBfs},
+      {FinderAlgorithm::kDfs, "dfs", true, true, &RunDfs},
+      {FinderAlgorithm::kTa, "ta", true, false, &RunTa},
+      {FinderAlgorithm::kBruteForce, "brute-force", true, true,
+       &RunBruteForce},
+      {FinderAlgorithm::kOnline, "online", true, false, &RunOnline},
+  };
+  return registry;
+}
+
+const FinderInfo& GetFinderInfo(FinderAlgorithm algorithm) {
+  for (const FinderInfo& info : FinderRegistry()) {
+    if (info.algorithm == algorithm) return info;
+  }
+  return FinderRegistry().front();  // Unreachable: all enums registered.
+}
+
+Result<FinderAlgorithm> ParseFinderAlgorithm(std::string_view name) {
+  for (const FinderInfo& info : FinderRegistry()) {
+    if (name == info.name) return info.algorithm;
+  }
+  if (name == "brute") return FinderAlgorithm::kBruteForce;
+  return Status::InvalidArgument(
+      "unknown algorithm \"" + std::string(name) +
+      "\" (known: bfs, dfs, ta, brute-force, online)");
+}
+
+const char* FinderAlgorithmName(FinderAlgorithm algorithm) {
+  return GetFinderInfo(algorithm).name;
+}
+
+Result<FinderMode> ParseFinderMode(std::string_view name) {
+  if (name == "kl-stable" || name == "stable") {
+    return FinderMode::kKlStable;
+  }
+  if (name == "normalized") return FinderMode::kNormalized;
+  return Status::InvalidArgument(
+      "unknown mode \"" + std::string(name) +
+      "\" (known: kl-stable, normalized)");
+}
+
+const char* FinderModeName(FinderMode mode) {
+  return mode == FinderMode::kKlStable ? "kl-stable" : "normalized";
+}
+
+Result<StableFinderResult> RunFinder(const ClusterGraph& graph,
+                                     const FinderQuery& query) {
+  const FinderInfo& info = GetFinderInfo(query.algorithm);
+  if (query.mode == FinderMode::kNormalized && !info.supports_normalized) {
+    return Status::NotSupported(std::string(info.name) +
+                                " does not answer normalized queries");
+  }
+  if (query.k == 0) {
+    return Status::InvalidArgument("k must be positive");
+  }
+  const bool diversify =
+      query.diversify_prefix > 0 || query.diversify_suffix > 0;
+  if (!diversify) return info.run(graph, query);
+
+  // Diversified selection: enlarge the candidate pool, then apply the
+  // greedy affix filter. Exact whenever the diversified top-k lies in the
+  // enlarged ranking (raise diversify_candidates for redundant graphs).
+  FinderQuery enlarged = query;
+  enlarged.k = query.k * std::max<size_t>(1, query.diversify_candidates);
+  auto r = info.run(graph, enlarged);
+  if (!r.ok()) return r.status();
+  StableFinderResult result = std::move(r).value();
+  DiversifyOptions dopt;
+  dopt.prefix_nodes = query.diversify_prefix;
+  dopt.suffix_nodes = query.diversify_suffix;
+  result.paths = DiversifyPaths(result.paths, query.k, dopt);
+  return result;
+}
+
+}  // namespace stabletext

@@ -18,6 +18,20 @@ IoStats& IoStats::operator+=(const IoStats& other) {
   return *this;
 }
 
+IoStats operator-(IoStats a, const IoStats& b) {
+  a.page_reads -= b.page_reads;
+  a.page_writes -= b.page_writes;
+  a.logical_reads -= b.logical_reads;
+  a.random_seeks -= b.random_seeks;
+  a.bytes_read -= b.bytes_read;
+  a.bytes_written -= b.bytes_written;
+  a.sort_runs_spilled -= b.sort_runs_spilled;
+  a.sort_merge_passes -= b.sort_merge_passes;
+  a.sort_in_memory_sorts -= b.sort_in_memory_sorts;
+  a.sort_tail_records -= b.sort_tail_records;
+  return a;
+}
+
 std::string IoStats::ToString() const {
   return StringPrintf(
       "reads=%llu writes=%llu cached=%llu seeks=%llu read=%s written=%s "

@@ -40,6 +40,10 @@ struct IoStats {
   std::string ToString() const;
 };
 
+/// Element-wise difference: counters are monotonic, so subtracting an
+/// earlier snapshot yields the cost of the span between them.
+IoStats operator-(IoStats a, const IoStats& b);
+
 }  // namespace stabletext
 
 #endif  // STABLETEXT_STORAGE_IO_STATS_H_

@@ -7,10 +7,10 @@
 
 namespace stabletext {
 
-Status CorpusWriter::Open(const std::string& path) {
-  path_ = path;
+Status CorpusWriter::Open(const std::filesystem::path& path) {
+  path_ = path.string();
   out_.open(path, std::ios::out | std::ios::trunc);
-  if (!out_) return Status::IOError("cannot open " + path);
+  if (!out_) return Status::IOError("cannot open " + path_);
   count_ = 0;
   return Status::OK();
 }
@@ -35,10 +35,10 @@ Status CorpusWriter::Finish() {
   return Status::OK();
 }
 
-Status CorpusReader::Open(const std::string& path) {
-  path_ = path;
+Status CorpusReader::Open(const std::filesystem::path& path) {
+  path_ = path.string();
   in_.open(path);
-  if (!in_) return Status::IOError("cannot open " + path);
+  if (!in_) return Status::IOError("cannot open " + path_);
   return Status::OK();
 }
 
@@ -73,7 +73,7 @@ Status CorpusReader::ForEach(
   return status_;
 }
 
-uint64_t FileSizeBytes(const std::string& path) {
+uint64_t FileSizeBytes(const std::filesystem::path& path) {
   std::error_code ec;
   const auto size = std::filesystem::file_size(path, ec);
   return ec ? 0 : size;

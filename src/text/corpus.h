@@ -7,6 +7,7 @@
 #define STABLETEXT_TEXT_CORPUS_H_
 
 #include <cstdint>
+#include <filesystem>
 #include <fstream>
 #include <functional>
 #include <string>
@@ -24,7 +25,7 @@ namespace stabletext {
 class CorpusWriter {
  public:
   /// Opens `path` for writing (truncates).
-  Status Open(const std::string& path);
+  Status Open(const std::filesystem::path& path);
 
   /// Appends one raw post. Newlines and tabs in `text` are replaced by
   /// spaces to keep the format line-oriented.
@@ -45,7 +46,7 @@ class CorpusWriter {
 class CorpusReader {
  public:
   /// Opens `path` for reading.
-  Status Open(const std::string& path);
+  Status Open(const std::filesystem::path& path);
 
   /// Reads the next raw post. Returns false at end of file.
   bool Next(uint32_t* interval, std::string* text);
@@ -64,7 +65,7 @@ class CorpusReader {
 };
 
 /// Returns the size in bytes of the file at `path`, or 0 on error.
-uint64_t FileSizeBytes(const std::string& path);
+uint64_t FileSizeBytes(const std::filesystem::path& path);
 
 }  // namespace stabletext
 
