@@ -1,0 +1,175 @@
+// bench_concurrent: concurrent serving throughput. A writer streams a
+// generated week through Engine::IngestText while 1/2/4/8 reader threads
+// query nonstop (alternating a warm-online streaming query with a cold
+// bfs run, plus a repeated hot query that exercises the sharded LRU
+// cache). Reports reader queries/sec during ingest and the ingest
+// latency alongside a zero-reader baseline, so snapshot publishing and
+// reader pressure on the commit path are both visible.
+//
+//   bench_concurrent [--threads N] [--repetitions N] [--json PATH]
+//
+// Emits BENCH_concurrent.json.
+
+#include <atomic>
+
+#include "bench_common.h"
+#include "core/engine.h"
+#include "gen/corpus_generator.h"
+#include "gen/event_script.h"
+#include "util/thread_pool.h"
+
+namespace stabletext {
+namespace bench {
+namespace {
+
+EngineOptions ServingOptions(size_t threads) {
+  EngineOptions options;
+  options.gap = 1;
+  options.threads = threads;
+  options.clustering.pruning.rho_threshold = 0.2;
+  options.clustering.pruning.min_pair_support = 5;
+  options.affinity.theta = 0.1;
+  return options;
+}
+
+struct RunResult {
+  size_t readers = 0;
+  double ingest_ms = 0;
+  uint64_t queries = 0;
+  double qps = 0;
+  uint64_t cache_hits = 0;
+  uint64_t cache_misses = 0;
+};
+
+// Streams `days` through a fresh engine with `readers` concurrent query
+// threads; returns timings and reader counters.
+RunResult RunOnce(const std::vector<std::vector<std::string>>& days,
+                  size_t writer_threads, size_t readers) {
+  Engine engine(ServingOptions(writer_threads));
+  std::atomic<bool> done{false};
+  std::atomic<uint64_t> queries{0};
+  std::atomic<bool> ok{true};
+
+  Query online;
+  online.algorithm = FinderAlgorithm::kOnline;
+  online.k = 5;
+  online.l = 3;
+  Query bfs = online;
+  bfs.algorithm = FinderAlgorithm::kBfs;
+
+  RunResult out;
+  out.readers = readers;
+  {
+    ReaderFleet fleet(readers, [&](size_t reader) {
+      uint64_t n = reader;
+      while (!done.load(std::memory_order_acquire)) {
+        // Two of three queries repeat verbatim (cache food); the third
+        // alternates algorithms for cold finder runs.
+        const Query& q = (n % 3 == 2) ? bfs : online;
+        auto r = engine.Query(q);
+        ++n;
+        if (!r.ok()) {
+          ok.store(false, std::memory_order_relaxed);
+          break;
+        }
+        queries.fetch_add(1, std::memory_order_relaxed);
+      }
+    });
+    WallTimer timer;
+    for (const auto& day : days) {
+      auto tick = engine.IngestText(day);
+      if (!tick.ok()) {
+        std::fprintf(stderr, "ingest failed: %s\n",
+                     tick.status().ToString().c_str());
+        std::exit(1);
+      }
+    }
+    out.ingest_ms = timer.ElapsedMillis();
+    done.store(true, std::memory_order_release);
+    fleet.Join();
+  }
+  if (!ok.load()) {
+    std::fprintf(stderr, "a reader query failed\n");
+    std::exit(1);
+  }
+  out.queries = queries.load();
+  out.qps = out.ingest_ms > 0 ? out.queries / (out.ingest_ms / 1e3) : 0;
+  const EngineStats stats = engine.stats();
+  out.cache_hits = stats.query_cache_hits;
+  out.cache_misses = stats.query_cache_misses;
+  return out;
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace stabletext
+
+int main(int argc, char** argv) {
+  using namespace stabletext;
+  using namespace stabletext::bench;
+
+  BenchArgs args = ParseArgs(argc, argv, "BENCH_concurrent.json");
+  Header("concurrent serving: queries/sec during ingest",
+         "serving scenario (Section 4.6 workload, many readers)",
+         "7 days, reader sweep 0/1/2/4/8");
+
+  CorpusGenOptions corpus;
+  corpus.days = 7;
+  corpus.posts_per_day = Pick<uint32_t>(400, 2000);
+  corpus.vocabulary = Pick<uint32_t>(3000, 20000);
+  corpus.min_words_per_post = 12;
+  corpus.max_words_per_post = 28;
+  corpus.micro_events = Pick<uint32_t>(40, 200);
+  corpus.script = EventScript::PaperWeek();
+  CorpusGenerator generator(corpus);
+  std::vector<std::vector<std::string>> days;
+  for (uint32_t day = 0; day < corpus.days; ++day) {
+    days.push_back(generator.GenerateDay(day));
+  }
+
+  // Zero-reader baseline: the pure ingest cost including per-tick
+  // snapshot publishing (best of --repetitions).
+  double baseline_ms = 0;
+  for (int rep = 0; rep < args.repetitions; ++rep) {
+    const RunResult r = RunOnce(days, args.threads, 0);
+    baseline_ms = rep == 0 ? r.ingest_ms : std::min(baseline_ms,
+                                                    r.ingest_ms);
+  }
+  std::printf("%8s %12s %12s %10s %12s\n", "readers", "ingest_ms",
+              "queries", "q/s", "cache_hit%");
+  std::printf("%8d %12.1f %12s %10s %12s\n", 0, baseline_ms, "-", "-",
+              "-");
+
+  std::vector<std::string> rows;
+  for (const size_t readers : {size_t{1}, size_t{2}, size_t{4},
+                               size_t{8}}) {
+    RunResult best;
+    for (int rep = 0; rep < args.repetitions; ++rep) {
+      const RunResult r = RunOnce(days, args.threads, readers);
+      if (rep == 0 || r.qps > best.qps) best = r;
+    }
+    const uint64_t lookups = best.cache_hits + best.cache_misses;
+    std::printf("%8zu %12.1f %12llu %10.0f %12.1f\n", best.readers,
+                best.ingest_ms,
+                static_cast<unsigned long long>(best.queries), best.qps,
+                lookups > 0 ? 100.0 * best.cache_hits / lookups : 0.0);
+    Json row;
+    row.Put("readers", best.readers)
+        .Put("ingest_ms", best.ingest_ms)
+        .Put("queries", best.queries)
+        .Put("qps", best.qps)
+        .Put("cache_hits", best.cache_hits)
+        .Put("cache_misses", best.cache_misses);
+    rows.push_back(row.ToString());
+  }
+
+  Json json;
+  json.Put("bench", "concurrent")
+      .Put("days", corpus.days)
+      .Put("posts_per_day", corpus.posts_per_day)
+      .Put("writer_threads", args.threads)
+      .Put("baseline_ingest_ms", baseline_ms)
+      .Raw("runs", Json::Array(rows));
+  WriteJsonFile(args.json_path, json.ToString());
+  return 0;
+}

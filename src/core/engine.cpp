@@ -5,19 +5,32 @@
 #include <map>
 
 #include "text/corpus.h"
-#include "util/strings.h"
 
 namespace stabletext {
 
+namespace {
+
+// A reader's warm-online request, packed for the lock-free hint slot:
+// k in the high 32 bits, l in the low 32. 0 = no hint (k is validated
+// positive before packing).
+uint64_t PackOnlineHint(size_t k, uint32_t l) {
+  if (k == 0 || k > UINT32_MAX) return 0;
+  return (static_cast<uint64_t>(k) << 32) | l;
+}
+
+}  // namespace
+
 Engine::Engine(EngineOptions options)
-    : options_(std::move(options)), graph_(0, options_.gap) {
+    : options_(std::move(options)), graph_(0, options_.gap),
+      cache_(std::make_unique<QueryCache>(options_.query_cache)) {
   if (options_.threads > 1) {
     pool_ = std::make_unique<ThreadPool>(options_.threads);
   }
+  Publish();  // Epoch 0: queries are valid before the first ingest.
 }
 
 Result<uint32_t> Engine::IngestText(const std::vector<std::string>& posts) {
-  const uint32_t interval = interval_count();
+  const uint32_t interval = static_cast<uint32_t>(slots_.size());
   std::vector<Document> documents(posts.size());
   if (pool_ != nullptr && posts.size() > 1) {
     // Tokenization is document-independent: fan chunks out, write by
@@ -52,6 +65,7 @@ Result<uint32_t> Engine::IngestDocuments(
     return Status::InvalidArgument(
         "engine is compacted; create a new engine to ingest");
   }
+  if (!broken_.ok()) return broken_;
   // Intern on the calling thread, in document order: keyword ids are
   // assigned exactly as a sequential run would assign them, no matter how
   // many workers the heavy phase uses.
@@ -72,23 +86,30 @@ Result<uint32_t> Engine::IngestDocuments(
 Result<uint32_t> Engine::IngestInterned(
     const std::vector<std::vector<KeywordId>>& interned,
     size_t vocab_snapshot) {
-  const uint32_t interval = interval_count();
-  auto slot = std::make_unique<IntervalSlot>();
+  const uint32_t interval = static_cast<uint32_t>(slots_.size());
+  auto slot = std::make_shared<SnapshotInterval>();
   IntervalClusterer clusterer(&dict_, options_.clustering, &slot->io);
   auto result =
       clusterer.RunInterned(interval, interned, vocab_snapshot, pool_.get());
   if (!result.ok()) return result.status();
   slot->result = std::move(result).value();
   io_ += slot->io;
-  slots_.push_back(std::move(slot));
-  ST_RETURN_IF_ERROR(ExtendGraph(interval));
-  {
-    std::lock_guard<std::mutex> lock(online_mutex_);
-    if (online_ != nullptr) {
-      ST_RETURN_IF_ERROR(FeedOnline(interval));
-      online_fed_ = interval + 1;
-    }
+  slots_.push_back(std::move(slot));  // Immutable from here on.
+  Status commit = ExtendGraph(interval);
+  if (commit.ok()) commit = AdvanceWarmOnline(interval);
+  if (!commit.ok()) {
+    // The interval is half-committed in writer state and cannot be
+    // rolled back; refusing further ingest keeps the published epochs
+    // honest — readers keep serving the last snapshot, which never saw
+    // any of this interval.
+    broken_ = Status::Internal(
+        "a previous ingest failed mid-commit (" + commit.message() +
+        "); the engine no longer accepts intervals");
+    return commit;
   }
+  // The commit point for readers: everything above mutated only private
+  // writer state; the swap below makes the new epoch visible atomically.
+  Publish();
   return interval;
 }
 
@@ -105,7 +126,7 @@ Result<uint32_t> Engine::IngestCorpusFile(const std::filesystem::path& path,
     by_interval[interval].push_back(text);
   }
   ST_RETURN_IF_ERROR(reader.status());
-  uint32_t expected = interval_count();
+  uint32_t expected = static_cast<uint32_t>(slots_.size());
   uint32_t ingested = 0;
   for (const auto& [iv, posts] : by_interval) {
     if (iv != expected) {
@@ -132,9 +153,7 @@ Status Engine::ExtendGraph(uint32_t interval) {
   node_of_.emplace_back();
   node_of_.back().reserve(clusters.size());
   for (uint32_t j = 0; j < clusters.size(); ++j) {
-    const NodeId id = graph_.AddNode(interval);
-    node_of_.back().push_back(id);
-    cluster_of_node_.emplace_back(interval, j);
+    node_of_.back().push_back(graph_.AddNode(interval));
   }
   if (interval == 0) return Status::OK();
 
@@ -201,8 +220,9 @@ Status Engine::ExtendGraph(uint32_t interval) {
       if (running_max_affinity_ > 0) {
         ST_RETURN_IF_ERROR(
             graph_.ScaleEdgeWeights(running_max_affinity_ / tick_max));
-        // The warm online finder holds paths built from the old scale.
-        online_.reset();
+        // The warm online finder holds paths built from the old scale;
+        // rebuild it at the new scale before the next publish.
+        online_rescale_needed_ = true;
       }
       running_max_affinity_ = tick_max;
     }
@@ -219,7 +239,7 @@ Status Engine::ExtendGraph(uint32_t interval) {
   return Status::OK();
 }
 
-Status Engine::FeedOnline(uint32_t interval) const {
+Status Engine::FeedOnline(uint32_t interval) {
   online_->BeginInterval();
   for (size_t j = 0; j < graph_.IntervalNodes(interval).size(); ++j) {
     auto node = online_->AddNode();
@@ -233,116 +253,182 @@ Status Engine::FeedOnline(uint32_t interval) const {
   return online_->EndInterval();
 }
 
-Result<QueryResult> Engine::QueryOnline(
-    const stabletext::Query& query) const {
-  const uint32_t m = interval_count();
-  QueryResult out;
-  if (m < 2) return out;
-  const uint32_t l = query.l == 0 ? m - 1 : query.l;
-  // The stream simply has no length-l paths yet: an empty answer, not an
-  // error — the monitor keeps polling as intervals arrive.
-  if (l > m - 1) return out;
-  std::lock_guard<std::mutex> lock(online_mutex_);
-  if (online_ == nullptr || online_k_ != query.k || online_l_ != l) {
-    OnlineFinderOptions options;
-    options.k = query.k;
-    options.l = l;
-    options.gap = options_.gap;
-    online_ = std::make_unique<OnlineStableFinder>(options);
-    online_k_ = query.k;
-    online_l_ = l;
-    online_fed_ = 0;
+void Engine::ResetOnlineFinder(size_t k, uint32_t l) {
+  OnlineFinderOptions opts;
+  opts.k = k;
+  opts.l = l;
+  opts.gap = options_.gap;
+  online_ = std::make_unique<OnlineStableFinder>(opts);
+  online_k_ = k;
+  online_l_ = l;
+  online_fed_ = 0;
+}
+
+Status Engine::AdvanceWarmOnline(uint32_t interval) {
+  if (online_ != nullptr && online_rescale_needed_) {
+    // Weights were rescaled: the warm paths are at the old scale. Rebuild
+    // from interval 0 at the current scale (one replay, then marginal
+    // cost again).
+    ResetOnlineFinder(online_k_, online_l_);
   }
-  // Catch up on intervals not yet fed (0 after a post-ingest query: the
-  // ingest already did the marginal Section 4.6 work). Report only this
-  // query's marginal I/O, like every other algorithm — a fully warm
-  // query costs nothing.
-  const IoStats before = online_->io();
-  for (uint32_t iv = online_fed_; iv < m; ++iv) {
+  online_rescale_needed_ = false;
+  // Adopt a reader's requested configuration (set when an online query
+  // missed the published warm state).
+  const uint64_t hint =
+      online_hint_.exchange(0, std::memory_order_relaxed);
+  if (hint != 0) {
+    const size_t k = static_cast<size_t>(hint >> 32);
+    const uint32_t l = static_cast<uint32_t>(hint & 0xffffffffULL);
+    if (online_ == nullptr || online_k_ != k || online_l_ != l) {
+      ResetOnlineFinder(k, l);
+    }
+  }
+  if (online_ == nullptr) return Status::OK();
+  for (uint32_t iv = online_fed_; iv <= interval; ++iv) {
     ST_RETURN_IF_ERROR(FeedOnline(iv));
   }
-  online_fed_ = m;
-  out.finder.paths = online_->TopK();
-  out.finder.io = online_->io() - before;
-  ST_ASSIGN_OR_RETURN(out.chains, ToChains(out.finder.paths));
-  return out;
+  online_fed_ = interval + 1;
+  return Status::OK();
+}
+
+void Engine::Publish() {
+  auto snap = std::make_shared<GraphSnapshot>();
+  snap->epoch = slots_.size();
+  snap->graph = std::make_shared<const ClusterGraph>(graph_.FrozenCopy());
+  snap->intervals = slots_;
+  // The keyword table is append-only: completed chunks are shared with
+  // every earlier snapshot; only the partial tail chunk is copied.
+  constexpr size_t kChunk = SnapshotWords::kChunkWords;
+  while ((word_chunks_.size() + 1) * kChunk <= dict_.size()) {
+    auto chunk = std::make_shared<std::vector<std::string>>();
+    chunk->reserve(kChunk);
+    const KeywordId base =
+        static_cast<KeywordId>(word_chunks_.size() * kChunk);
+    for (KeywordId id = base; id < base + kChunk; ++id) {
+      chunk->push_back(dict_.Word(id));
+    }
+    word_chunks_.push_back(std::move(chunk));
+  }
+  snap->words.chunks = word_chunks_;
+  const size_t full = word_chunks_.size() * kChunk;
+  if (dict_.size() > full) {
+    // Rebuild the tail chunk only when the vocabulary actually changed
+    // since the last publish (e.g. a Compact republish reuses it). The
+    // base offset guards against a stale tail from before a chunk
+    // boundary was crossed.
+    if (word_tail_ == nullptr || word_tail_base_ != full ||
+        full + word_tail_->size() != dict_.size()) {
+      auto tail = std::make_shared<std::vector<std::string>>();
+      tail->reserve(dict_.size() - full);
+      for (KeywordId id = static_cast<KeywordId>(full);
+           id < dict_.size(); ++id) {
+        tail->push_back(dict_.Word(id));
+      }
+      word_tail_ = std::move(tail);
+      word_tail_base_ = full;
+    }
+    snap->words.chunks.push_back(word_tail_);
+  } else {
+    word_tail_.reset();
+  }
+  snap->words.total = dict_.size();
+  if (online_ != nullptr && online_fed_ == snap->epoch) {
+    snap->has_online = true;
+    snap->online_k = online_k_;
+    snap->online_l = online_l_;
+    snap->online_topk = online_->TopK();
+  }
+  snap->compacted = graph_.frozen();
+  snap->stats.intervals = static_cast<uint32_t>(snap->epoch);
+  snap->stats.clusters = graph_.node_count();
+  snap->stats.edges = graph_.edge_count();
+  snap->stats.keywords = dict_.size();
+  snap->stats.graph_bytes = graph_.MemoryBytes();
+  snap->stats.io = io_;
+  // Answers computed at superseded epochs can never be served again
+  // (keys carry the epoch); drop them so the cache holds only live
+  // entries.
+  cache_->EvictBefore(snap->epoch);
+  std::atomic_store_explicit(
+      &snapshot_,
+      std::shared_ptr<const GraphSnapshot>(std::move(snap)),
+      std::memory_order_release);
+}
+
+std::shared_ptr<const GraphSnapshot> Engine::snapshot() const {
+  return std::atomic_load_explicit(&snapshot_, std::memory_order_acquire);
 }
 
 Result<QueryResult> Engine::Query(const stabletext::Query& query) const {
+  return QueryAt(snapshot(), query);
+}
+
+Result<QueryResult> Engine::QueryAt(
+    const std::shared_ptr<const GraphSnapshot>& snap,
+    const stabletext::Query& query) const {
+  if (snap == nullptr) {
+    return Status::InvalidArgument("QueryAt requires a snapshot");
+  }
   if (query.k == 0) {
     return Status::InvalidArgument("k must be positive");
   }
-  // Serving semantics: asking for chains of (minimum) length l before
-  // l+1 intervals exist is not an error, the stream just has no such
-  // chains yet — in either mode. (The graph-level RunFinder keeps strict
-  // validation.)
-  if (query.l != 0 && interval_count() > 0 &&
-      query.l > interval_count() - 1) {
-    return QueryResult{};
+  // Whether `snap` is the live epoch is decided *before* the finder
+  // runs: a publish racing a long cold query must not make the warm-up
+  // hint below un-storable, or the warm path could never engage under
+  // continuous ingest.
+  const bool snap_is_latest = snap == snapshot();
+  const QueryCacheKey key{snap->epoch, query};
+  if (cache_->enabled()) {
+    if (auto hit = cache_->Lookup(key)) return *hit;
   }
+  auto r = QuerySnapshot(*snap, query);
+  if (!r.ok()) return r.status();
+  QueryResult out = std::move(r).value();
   const bool diversify =
       query.diversify_prefix > 0 || query.diversify_suffix > 0;
   if (query.algorithm == FinderAlgorithm::kOnline &&
-      query.mode == FinderMode::kKlStable && !diversify) {
-    // The warm streaming path; everything else goes through the registry
-    // (a diversified online query replays, trading the warm cache for the
-    // enlarged candidate pool).
-    return QueryOnline(query);
+      query.mode == FinderMode::kKlStable && !diversify &&
+      !out.warm_online && query.l != 0 && snap->epoch >= 2 &&
+      snap_is_latest) {
+    // Cold online query: ask the writer to keep this configuration warm
+    // from the next tick on (lock-free; last writer wins). Not for
+    // l = 0 ("full length") queries — their effective l changes every
+    // epoch, so warming one value would force a full replay per tick —
+    // and not from stale pinned snapshots, which must not evict the
+    // configuration serving live readers.
+    const uint64_t hint = PackOnlineHint(query.k, query.l);
+    if (hint != 0) {
+      online_hint_.store(hint, std::memory_order_relaxed);
+    }
   }
-  auto r = RunFinder(graph_, query);
-  if (!r.ok()) return r.status();
-  QueryResult out;
-  out.finder = std::move(r).value();
-  ST_ASSIGN_OR_RETURN(out.chains, ToChains(out.finder.paths));
+  if (cache_->enabled()) {
+    cache_->Insert(key, std::make_shared<const QueryResult>(out));
+  }
   return out;
 }
 
 Status Engine::Compact() {
   graph_.SortChildren();
+  // Republish so readers serve the frozen CSR directly; warm online
+  // state is carried over only if it is caught up with the final epoch
+  // (Publish checks), which defines the post-compact online contract.
+  Publish();
   return Status::OK();
 }
 
 EngineStats Engine::stats() const {
-  EngineStats stats;
-  stats.intervals = interval_count();
-  stats.clusters = graph_.node_count();
-  stats.edges = graph_.edge_count();
-  stats.keywords = dict_.size();
-  stats.graph_bytes = graph_.MemoryBytes();
-  stats.io = io_;
+  EngineStats stats = snapshot()->stats;
+  stats.query_cache_hits = cache_->hits();
+  stats.query_cache_misses = cache_->misses();
   return stats;
-}
-
-const Cluster* Engine::NodeCluster(NodeId node) const {
-  const auto& [i, j] = cluster_of_node_[node];
-  return &slots_[i]->result.clusters[j];
-}
-
-Result<std::vector<StableClusterChain>> Engine::ToChains(
-    const std::vector<StablePath>& paths) const {
-  std::vector<StableClusterChain> chains;
-  chains.reserve(paths.size());
-  for (const StablePath& path : paths) {
-    StableClusterChain chain;
-    chain.path = path;
-    for (NodeId node : path.nodes) {
-      chain.clusters.push_back(NodeCluster(node));
-    }
-    chains.push_back(std::move(chain));
-  }
-  return chains;
 }
 
 std::string Engine::RenderChain(const StableClusterChain& chain,
                                 size_t max_keywords) const {
-  std::string out = StringPrintf(
-      "stable cluster: length=%u weight=%.3f stability=%.3f\n",
-      chain.path.length, chain.path.weight, chain.path.stability());
-  for (const Cluster* cluster : chain.clusters) {
-    out += StringPrintf("  interval %u: %s\n", cluster->interval,
-                        cluster->ToString(dict_, max_keywords).c_str());
-  }
-  return out;
+  // Rendering resolves keywords through the published word table, not
+  // the growing writer-side dictionary, so it is reader-safe. Append-
+  // only ids make any snapshot at or after the chain's epoch correct.
+  return snapshot()->RenderChain(chain, max_keywords);
 }
 
 }  // namespace stabletext

@@ -1,12 +1,19 @@
 // Engine: the library's public serving API, shaped for the paper's online
 // scenario (Section 4.6) — intervals arrive continuously from a crawler and
-// queries may be asked at any time. Ingest(interval) commits one interval:
-// it clusters the documents (Section 3), affinity-joins the new clusters
-// against the gap-window frontier (Section 4.1), and extends the cluster
-// graph in place. Query() is valid between any two ingests — there is no
-// build barrier — and reaches every finder (bfs, dfs, ta, brute-force,
-// online; kl-stable and normalized modes; optional diversification)
-// through the finder registry.
+// queries may be asked at any time, from any number of reader threads.
+// Ingest(interval) commits one interval: it clusters the documents
+// (Section 3), affinity-joins the new clusters against the gap-window
+// frontier (Section 4.1), extends the cluster graph in place, and then
+// publishes an immutable GraphSnapshot (frozen CSR adjacency + interval
+// metadata + warm streaming-finder state) with an atomic shared_ptr swap.
+// Query() runs entirely against the snapshot — read-only EdgeSpan
+// traversal — so readers never wait on ingest work and never observe a
+// half-committed interval. The only synchronization on the query path is
+// the snapshot pointer load itself (C++17 atomic shared_ptr operations:
+// a briefly held pooled lock, never the writer's tick) plus, when
+// enabled, a short query-cache shard lock. The cache (core/query_cache.h)
+// is a small sharded LRU keyed by (epoch, query), swept at every
+// publish, absorbing repeated hot queries.
 //
 // With options.threads > 1 the heavy per-tick work (tokenization, pair
 // counting, external sort, pruning, biconnected decomposition, and the
@@ -19,15 +26,17 @@
 #ifndef STABLETEXT_CORE_ENGINE_H_
 #define STABLETEXT_CORE_ENGINE_H_
 
+#include <atomic>
 #include <filesystem>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
 
 #include "affinity/similarity_join.h"
 #include "core/interval_clusterer.h"
+#include "core/query_cache.h"
+#include "core/snapshot.h"
 #include "stable/cluster_graph.h"
 #include "stable/finder.h"
 #include "stable/online_finder.h"
@@ -44,6 +53,8 @@ struct EngineOptions {
   /// the per-tick affinity joins. 1 = fully sequential (no pool).
   /// Results are byte-identical for every value.
   size_t threads = 1;
+  /// Query-cache knobs (entries_per_shard = 0 disables caching).
+  QueryCacheOptions query_cache;
 };
 
 /// The library-wide query type: algorithm, mode, k, l, diversification.
@@ -51,31 +62,7 @@ struct EngineOptions {
 /// property fixed by EngineOptions, not a query-time knob.)
 using Query = FinderQuery;
 
-/// A stable cluster rendered for consumption: the chain of clusters plus
-/// the path's weight/length/stability.
-struct StableClusterChain {
-  StablePath path;
-  std::vector<const Cluster*> clusters;  ///< Borrowed from the engine.
-};
-
-/// \brief Answer to one Query: resolved chains plus the finder's raw
-/// paths and cost counters.
-struct QueryResult {
-  std::vector<StableClusterChain> chains;
-  StableFinderResult finder;  ///< paths mirror chains; io/memory/work.
-};
-
-/// Aggregate engine state for monitoring endpoints.
-struct EngineStats {
-  uint32_t intervals = 0;
-  size_t clusters = 0;       ///< Graph nodes.
-  size_t edges = 0;
-  size_t keywords = 0;       ///< Dictionary size.
-  size_t graph_bytes = 0;    ///< Resident adjacency bytes.
-  IoStats io;                ///< Ingest-side traffic, all ticks summed.
-};
-
-/// \brief Incremental stable-cluster engine.
+/// \brief Incremental stable-cluster engine with snapshot-isolated serving.
 ///
 /// Usage:
 ///   Engine engine(options);
@@ -85,14 +72,23 @@ struct EngineStats {
 ///   r = engine.Query({...});              // reflects both intervals
 ///
 /// Ingest commits synchronously: when it returns OK the interval is
-/// queryable. Query never mutates observable state (the warm online-finder
-/// cache is invisible). Compact() optionally freezes the graph into CSR
-/// for read-only serving; ingest is an error afterwards.
+/// queryable (the commit's last step publishes the new epoch's snapshot).
+/// A failed ingest publishes nothing — readers keep serving the last
+/// epoch — and, if the failure hit mid-commit, further ingest is
+/// refused (the half-committed writer state can never become visible).
+/// Query never mutates observable state. Compact() optionally freezes the
+/// writer graph into CSR for read-only serving; ingest is an error
+/// afterwards.
 ///
 /// Thread contract: Ingest*/Compact are writers and must be externally
-/// exclusive with every other call; between ingests, any number of
-/// Query() calls may run concurrently (the warm online cache is
-/// internally synchronized).
+/// exclusive with each other; Query()/QueryAt()/snapshot()/stats()/
+/// compacted()/RenderChain() may run concurrently with them — and with
+/// each other —
+/// from any number of threads. Each query reads one published epoch: it
+/// sees either the state before an in-flight ingest or the state after
+/// it, never a partial interval. The remaining introspection accessors
+/// (graph(), dict(), interval_result(), io()) read writer-side state
+/// and are only safe on the ingest thread, or when ingest is quiescent.
 class Engine {
  public:
   explicit Engine(EngineOptions options = {});
@@ -119,22 +115,46 @@ class Engine {
   Result<uint32_t> IngestCorpusFile(const std::filesystem::path& path,
                                     const TickCallback& on_tick = nullptr);
 
-  /// Answers `query` on everything ingested so far. Algorithms: bfs, dfs,
+  /// Answers `query` on the latest published epoch. Algorithms: bfs, dfs,
   /// ta (full paths, gap 0), brute-force, online (kept warm across
   /// ingests). Modes: kl-stable, normalized. See FinderQuery for the
-  /// diversification and tuning knobs.
+  /// diversification and tuning knobs. Safe to call concurrently with
+  /// ingest from any number of threads; the answer's epoch is recorded in
+  /// QueryResult::epoch.
   Result<QueryResult> Query(const stabletext::Query& query) const;
 
-  /// Freezes the cluster graph into immutable CSR adjacency for read-only
-  /// serving. Idempotent; Ingest* fails afterwards.
+  /// Answers `query` on a pinned snapshot (from snapshot(), possibly
+  /// several epochs old) — several queries against the same pointer see
+  /// one consistent epoch even while ingest advances. Uses the query
+  /// cache and records warm-online hints exactly like Query().
+  Result<QueryResult> QueryAt(
+      const std::shared_ptr<const GraphSnapshot>& snap,
+      const stabletext::Query& query) const;
+
+  /// The latest published epoch's read view. Never null; epoch 0 (an
+  /// empty snapshot) before the first ingest. Holding the pointer pins
+  /// every structure the epoch references.
+  std::shared_ptr<const GraphSnapshot> snapshot() const;
+
+  /// Freezes the writer's cluster graph into immutable CSR adjacency and
+  /// publishes a final snapshot. Idempotent; Ingest* fails afterwards.
+  ///
+  /// Post-compact online semantics (defined): warm streaming-finder
+  /// state survives into the final snapshot only if it is caught up with
+  /// the final epoch; a post-compact online query for any other (k, l)
+  /// replays the frozen graph through the registry — identical paths,
+  /// replay cost — and can no longer be warmed (there are no further
+  /// ingests to consume the warm-up hint).
   Status Compact();
 
-  /// True once Compact() has been called.
-  bool compacted() const { return graph_.frozen(); }
+  /// True once Compact() has been called. Reader-safe (reads the
+  /// published snapshot, not the writer graph).
+  bool compacted() const { return snapshot()->compacted; }
 
-  // Introspection.
+  // Introspection. interval_count/stats are reader-safe; the borrowed
+  // references below are writer-side (see the thread contract above).
   uint32_t interval_count() const {
-    return static_cast<uint32_t>(slots_.size());
+    return static_cast<uint32_t>(snapshot()->epoch);
   }
   const IntervalResult& interval_result(uint32_t i) const {
     return slots_[i]->result;
@@ -143,23 +163,20 @@ class Engine {
   const ClusterGraph& graph() const { return graph_; }
   /// Ingest-side I/O accounting (per-interval stats summed in order).
   const IoStats& io() const { return io_; }
+  /// Point-in-time stats of the latest epoch plus live cache counters.
   EngineStats stats() const;
 
   /// Renders a chain like the paper's stable-cluster figures: one line per
-  /// interval with the cluster's keywords.
+  /// interval with the cluster's keywords. Resolves keywords through the
+  /// published snapshot's word table, so it is safe from reader threads
+  /// while ingest runs.
   std::string RenderChain(const StableClusterChain& chain,
                           size_t max_keywords = 8) const;
 
  private:
-  // One committed interval's outputs.
-  struct IntervalSlot {
-    IntervalResult result;
-    IoStats io;
-  };
-
-  // Clusters `interned` documents as interval interval_count() and
-  // commits: node allocation, frontier joins, graph extension, online
-  // cache feed.
+  // Clusters `interned` documents as the next interval and commits: node
+  // allocation, frontier joins, graph extension, warm-online feed,
+  // snapshot publish.
   Result<uint32_t> IngestInterned(
       const std::vector<std::vector<KeywordId>>& interned,
       size_t vocab_snapshot);
@@ -167,39 +184,65 @@ class Engine {
   // the graph in place (the incremental half of the old BuildClusterGraph).
   Status ExtendGraph(uint32_t interval);
   // Feeds interval `interval`'s nodes and parent edges into the warm
-  // online finder, if one is active.
-  Status FeedOnline(uint32_t interval) const;
-  Result<QueryResult> QueryOnline(const stabletext::Query& query) const;
-  Result<std::vector<StableClusterChain>> ToChains(
-      const std::vector<StablePath>& paths) const;
-  const Cluster* NodeCluster(NodeId node) const;
+  // online finder. Writer-side.
+  Status FeedOnline(uint32_t interval);
+  // Replaces the warm online finder with a fresh (k, l) instance that
+  // will be fed from interval 0.
+  void ResetOnlineFinder(size_t k, uint32_t l);
+  // Creates/advances the warm online finder up to `interval` (consuming
+  // any reader hint), writer-side.
+  Status AdvanceWarmOnline(uint32_t interval);
+  // Builds and atomically publishes the snapshot for the current state.
+  void Publish();
 
   EngineOptions options_;
   KeywordDict dict_;
   IoStats io_;
-  std::vector<std::unique_ptr<IntervalSlot>> slots_;
+  std::vector<std::shared_ptr<const SnapshotInterval>> slots_;
   std::unique_ptr<ThreadPool> pool_;  // Null when threads <= 1.
   ClusterGraph graph_;
   // node_of_[i][j] = cluster graph node of cluster j in interval i.
+  // (The reverse mapping needs no table: an interval's node ids are
+  // dense and contiguous in cluster order — see
+  // GraphSnapshot::NodeCluster.)
   std::vector<std::vector<NodeId>> node_of_;
-  // Reverse map: node -> (interval, index).
-  std::vector<std::pair<uint32_t, uint32_t>> cluster_of_node_;
+  // Completed immutable chunks of the keyword table, shared by every
+  // snapshot that includes them (see SnapshotWords), plus the last
+  // published partial tail chunk (reused when the vocabulary did not
+  // change between publishes).
+  std::vector<std::shared_ptr<const std::vector<std::string>>>
+      word_chunks_;
+  std::shared_ptr<const std::vector<std::string>> word_tail_;
+  size_t word_tail_base_ = 0;  // First keyword id covered by the tail.
   // Running maximum raw affinity, for measures without a (0, 1] range
   // (kIntersection): edge weights are stored normalized by this value and
   // rescaled in place whenever it grows.
   double running_max_affinity_ = 0;
 
-  // Warm streaming-finder state (Section 4.6). Created by the first
-  // online query; subsequent ingests feed it incrementally, so online
-  // queries after a tick cost O(1). Invisible to callers: the cached
-  // answer is identical to a from-scratch replay. Guarded by
-  // online_mutex_ so concurrent (const) queries do not race on the lazy
-  // build/catch-up.
-  mutable std::mutex online_mutex_;
-  mutable std::unique_ptr<OnlineStableFinder> online_;
-  mutable size_t online_k_ = 0;
-  mutable uint32_t online_l_ = 0;
-  mutable uint32_t online_fed_ = 0;  // Intervals already fed.
+  // The published read view; swapped with std::atomic_store at every
+  // commit. Readers pin it with std::atomic_load (Engine::snapshot()).
+  std::shared_ptr<const GraphSnapshot> snapshot_;
+
+  // Repeated-query absorber; internally synchronized (sharded).
+  mutable std::unique_ptr<QueryCache> cache_;
+
+  // Warm streaming-finder state (Section 4.6), owned by the writer. A
+  // reader's online query that misses the published warm state stores its
+  // (k, l) here (lock-free hint); the next ingest adopts it, and from
+  // then on every tick pays only the marginal Section 4.6 work while the
+  // published snapshot carries the materialized top-k. 0 = no hint.
+  mutable std::atomic<uint64_t> online_hint_{0};
+  std::unique_ptr<OnlineStableFinder> online_;
+  size_t online_k_ = 0;
+  uint32_t online_l_ = 0;
+  uint32_t online_fed_ = 0;  // Intervals already fed.
+  // Set when a weight rescale invalidated the warm finder's paths; the
+  // next ingest rebuilds it from scratch at the new scale.
+  bool online_rescale_needed_ = false;
+  // Non-OK after an ingest failed mid-commit: the writer state holds a
+  // half-committed interval that must never be published, so further
+  // ingest is refused while queries keep serving the last epoch.
+  Status broken_;
 };
 
 }  // namespace stabletext

@@ -1,0 +1,108 @@
+#include "core/query_cache.h"
+
+#include <algorithm>
+
+namespace stabletext {
+
+namespace {
+
+size_t RoundUpPow2(size_t n) {
+  size_t p = 1;
+  while (p < n) p <<= 1;
+  return p;
+}
+
+uint64_t Mix(uint64_t h, uint64_t v) {
+  h ^= v + 0x9e3779b97f4a7c15ULL + (h << 6) + (h >> 2);
+  return h;
+}
+
+}  // namespace
+
+QueryCache::QueryCache(QueryCacheOptions options) : options_(options) {
+  const size_t shard_count =
+      RoundUpPow2(std::max<size_t>(1, options_.shards));
+  shards_.reserve(shard_count);
+  for (size_t i = 0; i < shard_count; ++i) {
+    shards_.push_back(std::make_unique<Shard>());
+  }
+}
+
+uint64_t QueryCache::HashKey(const QueryCacheKey& key) {
+  uint64_t h = key.epoch;
+  const FinderQuery& q = key.query;
+  h = Mix(h, static_cast<uint64_t>(q.algorithm));
+  h = Mix(h, static_cast<uint64_t>(q.mode));
+  h = Mix(h, q.k);
+  h = Mix(h, q.l);
+  h = Mix(h, (static_cast<uint64_t>(q.diversify_prefix) << 32) |
+                 q.diversify_suffix);
+  h = Mix(h, q.diversify_candidates);
+  h = Mix(h, q.memory_budget_bytes);
+  h = Mix(h, q.theorem1_pruning ? 1 : 0);
+  h = Mix(h, q.max_probes);
+  return h;
+}
+
+QueryCache::Shard& QueryCache::ShardFor(const QueryCacheKey& key) {
+  return *shards_[HashKey(key) & (shards_.size() - 1)];
+}
+
+std::shared_ptr<const QueryResult> QueryCache::Lookup(
+    const QueryCacheKey& key) {
+  if (!enabled()) return nullptr;
+  Shard& shard = ShardFor(key);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  for (Entry& e : shard.entries) {
+    if (e.key == key) {
+      e.last_used = ++shard.tick;
+      hits_.fetch_add(1, std::memory_order_relaxed);
+      return e.value;
+    }
+  }
+  misses_.fetch_add(1, std::memory_order_relaxed);
+  return nullptr;
+}
+
+void QueryCache::Insert(const QueryCacheKey& key,
+                        std::shared_ptr<const QueryResult> value) {
+  if (!enabled()) return;
+  Shard& shard = ShardFor(key);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  for (Entry& e : shard.entries) {
+    if (e.key == key) {
+      e.value = std::move(value);
+      e.last_used = ++shard.tick;
+      return;
+    }
+  }
+  if (shard.entries.size() < options_.entries_per_shard) {
+    shard.entries.push_back(Entry{key, std::move(value), ++shard.tick});
+    return;
+  }
+  Entry* victim = &shard.entries[0];
+  for (Entry& e : shard.entries) {
+    // Superseded epochs first, then plain LRU.
+    if (e.key.epoch < victim->key.epoch ||
+        (e.key.epoch == victim->key.epoch &&
+         e.last_used < victim->last_used)) {
+      victim = &e;
+    }
+  }
+  *victim = Entry{key, std::move(value), ++shard.tick};
+}
+
+void QueryCache::EvictBefore(uint64_t epoch) {
+  if (!enabled()) return;
+  for (auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    shard->entries.erase(
+        std::remove_if(shard->entries.begin(), shard->entries.end(),
+                       [epoch](const Entry& e) {
+                         return e.key.epoch < epoch;
+                       }),
+        shard->entries.end());
+  }
+}
+
+}  // namespace stabletext

@@ -1,0 +1,92 @@
+// QueryCache: a small sharded LRU over query answers, keyed by (epoch,
+// query). Repeated hot queries between two ingests are absorbed here
+// instead of re-running a finder; because the epoch is part of the key,
+// an answer computed at epoch e can never be served at epoch e+1 — the
+// writer also sweeps superseded epochs out at every publish, so the
+// cache never pins more than the live snapshot's results.
+//
+// Concurrency: Lookup/Insert are safe from any number of reader threads
+// (each shard has its own mutex, held only for a short scan of a small
+// entry array); EvictBefore is called by the writer at publish time.
+
+#ifndef STABLETEXT_CORE_QUERY_CACHE_H_
+#define STABLETEXT_CORE_QUERY_CACHE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "core/snapshot.h"
+#include "stable/finder.h"
+
+namespace stabletext {
+
+/// Cache identity of one query at one epoch.
+struct QueryCacheKey {
+  uint64_t epoch = 0;
+  FinderQuery query;
+
+  friend bool operator==(const QueryCacheKey& a, const QueryCacheKey& b) {
+    return a.epoch == b.epoch && a.query == b.query;
+  }
+};
+
+/// Knobs for the engine's query cache.
+struct QueryCacheOptions {
+  /// Lock shards; rounded up to a power of two. More shards = less
+  /// contention between reader threads.
+  size_t shards = 4;
+  /// LRU capacity per shard. 0 disables the cache entirely.
+  size_t entries_per_shard = 64;
+};
+
+/// \brief Sharded LRU of query answers.
+class QueryCache {
+ public:
+  explicit QueryCache(QueryCacheOptions options);
+
+  bool enabled() const { return options_.entries_per_shard > 0; }
+
+  /// Returns the cached answer for `key`, or null. Counts a hit/miss.
+  std::shared_ptr<const QueryResult> Lookup(const QueryCacheKey& key);
+
+  /// Inserts (or refreshes) `key` -> `value`, evicting the least
+  /// recently used entry of the shard when full.
+  void Insert(const QueryCacheKey& key,
+              std::shared_ptr<const QueryResult> value);
+
+  /// Drops every entry whose epoch is below `epoch` (writer-side, at
+  /// publish).
+  void EvictBefore(uint64_t epoch);
+
+  uint64_t hits() const { return hits_.load(std::memory_order_relaxed); }
+  uint64_t misses() const {
+    return misses_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  struct Entry {
+    QueryCacheKey key;
+    std::shared_ptr<const QueryResult> value;
+    uint64_t last_used = 0;
+  };
+  struct Shard {
+    std::mutex mu;
+    std::vector<Entry> entries;  // Small: linear scan beats pointer soup.
+    uint64_t tick = 0;
+  };
+
+  static uint64_t HashKey(const QueryCacheKey& key);
+  Shard& ShardFor(const QueryCacheKey& key);
+
+  QueryCacheOptions options_;
+  std::vector<std::unique_ptr<Shard>> shards_;
+  std::atomic<uint64_t> hits_{0};
+  std::atomic<uint64_t> misses_{0};
+};
+
+}  // namespace stabletext
+
+#endif  // STABLETEXT_CORE_QUERY_CACHE_H_

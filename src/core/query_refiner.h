@@ -28,7 +28,11 @@ class QueryRefiner {
  public:
   /// \param engine must outlive the refiner; borrowed. Suggestions track
   ///        the engine live: refinements for an interval are available as
-  ///        soon as its ingest committed.
+  ///        soon as its ingest committed. Reads writer-side state (the
+  ///        dictionary and interval clusters), so per the Engine thread
+  ///        contract it belongs on the ingest thread or a quiescent
+  ///        engine — unlike Engine::Query it is not safe concurrently
+  ///        with ingest.
   explicit QueryRefiner(const Engine* engine) : engine_(engine) {}
 
   /// Deprecated: refine against the legacy pipeline shim's engine.

@@ -1,0 +1,92 @@
+#include "core/snapshot.h"
+
+#include "util/strings.h"
+
+namespace stabletext {
+
+Result<std::vector<StableClusterChain>> GraphSnapshot::ToChains(
+    const std::vector<StablePath>& paths) const {
+  std::vector<StableClusterChain> chains;
+  chains.reserve(paths.size());
+  for (const StablePath& path : paths) {
+    StableClusterChain chain;
+    chain.path = path;
+    for (NodeId node : path.nodes) {
+      if (node >= graph->node_count()) {
+        return Status::Internal("path node outside the snapshot epoch");
+      }
+      chain.clusters.push_back(NodeCluster(node));
+    }
+    chains.push_back(std::move(chain));
+  }
+  return chains;
+}
+
+std::string GraphSnapshot::RenderChain(const StableClusterChain& chain,
+                                       size_t max_keywords) const {
+  std::string out = StringPrintf(
+      "stable cluster: length=%u weight=%.3f stability=%.3f\n",
+      chain.path.length, chain.path.weight, chain.path.stability());
+  for (const Cluster* cluster : chain.clusters) {
+    // Same rendering as Cluster::ToString, off the snapshot word table
+    // (every keyword id of a committed cluster is below this epoch's
+    // vocabulary size).
+    std::string keywords = "{";
+    for (size_t i = 0;
+         i < cluster->keywords.size() && i < max_keywords; ++i) {
+      if (i) keywords += ", ";
+      keywords += words.Word(cluster->keywords[i]);
+    }
+    if (cluster->keywords.size() > max_keywords) keywords += ", ...";
+    keywords += "}";
+    out += StringPrintf("  interval %u: %s\n", cluster->interval,
+                        keywords.c_str());
+  }
+  return out;
+}
+
+Result<QueryResult> QuerySnapshot(const GraphSnapshot& snapshot,
+                                  const FinderQuery& query) {
+  if (query.k == 0) {
+    return Status::InvalidArgument("k must be positive");
+  }
+  QueryResult out;
+  out.epoch = snapshot.epoch;
+  // Serving semantics: asking for chains of (minimum) length l before
+  // l+1 intervals exist is not an error, the stream just has no such
+  // chains yet — in either mode. (The graph-level RunFinder keeps strict
+  // validation.)
+  if (query.l != 0 && snapshot.epoch > 0 && query.l > snapshot.epoch - 1) {
+    return out;
+  }
+  const bool diversify =
+      query.diversify_prefix > 0 || query.diversify_suffix > 0;
+  if (query.algorithm == FinderAlgorithm::kOnline &&
+      query.mode == FinderMode::kKlStable && !diversify) {
+    // The stream simply has no length-l paths yet: an empty answer, not
+    // an error — the monitor keeps polling as intervals arrive.
+    if (snapshot.epoch < 2) return out;
+    const uint32_t l = query.l == 0
+                           ? static_cast<uint32_t>(snapshot.epoch - 1)
+                           : query.l;
+    if (snapshot.has_online && snapshot.online_k == query.k &&
+        snapshot.online_l == l) {
+      // Warm hit: the writer already paid the marginal Section 4.6 work
+      // at ingest; the answer is a copy of the published top-k.
+      out.warm_online = true;
+      out.finder.paths = snapshot.online_topk;
+      ST_ASSIGN_OR_RETURN(out.chains, snapshot.ToChains(out.finder.paths));
+      return out;
+    }
+    // Cold: fall through to the registry replay below (identical paths,
+    // full replay cost). Engine records a warm-up hint so the writer can
+    // serve this configuration from its warm state after the next tick.
+  }
+  auto r = RunFinder(*snapshot.graph, query);
+  if (!r.ok()) return r.status();
+  out.finder = std::move(r).value();
+  ST_ASSIGN_OR_RETURN(out.chains, snapshot.ToChains(out.finder.paths));
+  return out;
+}
+
+}  // namespace stabletext

@@ -1,0 +1,160 @@
+// GraphSnapshot: the immutable per-epoch read view that makes concurrent
+// serving possible. After every committed interval the Engine freezes its
+// private mutable ClusterGraph into CSR adjacency (a copy — the writer's
+// graph stays extendable), bundles it with the interval metadata a query
+// answer needs (clusters, keyword table) and the warm
+// streaming-finder state, and publishes the bundle with an atomic
+// shared_ptr swap. Readers pin an epoch by grabbing the pointer (the
+// only query-path synchronization; C++17 shared_ptr atomics use a
+// briefly held pooled lock, never the writer's tick), and nothing the
+// snapshot references is ever mutated afterwards, so any number of
+// queries can run while the next interval commits.
+//
+// The shared result types of the serving API (StableClusterChain,
+// QueryResult, EngineStats) live here so both the Engine facade and the
+// query cache can name them without a dependency cycle.
+
+#ifndef STABLETEXT_CORE_SNAPSHOT_H_
+#define STABLETEXT_CORE_SNAPSHOT_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "core/interval_clusterer.h"
+#include "stable/cluster_graph.h"
+#include "stable/finder.h"
+#include "storage/io_stats.h"
+
+namespace stabletext {
+
+/// A stable cluster rendered for consumption: the chain of clusters plus
+/// the path's weight/length/stability.
+struct StableClusterChain {
+  StablePath path;
+  /// Borrowed from the engine; valid for the engine's lifetime (committed
+  /// intervals are immutable and never dropped).
+  std::vector<const Cluster*> clusters;
+};
+
+/// \brief Answer to one Query: resolved chains plus the finder's raw
+/// paths and cost counters.
+struct QueryResult {
+  std::vector<StableClusterChain> chains;
+  StableFinderResult finder;  ///< paths mirror chains; io/memory/work.
+  /// The epoch (committed-interval count) this answer was computed at.
+  /// Monotone across queries on one Engine; constant for a pinned
+  /// snapshot.
+  uint64_t epoch = 0;
+  /// True when the answer came from the snapshot's warm streaming-finder
+  /// state (Section 4.6) instead of a finder run.
+  bool warm_online = false;
+};
+
+/// Aggregate engine state for monitoring endpoints. Captured at publish
+/// time, so concurrent readers see a consistent point-in-time view.
+struct EngineStats {
+  uint32_t intervals = 0;
+  size_t clusters = 0;       ///< Graph nodes.
+  size_t edges = 0;
+  size_t keywords = 0;       ///< Dictionary size.
+  size_t graph_bytes = 0;    ///< Resident adjacency bytes (writer graph).
+  IoStats io;                ///< Ingest-side traffic, all ticks summed.
+  uint64_t query_cache_hits = 0;    ///< Live counter, not point-in-time.
+  uint64_t query_cache_misses = 0;  ///< Live counter, not point-in-time.
+};
+
+/// One committed interval's immutable outputs, shared between the writer
+/// and every snapshot that includes it.
+struct SnapshotInterval {
+  IntervalResult result;
+  IoStats io;
+};
+
+/// \brief Immutable keyword table (id -> string) shared across epochs.
+///
+/// The dictionary is append-only, so completed fixed-size chunks are
+/// shared by every later snapshot; only the growing tail chunk is copied
+/// at publish time. Keeps the per-tick publish cost marginal (new words
+/// only) instead of O(vocabulary).
+class SnapshotWords {
+ public:
+  static constexpr size_t kChunkWords = 4096;
+
+  /// Precondition: id < size().
+  const std::string& Word(KeywordId id) const {
+    return (*chunks[id / kChunkWords])[id % kChunkWords];
+  }
+  size_t size() const { return total; }
+
+  // Built by the engine at publish; immutable afterwards.
+  std::vector<std::shared_ptr<const std::vector<std::string>>> chunks;
+  size_t total = 0;
+};
+
+/// \brief Immutable read view of the engine at one epoch.
+///
+/// Published by the writer after every commit; all fields are frozen at
+/// publish time. Hold it by shared_ptr<const GraphSnapshot> to pin the
+/// epoch across several queries.
+struct GraphSnapshot {
+  /// Number of committed intervals (== graph->interval_count()).
+  uint64_t epoch = 0;
+  /// Frozen CSR adjacency; every finder traverses this via EdgeSpan.
+  std::shared_ptr<const ClusterGraph> graph;
+  /// Per-interval cluster outputs, in interval order.
+  std::vector<std::shared_ptr<const SnapshotInterval>> intervals;
+  /// Keyword id -> string, for rendering without touching the (growing)
+  /// writer-side dictionary.
+  SnapshotWords words;
+  /// Warm streaming-finder state (Section 4.6) at this epoch: the top-k
+  /// for one (k, l) configuration, maintained incrementally by the
+  /// writer. Queries matching the configuration are answered from here
+  /// without running a finder.
+  bool has_online = false;
+  size_t online_k = 0;
+  uint32_t online_l = 0;
+  std::vector<StablePath> online_topk;
+  /// True when this snapshot was published by (or after) Compact() —
+  /// i.e. the writer graph itself is frozen, not just this copy.
+  bool compacted = false;
+  /// Point-in-time stats (cache counters filled in by Engine::stats()).
+  EngineStats stats;
+
+  /// Node ids are dense and contiguous per interval (the writer adds an
+  /// interval's nodes in cluster order), so the cluster is recovered
+  /// from the graph itself — no per-tick map copy.
+  const Cluster* NodeCluster(NodeId node) const {
+    const uint32_t interval = graph->Interval(node);
+    const uint32_t j = node - graph->IntervalNodes(interval).front();
+    return &intervals[interval]->result.clusters[j];
+  }
+
+  /// Resolves finder paths to cluster chains against this snapshot.
+  Result<std::vector<StableClusterChain>> ToChains(
+      const std::vector<StablePath>& paths) const;
+
+  /// Renders a chain like the paper's stable-cluster figures, resolving
+  /// keywords through this snapshot's word table — safe from any reader
+  /// thread while ingest runs (Engine::RenderChain delegates here).
+  std::string RenderChain(const StableClusterChain& chain,
+                          size_t max_keywords = 8) const;
+};
+
+/// \brief Answers `query` on the snapshot view — the lock-free read path
+/// shared by Engine::Query and any caller that pinned an epoch.
+///
+/// Semantics match Engine::Query: asking for chains longer than the
+/// stream is an empty answer (serving grace), warm online state answers
+/// matching streaming queries directly, and everything else dispatches
+/// through the finder registry over the frozen CSR graph. Does not
+/// consult the query cache or record warm-up hints — Engine layers those
+/// on top.
+Result<QueryResult> QuerySnapshot(const GraphSnapshot& snapshot,
+                                  const FinderQuery& query);
+
+}  // namespace stabletext
+
+#endif  // STABLETEXT_CORE_SNAPSHOT_H_

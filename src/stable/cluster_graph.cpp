@@ -59,21 +59,19 @@ Status ClusterGraph::AddEdge(NodeId from, NodeId to, double weight) {
 }
 
 void ClusterGraph::Compact(
-    std::vector<std::vector<ClusterGraphEdge>>* lists,
+    const std::vector<std::vector<ClusterGraphEdge>>& lists,
     std::vector<size_t>* offsets, std::vector<ClusterGraphEdge>* edges) {
-  offsets->assign(lists->size() + 1, 0);
+  offsets->assign(lists.size() + 1, 0);
   size_t total = 0;
-  for (size_t v = 0; v < lists->size(); ++v) {
-    total += (*lists)[v].size();
+  for (size_t v = 0; v < lists.size(); ++v) {
+    total += lists[v].size();
     (*offsets)[v + 1] = total;
   }
   edges->clear();
   edges->reserve(total);
-  for (auto& list : *lists) {
+  for (const auto& list : lists) {
     edges->insert(edges->end(), list.begin(), list.end());
   }
-  lists->clear();
-  lists->shrink_to_fit();
 }
 
 namespace {
@@ -138,11 +136,33 @@ void ClusterGraph::SortChildren() {
   for (auto& list : build_parents_) {
     std::sort(list.begin(), list.end(), BySourceAsc);
   }
-  Compact(&build_children_, &child_offsets_, &child_edges_);
-  Compact(&build_parents_, &parent_offsets_, &parent_edges_);
+  Compact(build_children_, &child_offsets_, &child_edges_);
+  Compact(build_parents_, &parent_offsets_, &parent_edges_);
+  build_children_.clear();
+  build_children_.shrink_to_fit();
+  build_parents_.clear();
+  build_parents_.shrink_to_fit();
   touched_children_.clear();
   touched_parents_.clear();
   frozen_ = true;
+}
+
+ClusterGraph ClusterGraph::FrozenCopy() const {
+  ClusterGraph out(interval_count_, gap_);
+  out.edge_count_ = edge_count_;
+  out.intervals_ = intervals_;
+  out.node_interval_ = node_interval_;
+  out.frozen_ = true;
+  if (frozen_) {
+    out.child_offsets_ = child_offsets_;
+    out.child_edges_ = child_edges_;
+    out.parent_offsets_ = parent_offsets_;
+    out.parent_edges_ = parent_edges_;
+    return out;
+  }
+  Compact(build_children_, &out.child_offsets_, &out.child_edges_);
+  Compact(build_parents_, &out.parent_offsets_, &out.parent_edges_);
+  return out;
 }
 
 size_t ClusterGraph::MaxOutDegree() const {

@@ -89,6 +89,14 @@ class ClusterGraph {
   /// running maximum grows.
   Status ScaleEdgeWeights(double factor);
 
+  /// Returns a frozen (CSR) copy of the current graph without mutating
+  /// *this — the streaming freeze-to-snapshot path: the writer keeps
+  /// extending its build-phase adjacency while every published epoch
+  /// traverses its own immutable CSR arrays. Requires the adjacency lists
+  /// to be in sorted order (SortTouched after the last AddEdge batch);
+  /// the copy is then byte-identical to what SortChildren() would freeze.
+  ClusterGraph FrozenCopy() const;
+
   /// True once SortChildren() has compacted the adjacency.
   bool frozen() const { return frozen_; }
 
@@ -129,10 +137,12 @@ class ClusterGraph {
   size_t MemoryBytes() const;
 
  private:
-  // Flattens sorted per-node lists into offsets + one contiguous array.
-  static void Compact(std::vector<std::vector<ClusterGraphEdge>>* lists,
-                      std::vector<size_t>* offsets,
-                      std::vector<ClusterGraphEdge>* edges);
+  // Flattens sorted per-node lists into offsets + one contiguous array,
+  // leaving `lists` untouched (shared by the destructive freeze and the
+  // copying FrozenCopy so the CSR layout cannot diverge).
+  static void Compact(
+      const std::vector<std::vector<ClusterGraphEdge>>& lists,
+      std::vector<size_t>* offsets, std::vector<ClusterGraphEdge>* edges);
 
   uint32_t interval_count_;
   uint32_t gap_;

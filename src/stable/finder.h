@@ -84,6 +84,21 @@ struct FinderQuery {
   bool theorem1_pruning = false;
   /// TA: probe budget safety valve (0 = unlimited).
   uint64_t max_probes = 0;
+
+  /// Field-wise identity — two equal queries at the same epoch have the
+  /// same answer, which is what the engine's query cache keys on.
+  friend bool operator==(const FinderQuery& a, const FinderQuery& b) {
+    return a.algorithm == b.algorithm && a.mode == b.mode && a.k == b.k &&
+           a.l == b.l && a.diversify_prefix == b.diversify_prefix &&
+           a.diversify_suffix == b.diversify_suffix &&
+           a.diversify_candidates == b.diversify_candidates &&
+           a.memory_budget_bytes == b.memory_budget_bytes &&
+           a.theorem1_pruning == b.theorem1_pruning &&
+           a.max_probes == b.max_probes;
+  }
+  friend bool operator!=(const FinderQuery& a, const FinderQuery& b) {
+    return !(a == b);
+  }
 };
 
 /// Registry entry: one finder algorithm with its capabilities.

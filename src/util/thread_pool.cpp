@@ -63,6 +63,19 @@ void ThreadPool::WaitAll(std::vector<std::future<void>>& futures) {
   for (std::future<void>& f : futures) Wait(f);
 }
 
+ReaderFleet::ReaderFleet(size_t n, std::function<void(size_t)> fn) {
+  threads_.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    threads_.emplace_back([fn, i] { fn(i); });
+  }
+}
+
+void ReaderFleet::Join() {
+  for (std::thread& t : threads_) {
+    if (t.joinable()) t.join();
+  }
+}
+
 void ThreadPool::WorkerLoop() {
   for (;;) {
     std::packaged_task<void()> task;

@@ -53,6 +53,31 @@ class ThreadPool {
   bool stop_ = false;
 };
 
+/// \brief A fleet of dedicated reader threads for concurrent serving.
+///
+/// Runs `fn(0) .. fn(n-1)` on n dedicated threads, started immediately.
+/// Unlike ThreadPool (the writer's worker set, whose queue an ingest may
+/// be draining), fleet threads are not shared with ingest work, so a
+/// reader blocked on a long query can never starve the commit path. The
+/// concurrency tests, bench_concurrent and the CLI serve mode all drive
+/// their readers through this instead of hand-rolled thread vectors.
+class ReaderFleet {
+ public:
+  ReaderFleet(size_t n, std::function<void(size_t)> fn);
+  ~ReaderFleet() { Join(); }
+
+  ReaderFleet(const ReaderFleet&) = delete;
+  ReaderFleet& operator=(const ReaderFleet&) = delete;
+
+  size_t size() const { return threads_.size(); }
+
+  /// Blocks until every reader returns. Idempotent.
+  void Join();
+
+ private:
+  std::vector<std::thread> threads_;
+};
+
 }  // namespace stabletext
 
 #endif  // STABLETEXT_UTIL_THREAD_POOL_H_

@@ -1,0 +1,318 @@
+// Concurrent serving: snapshot isolation under real reader/writer
+// overlap. A fleet of reader threads issues bfs/ta/online/normalized
+// queries nonstop while the writer ingests a 7-day generated corpus; the
+// test then replays the same week serially and asserts that every
+// concurrently observed answer is byte-identical to the serial answer at
+// that reader's observed epoch — i.e. no query ever saw a half-committed
+// interval, a torn graph, or a stale-but-mislabeled epoch. Also covers
+// epoch pinning via Engine::snapshot()/QueryAt and the per-epoch query
+// cache. Built to run under ThreadSanitizer (the CI tsan job).
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <map>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/engine.h"
+#include "gen/corpus_generator.h"
+#include "util/strings.h"
+#include "util/thread_pool.h"
+
+namespace stabletext {
+namespace {
+
+constexpr uint32_t kDays = 7;
+constexpr size_t kReaders = 4;
+
+CorpusGenOptions TestCorpus() {
+  CorpusGenOptions opt;
+  opt.days = kDays;
+  opt.posts_per_day = 120;
+  opt.vocabulary = 800;
+  opt.min_words_per_post = 12;
+  opt.max_words_per_post = 24;
+  opt.micro_events = 15;
+  opt.seed = 13;
+  opt.script = EventScript::PaperWeek();
+  return opt;
+}
+
+EngineOptions TestOptions(size_t threads) {
+  EngineOptions opt;
+  opt.gap = 0;  // TA answers full-path queries only on gap-0 graphs.
+  opt.threads = threads;
+  opt.clustering.pruning.rho_threshold = 0.2;
+  opt.clustering.pruning.min_pair_support = 5;
+  opt.affinity.theta = 0.1;
+  return opt;
+}
+
+std::vector<std::vector<std::string>> GenerateWeek() {
+  CorpusGenerator gen(TestCorpus());
+  std::vector<std::vector<std::string>> days;
+  for (uint32_t day = 0; day < kDays; ++day) {
+    days.push_back(gen.GenerateDay(day));
+  }
+  return days;
+}
+
+// The query mix the readers rotate through: every concurrently reachable
+// algorithm family (ta is gap-0/full-path, hence l = 0).
+std::vector<Query> QueryMix() {
+  std::vector<Query> mix;
+  Query q;
+  q.k = 3;
+  q.algorithm = FinderAlgorithm::kBfs;
+  q.l = 2;
+  mix.push_back(q);
+  q.algorithm = FinderAlgorithm::kTa;
+  q.l = 0;
+  mix.push_back(q);
+  q.algorithm = FinderAlgorithm::kOnline;
+  q.l = 2;
+  mix.push_back(q);
+  q.algorithm = FinderAlgorithm::kBfs;
+  q.mode = FinderMode::kNormalized;
+  q.l = 2;
+  mix.push_back(q);
+  return mix;
+}
+
+// Byte-exact rendering of an answer-or-error; two results compare equal
+// iff node sequences, full-precision weights and status agree.
+std::string Fingerprint(const Result<QueryResult>& result) {
+  if (!result.ok()) {
+    return "ERROR: " + result.status().ToString();
+  }
+  std::string out;
+  for (const StableClusterChain& chain : result.value().chains) {
+    for (NodeId n : chain.path.nodes) {
+      out += StringPrintf("%u-", n);
+    }
+    out += StringPrintf(" w=%.17g len=%u\n", chain.path.weight,
+                        chain.path.length);
+  }
+  return out;
+}
+
+// One concurrently observed answer: which query, at which epoch, with
+// which rendering.
+struct Observation {
+  uint64_t epoch;
+  size_t config;
+  std::string fingerprint;
+};
+
+// Structural snapshot-consistency checks a reader can apply without the
+// serial reference: the answer must be entirely explained by `epoch`
+// committed intervals.
+bool ObservationIsSelfConsistent(const QueryResult& result,
+                                 std::string* why) {
+  for (const StableClusterChain& chain : result.chains) {
+    if (chain.clusters.size() != chain.path.nodes.size()) {
+      *why = "chain clusters do not mirror path nodes";
+      return false;
+    }
+    for (const Cluster* cluster : chain.clusters) {
+      if (cluster == nullptr) {
+        *why = "null cluster in chain";
+        return false;
+      }
+      if (cluster->interval >= result.epoch) {
+        *why = StringPrintf("cluster of interval %u visible at epoch %llu",
+                            cluster->interval,
+                            static_cast<unsigned long long>(result.epoch));
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
+TEST(ConcurrentEngineTest, ReadersMatchSerialReplayAtObservedEpoch) {
+  const auto days = GenerateWeek();
+  const auto mix = QueryMix();
+
+  Engine engine(TestOptions(/*threads=*/2));
+  std::atomic<bool> done{false};
+  std::vector<std::vector<Observation>> observed(kReaders);
+  std::vector<std::string> reader_errors(kReaders);
+
+  {
+    ReaderFleet fleet(kReaders, [&](size_t reader) {
+      auto& obs = observed[reader];
+      std::string& error = reader_errors[reader];
+      uint64_t last_epoch = 0;
+      size_t n = reader;  // Stagger the mix across readers.
+      auto issue = [&](const Query& q, size_t config) {
+        auto r = engine.Query(q);
+        if (r.ok()) {
+          if (r.value().epoch < last_epoch) {
+            error = "epoch went backwards for one reader";
+            return false;
+          }
+          last_epoch = r.value().epoch;
+          std::string why;
+          if (!ObservationIsSelfConsistent(r.value(), &why)) {
+            error = why;
+            return false;
+          }
+        }
+        obs.push_back(Observation{r.ok() ? r.value().epoch : last_epoch,
+                                  config, Fingerprint(r)});
+        return true;
+      };
+      while (!done.load(std::memory_order_acquire)) {
+        const size_t config = n++ % mix.size();
+        if (!issue(mix[config], config)) return;
+        std::this_thread::yield();
+      }
+      // One final sweep so every reader provably observes the final
+      // epoch for every query in the mix.
+      for (size_t config = 0; config < mix.size(); ++config) {
+        if (!issue(mix[config], config)) return;
+      }
+    });
+
+    // Release the fleet before any assertion: an early return while
+    // readers still spin on !done would hang the join in ~ReaderFleet.
+    Status ingest_status;
+    for (uint32_t day = 0; day < kDays; ++day) {
+      auto tick = engine.IngestText(days[day]);
+      if (!tick.ok()) {
+        ingest_status = tick.status();
+        break;
+      }
+    }
+    done.store(true, std::memory_order_release);
+    fleet.Join();
+    ASSERT_TRUE(ingest_status.ok()) << ingest_status.ToString();
+  }
+
+  for (size_t reader = 0; reader < kReaders; ++reader) {
+    EXPECT_EQ(reader_errors[reader], "") << "reader " << reader;
+  }
+
+  // Serial replay: the same week, one tick at a time, recording the
+  // expected answer for every (epoch, query) pair a reader could have
+  // observed. Determinism across thread counts is already covered by
+  // engine_test, so the reference runs single-threaded.
+  Engine reference(TestOptions(/*threads=*/1));
+  std::map<std::pair<uint64_t, size_t>, std::string> expected;
+  for (size_t config = 0; config < mix.size(); ++config) {
+    expected[{0, config}] = Fingerprint(reference.Query(mix[config]));
+  }
+  for (uint32_t day = 0; day < kDays; ++day) {
+    ASSERT_TRUE(reference.IngestText(days[day]).ok());
+    for (size_t config = 0; config < mix.size(); ++config) {
+      expected[{day + 1, config}] =
+          Fingerprint(reference.Query(mix[config]));
+    }
+  }
+
+  // Every concurrent observation equals the serial answer at its epoch.
+  size_t total = 0;
+  uint64_t final_epoch_hits = 0;
+  for (size_t reader = 0; reader < kReaders; ++reader) {
+    for (const Observation& o : observed[reader]) {
+      ASSERT_LE(o.epoch, kDays);
+      const auto it = expected.find({o.epoch, o.config});
+      ASSERT_NE(it, expected.end());
+      EXPECT_EQ(o.fingerprint, it->second)
+          << "reader " << reader << " config " << o.config << " epoch "
+          << o.epoch;
+      if (o.epoch == kDays) ++final_epoch_hits;
+      ++total;
+    }
+    EXPECT_FALSE(observed[reader].empty()) << "reader " << reader;
+    ASSERT_GE(observed[reader].size(), mix.size());
+    EXPECT_EQ(observed[reader].back().epoch, kDays)
+        << "reader " << reader << " never saw the final epoch";
+  }
+  // All four readers ran their final sweep at the final epoch.
+  EXPECT_GE(final_epoch_hits, kReaders * mix.size());
+  EXPECT_GE(total, kReaders * mix.size());
+}
+
+TEST(ConcurrentEngineTest, PinnedSnapshotIsImmuneToLaterIngest) {
+  const auto days = GenerateWeek();
+  Engine engine(TestOptions(/*threads=*/1));
+  for (uint32_t day = 0; day < 3; ++day) {
+    ASSERT_TRUE(engine.IngestText(days[day]).ok());
+  }
+  Query q;
+  q.algorithm = FinderAlgorithm::kBfs;
+  q.k = 3;
+  q.l = 2;
+
+  const auto pinned = engine.snapshot();
+  ASSERT_NE(pinned, nullptr);
+  EXPECT_EQ(pinned->epoch, 3u);
+  EXPECT_TRUE(pinned->graph->frozen());
+  EXPECT_EQ(pinned->graph->interval_count(), 3u);
+  const std::string before = Fingerprint(engine.QueryAt(pinned, q));
+
+  for (uint32_t day = 3; day < kDays; ++day) {
+    ASSERT_TRUE(engine.IngestText(days[day]).ok());
+  }
+
+  // The pinned epoch still answers exactly as it did, while the live
+  // engine has moved on.
+  const auto at_pin = engine.QueryAt(pinned, q);
+  ASSERT_TRUE(at_pin.ok());
+  EXPECT_EQ(at_pin.value().epoch, 3u);
+  EXPECT_EQ(Fingerprint(at_pin), before);
+
+  // Rendering off the pinned snapshot's word table agrees with the live
+  // engine's (keyword ids are append-only, so both tables resolve a
+  // committed chain identically).
+  ASSERT_FALSE(at_pin.value().chains.empty());
+  const StableClusterChain& chain = at_pin.value().chains[0];
+  const std::string rendered = pinned->RenderChain(chain);
+  EXPECT_NE(rendered.find("interval"), std::string::npos);
+  EXPECT_EQ(rendered, engine.RenderChain(chain));
+
+  const auto live = engine.Query(q);
+  ASSERT_TRUE(live.ok());
+  EXPECT_EQ(live.value().epoch, static_cast<uint64_t>(kDays));
+}
+
+TEST(ConcurrentEngineTest, QueryCacheHitsRepeatsAndRollsWithEpochs) {
+  const auto days = GenerateWeek();
+  Engine engine(TestOptions(/*threads=*/1));
+  ASSERT_TRUE(engine.IngestText(days[0]).ok());
+  ASSERT_TRUE(engine.IngestText(days[1]).ok());
+
+  Query q;
+  q.algorithm = FinderAlgorithm::kBfs;
+  q.k = 3;
+  q.l = 1;
+  const std::string first = Fingerprint(engine.Query(q));
+  const uint64_t hits_before = engine.stats().query_cache_hits;
+  EXPECT_EQ(Fingerprint(engine.Query(q)), first);
+  EXPECT_EQ(engine.stats().query_cache_hits, hits_before + 1);
+
+  // A new epoch is a new key: the next query recomputes (miss), and its
+  // answer reflects the new interval.
+  ASSERT_TRUE(engine.IngestText(days[2]).ok());
+  const uint64_t misses_before = engine.stats().query_cache_misses;
+  auto after = engine.Query(q);
+  ASSERT_TRUE(after.ok());
+  EXPECT_EQ(after.value().epoch, 3u);
+  EXPECT_EQ(engine.stats().query_cache_misses, misses_before + 1);
+
+  // A cache-disabled engine answers identically.
+  EngineOptions no_cache = TestOptions(1);
+  no_cache.query_cache.entries_per_shard = 0;
+  Engine uncached(no_cache);
+  ASSERT_TRUE(uncached.IngestText(days[0]).ok());
+  ASSERT_TRUE(uncached.IngestText(days[1]).ok());
+  EXPECT_EQ(Fingerprint(uncached.Query(q)), first);
+  EXPECT_EQ(uncached.stats().query_cache_hits, 0u);
+}
+
+}  // namespace
+}  // namespace stabletext

@@ -285,6 +285,52 @@ TEST(EngineTest, ValidationAndUnsupportedCombinations) {
   EXPECT_FALSE(engine.IngestText({"too late"}).ok());
 }
 
+// The post-compact online contract (previously undefined: a stale warm
+// OnlineStableFinder could outlive the freeze): warm state survives into
+// the final snapshot only when caught up with the final epoch, so a
+// post-compact online query — same configuration or any other — answers
+// exactly like a replay of the frozen graph, i.e. like BFS.
+TEST(EngineTest, CompactDefinesPostCompactOnlineBehavior) {
+  const auto days = GenerateWeek();
+  Engine engine(TestOptions(/*gap=*/1, /*threads=*/1));
+  ASSERT_TRUE(engine.IngestText(days[0]).ok());
+  ASSERT_TRUE(engine.IngestText(days[1]).ok());
+  // Warm the (3, 2) configuration: the cold query hints the writer, the
+  // next ingests keep it warm.
+  ASSERT_TRUE(engine.Query(MakeQuery(FinderAlgorithm::kOnline, 3, 2)).ok());
+  ASSERT_TRUE(engine.IngestText(days[2]).ok());
+  ASSERT_TRUE(engine.IngestText(days[3]).ok());
+
+  auto pre = engine.Query(MakeQuery(FinderAlgorithm::kOnline, 3, 2));
+  ASSERT_TRUE(pre.ok()) << pre.status().ToString();
+  ASSERT_FALSE(pre.value().chains.empty());
+
+  ASSERT_TRUE(engine.Compact().ok());
+  EXPECT_TRUE(engine.compacted());
+
+  // Same configuration: identical answer across the freeze.
+  auto post = engine.Query(MakeQuery(FinderAlgorithm::kOnline, 3, 2));
+  ASSERT_TRUE(post.ok()) << post.status().ToString();
+  EXPECT_EQ(PathsFingerprint(pre.value()), PathsFingerprint(post.value()));
+
+  // Any other configuration replays the frozen graph and agrees with
+  // BFS — no stale warm state can leak into it.
+  auto online_other =
+      engine.Query(MakeQuery(FinderAlgorithm::kOnline, 2, 3));
+  auto bfs_other = engine.Query(MakeQuery(FinderAlgorithm::kBfs, 2, 3));
+  ASSERT_TRUE(online_other.ok()) << online_other.status().ToString();
+  ASSERT_TRUE(bfs_other.ok());
+  EXPECT_FALSE(online_other.value().chains.empty());
+  EXPECT_EQ(PathsFingerprint(online_other.value()),
+            PathsFingerprint(bfs_other.value()));
+
+  // And the compacted epoch is what queries serve: ingest is rejected,
+  // the published snapshot is frozen CSR.
+  EXPECT_FALSE(engine.IngestText({"too late"}).ok());
+  EXPECT_TRUE(engine.snapshot()->graph->frozen());
+  EXPECT_EQ(engine.snapshot()->epoch, 4u);
+}
+
 TEST(EngineTest, DiversifiedQueryRespectsAffixConstraints) {
   const auto days = GenerateWeek();
   Engine engine(TestOptions(1, 1));
