@@ -2,14 +2,16 @@
 // generated week through Engine::IngestText while 1/2/4/8 reader threads
 // query nonstop (alternating a warm-online streaming query with a cold
 // bfs run, plus a repeated hot query that exercises the sharded LRU
-// cache). Reports reader queries/sec during ingest and the ingest
-// latency alongside a zero-reader baseline, so snapshot publishing and
-// reader pressure on the commit path are both visible.
+// cache). Reports reader queries/sec plus p50/p99 per-query latency
+// during ingest and the ingest latency alongside a zero-reader baseline,
+// so snapshot publishing, reader pressure on the commit path and tail
+// latency are all visible.
 //
 //   bench_concurrent [--threads N] [--repetitions N] [--json PATH]
 //
 // Emits BENCH_concurrent.json.
 
+#include <algorithm>
 #include <atomic>
 
 #include "bench_common.h"
@@ -39,7 +41,19 @@ struct RunResult {
   double qps = 0;
   uint64_t cache_hits = 0;
   uint64_t cache_misses = 0;
+  double p50_us = 0;
+  double p99_us = 0;
 };
+
+// Percentile over unsorted latency samples (nanoseconds), reported in
+// microseconds; sorts in place.
+double PercentileUs(std::vector<int64_t>* samples, double p) {
+  if (samples->empty()) return 0;
+  std::sort(samples->begin(), samples->end());
+  const size_t idx = static_cast<size_t>(
+      p * static_cast<double>(samples->size() - 1) + 0.5);
+  return static_cast<double>((*samples)[idx]) / 1e3;
+}
 
 // Streams `days` through a fresh engine with `readers` concurrent query
 // threads; returns timings and reader counters.
@@ -59,14 +73,21 @@ RunResult RunOnce(const std::vector<std::vector<std::string>>& days,
 
   RunResult out;
   out.readers = readers;
+  // Per-reader latency samples, merged after the fleet joins (no shared
+  // state on the query path).
+  std::vector<std::vector<int64_t>> latencies(readers);
   {
     ReaderFleet fleet(readers, [&](size_t reader) {
+      std::vector<int64_t>& lat = latencies[reader];
+      lat.reserve(1 << 16);
       uint64_t n = reader;
       while (!done.load(std::memory_order_acquire)) {
         // Two of three queries repeat verbatim (cache food); the third
         // alternates algorithms for cold finder runs.
         const Query& q = (n % 3 == 2) ? bfs : online;
+        WallTimer timer;
         auto r = engine.Query(q);
+        lat.push_back(timer.ElapsedNanos());
         ++n;
         if (!r.ok()) {
           ok.store(false, std::memory_order_relaxed);
@@ -94,6 +115,12 @@ RunResult RunOnce(const std::vector<std::vector<std::string>>& days,
   }
   out.queries = queries.load();
   out.qps = out.ingest_ms > 0 ? out.queries / (out.ingest_ms / 1e3) : 0;
+  std::vector<int64_t> merged;
+  for (const auto& lat : latencies) {
+    merged.insert(merged.end(), lat.begin(), lat.end());
+  }
+  out.p50_us = PercentileUs(&merged, 0.50);
+  out.p99_us = PercentileUs(&merged, 0.99);
   const EngineStats stats = engine.stats();
   out.cache_hits = stats.query_cache_hits;
   out.cache_misses = stats.query_cache_misses;
@@ -135,10 +162,11 @@ int main(int argc, char** argv) {
     baseline_ms = rep == 0 ? r.ingest_ms : std::min(baseline_ms,
                                                     r.ingest_ms);
   }
-  std::printf("%8s %12s %12s %10s %12s\n", "readers", "ingest_ms",
-              "queries", "q/s", "cache_hit%");
-  std::printf("%8d %12.1f %12s %10s %12s\n", 0, baseline_ms, "-", "-",
-              "-");
+  std::printf("%8s %12s %12s %10s %10s %10s %12s\n", "readers",
+              "ingest_ms", "queries", "q/s", "p50_us", "p99_us",
+              "cache_hit%");
+  std::printf("%8d %12.1f %12s %10s %10s %10s %12s\n", 0, baseline_ms,
+              "-", "-", "-", "-", "-");
 
   std::vector<std::string> rows;
   for (const size_t readers : {size_t{1}, size_t{2}, size_t{4},
@@ -149,15 +177,18 @@ int main(int argc, char** argv) {
       if (rep == 0 || r.qps > best.qps) best = r;
     }
     const uint64_t lookups = best.cache_hits + best.cache_misses;
-    std::printf("%8zu %12.1f %12llu %10.0f %12.1f\n", best.readers,
-                best.ingest_ms,
+    std::printf("%8zu %12.1f %12llu %10.0f %10.2f %10.2f %12.1f\n",
+                best.readers, best.ingest_ms,
                 static_cast<unsigned long long>(best.queries), best.qps,
+                best.p50_us, best.p99_us,
                 lookups > 0 ? 100.0 * best.cache_hits / lookups : 0.0);
     Json row;
     row.Put("readers", best.readers)
         .Put("ingest_ms", best.ingest_ms)
         .Put("queries", best.queries)
         .Put("qps", best.qps)
+        .Put("reader_p50_us", best.p50_us)
+        .Put("reader_p99_us", best.p99_us)
         .Put("cache_hits", best.cache_hits)
         .Put("cache_misses", best.cache_misses);
     rows.push_back(row.ToString());

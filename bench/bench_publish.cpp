@@ -1,0 +1,207 @@
+// bench_publish: epoch-publication cost vs stream length. Streams a long
+// synthetic feed tick by tick and records, per committed interval, the
+// snapshot-publish time (EngineStats::publish_ns) and the whole ingest
+// tick's latency, under two publish strategies:
+//
+//   chunked    — copy-on-write chunk sharing (the default): per-tick cost
+//                proportional to the tick's delta, flat in the epoch count.
+//   full-copy  — EngineOptions::cow_publish=false rebuilds every chunk per
+//                publish (the pre-chunking cost model): grows linearly
+//                with the graph.
+//
+// A third pass measures batch ingest latency with the two-stage pipeline
+// (clustering of tick t+1 overlapping the serial commit of tick t)
+// against the strictly serial loop.
+//
+//   bench_publish [--threads N] [--repetitions N] [--json PATH]
+//
+// Emits BENCH_publish.json.
+
+#include <cstdint>
+
+#include "bench_common.h"
+#include "core/engine.h"
+#include "gen/corpus_generator.h"
+
+namespace stabletext {
+namespace bench {
+namespace {
+
+EngineOptions StreamOptions(size_t threads, bool cow_publish) {
+  EngineOptions options;
+  options.gap = 1;
+  options.threads = threads;
+  options.cow_publish = cow_publish;
+  options.clustering.pruning.rho_threshold = 0.2;
+  options.clustering.pruning.min_pair_support = 5;
+  options.affinity.theta = 0.1;
+  return options;
+}
+
+struct TickSample {
+  uint64_t publish_ns = 0;
+  double tick_ms = 0;
+  size_t shared_chunks = 0;
+  size_t copied_chunks = 0;
+};
+
+// Streams `ticks` through a fresh engine, one IngestText per tick.
+std::vector<TickSample> RunStream(
+    const std::vector<std::vector<std::string>>& ticks, size_t threads,
+    bool cow_publish) {
+  Engine engine(StreamOptions(threads, cow_publish));
+  std::vector<TickSample> samples;
+  samples.reserve(ticks.size());
+  for (const auto& posts : ticks) {
+    WallTimer timer;
+    auto r = engine.IngestText(posts);
+    if (!r.ok()) {
+      std::fprintf(stderr, "ingest failed: %s\n",
+                   r.status().ToString().c_str());
+      std::exit(1);
+    }
+    TickSample s;
+    s.tick_ms = timer.ElapsedMillis();
+    const EngineStats stats = engine.stats();
+    s.publish_ns = stats.publish_ns;
+    s.shared_chunks = stats.shared_chunk_count;
+    s.copied_chunks = stats.copied_chunk_count;
+    samples.push_back(s);
+  }
+  return samples;
+}
+
+double MeanPublishUs(const std::vector<TickSample>& samples, size_t begin,
+                     size_t end) {
+  double sum = 0;
+  for (size_t i = begin; i < end; ++i) sum += samples[i].publish_ns / 1e3;
+  return end > begin ? sum / (end - begin) : 0;
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace stabletext
+
+int main(int argc, char** argv) {
+  using namespace stabletext;
+  using namespace stabletext::bench;
+
+  BenchArgs args = ParseArgs(argc, argv, "BENCH_publish.json");
+  Header("epoch publication: O(delta) chunk sharing vs full copy",
+         "streaming serving scenario (publish cost per committed tick)",
+         "long stream, chunked vs full-copy publish, pipelined ingest");
+
+  // Long enough that the graph spans many adjacency chunks: the chunked
+  // path's copied-chunk count stays flat at the gap window while the
+  // full-copy baseline rebuilds every chunk of a growing graph.
+  const uint32_t ticks_total = Pick<uint32_t>(256, 1024);
+  CorpusGenOptions corpus;
+  corpus.days = 7;
+  corpus.posts_per_day = Pick<uint32_t>(150, 600);
+  corpus.vocabulary = Pick<uint32_t>(1200, 8000);
+  corpus.min_words_per_post = 12;
+  corpus.max_words_per_post = 24;
+  corpus.micro_events = Pick<uint32_t>(20, 120);
+  corpus.script = EventScript::PaperWeek();
+  CorpusGenerator generator(corpus);
+  std::vector<std::vector<std::string>> ticks;
+  ticks.reserve(ticks_total);
+  for (uint32_t t = 0; t < ticks_total; ++t) {
+    // Cycle the generated week: the engine numbers intervals by arrival,
+    // so a long stream just keeps growing the graph.
+    ticks.push_back(generator.GenerateDay(t % corpus.days));
+  }
+
+  std::vector<TickSample> chunked;
+  std::vector<TickSample> full;
+  for (int rep = 0; rep < args.repetitions; ++rep) {
+    auto c = RunStream(ticks, args.threads, /*cow_publish=*/true);
+    auto f = RunStream(ticks, args.threads, /*cow_publish=*/false);
+    if (rep == 0 ||
+        MeanPublishUs(c, 0, c.size()) <
+            MeanPublishUs(chunked, 0, chunked.size())) {
+      chunked = std::move(c);
+    }
+    if (rep == 0 ||
+        MeanPublishUs(f, 0, f.size()) <
+            MeanPublishUs(full, 0, full.size())) {
+      full = std::move(f);
+    }
+  }
+
+  std::printf("%8s %16s %16s %14s %14s\n", "epoch", "publish_us(cow)",
+              "publish_us(full)", "shared", "copied");
+  for (size_t i = 0; i < chunked.size(); i += chunked.size() / 12 + 1) {
+    std::printf("%8zu %16.1f %16.1f %14zu %14zu\n", i + 1,
+                chunked[i].publish_ns / 1e3, full[i].publish_ns / 1e3,
+                chunked[i].shared_chunks, chunked[i].copied_chunks);
+  }
+  const size_t q = chunked.size() / 4;
+  const double cow_head = MeanPublishUs(chunked, 0, q);
+  const double cow_tail = MeanPublishUs(chunked, chunked.size() - q,
+                                        chunked.size());
+  const double full_head = MeanPublishUs(full, 0, q);
+  const double full_tail = MeanPublishUs(full, full.size() - q,
+                                         full.size());
+  std::printf(
+      "\npublish mean, first->last quartile: chunked %.1f -> %.1f us "
+      "(x%.2f), full copy %.1f -> %.1f us (x%.2f)\n",
+      cow_head, cow_tail, cow_head > 0 ? cow_tail / cow_head : 0,
+      full_head, full_tail, full_head > 0 ? full_tail / full_head : 0);
+
+  // Batch ingest latency: strictly serial vs the two-stage pipeline.
+  double serial_ms = 0;
+  double pipelined_ms = 0;
+  for (int rep = 0; rep < args.repetitions; ++rep) {
+    {
+      EngineOptions opt = StreamOptions(args.threads, true);
+      opt.pipeline_ingest = false;
+      Engine engine(opt);
+      WallTimer timer;
+      auto r = engine.IngestTicks(ticks);
+      if (!r.ok()) std::exit(1);
+      const double ms = timer.ElapsedMillis();
+      serial_ms = rep == 0 ? ms : std::min(serial_ms, ms);
+    }
+    {
+      Engine engine(StreamOptions(args.threads, true));
+      WallTimer timer;
+      auto r = engine.IngestTicks(ticks);
+      if (!r.ok()) std::exit(1);
+      const double ms = timer.ElapsedMillis();
+      pipelined_ms = rep == 0 ? ms : std::min(pipelined_ms, ms);
+    }
+  }
+  std::printf(
+      "batch ingest (%u ticks, %zu threads): serial %.0f ms, pipelined "
+      "%.0f ms%s\n",
+      ticks_total, args.threads, serial_ms, pipelined_ms,
+      args.threads > 1 ? "" : " (pipeline needs --threads > 1)");
+
+  std::vector<std::string> per_tick;
+  for (size_t i = 0; i < chunked.size(); ++i) {
+    Json row;
+    row.Put("epoch", i + 1)
+        .Put("publish_ns_cow", chunked[i].publish_ns)
+        .Put("publish_ns_full", full[i].publish_ns)
+        .Put("tick_ms_cow", chunked[i].tick_ms)
+        .Put("tick_ms_full", full[i].tick_ms)
+        .Put("shared_chunks", chunked[i].shared_chunks)
+        .Put("copied_chunks", chunked[i].copied_chunks);
+    per_tick.push_back(row.ToString());
+  }
+  Json json;
+  json.Put("bench", "publish")
+      .Put("ticks", ticks_total)
+      .Put("posts_per_tick", corpus.posts_per_day)
+      .Put("threads", args.threads)
+      .Put("publish_us_cow_first_quartile", cow_head)
+      .Put("publish_us_cow_last_quartile", cow_tail)
+      .Put("publish_us_full_first_quartile", full_head)
+      .Put("publish_us_full_last_quartile", full_tail)
+      .Put("serial_ingest_ms", serial_ms)
+      .Put("pipelined_ingest_ms", pipelined_ms)
+      .Raw("per_tick", Json::Array(per_tick));
+  WriteJsonFile(args.json_path, json.ToString());
+  return 0;
+}

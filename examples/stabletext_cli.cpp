@@ -335,12 +335,17 @@ int CmdStats(int argc, char** argv) {
   auto ingested = engine.IngestCorpusFile(args.positional[0]);
   if (!ingested.ok()) return Fail(ingested.status());
   const EngineStats stats = engine.stats();
-  std::printf("intervals:   %u\n", stats.intervals);
-  std::printf("clusters:    %zu\n", stats.clusters);
-  std::printf("edges:       %zu\n", stats.edges);
-  std::printf("keywords:    %zu\n", stats.keywords);
-  std::printf("graph bytes: %zu\n", stats.graph_bytes);
-  std::printf("ingest io:   %s\n", stats.io.ToString().c_str());
+  std::printf("intervals:      %u\n", stats.intervals);
+  std::printf("clusters:       %zu\n", stats.clusters);
+  std::printf("edges:          %zu\n", stats.edges);
+  std::printf("keywords:       %zu\n", stats.keywords);
+  std::printf("graph bytes:    %zu\n", stats.graph_bytes);
+  std::printf("resident bytes: %zu (epoch estimate)\n",
+              stats.resident_bytes);
+  std::printf("last publish:   %.1f us (%zu chunks shared, %zu copied)\n",
+              stats.publish_ns / 1e3, stats.shared_chunk_count,
+              stats.copied_chunk_count);
+  std::printf("ingest io:      %s\n", stats.io.ToString().c_str());
   return 0;
 }
 

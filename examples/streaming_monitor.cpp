@@ -135,5 +135,11 @@ int main() {
       "tick only\njoined against its g+1-interval frontier; no past work "
       "was redone (Section 4.6).\n",
       stats.intervals, stats.clusters, stats.edges, stats.keywords);
+  std::printf(
+      "last epoch published in %.1f us (%zu adjacency chunks shared with "
+      "the\nprevious epoch, %zu copied); ~%zu KB resident for the "
+      "published epoch.\n",
+      stats.publish_ns / 1e3, stats.shared_chunk_count,
+      stats.copied_chunk_count, stats.resident_bytes / 1024);
   return 0;
 }

@@ -49,6 +49,13 @@ KeywordId KeywordDict::Intern(std::string_view word) {
   return id;
 }
 
+void KeywordDict::TruncateTo(size_t size) {
+  if (size >= words_.size()) return;
+  words_.resize(size);
+  hashes_.resize(size);
+  Rehash(slots_.size());
+}
+
 KeywordId KeywordDict::Lookup(std::string_view word) const {
   const size_t slot = FindSlot(word, Hash(word));
   return slots_[slot] == kEmptySlot ? kInvalidKeyword : slots_[slot];

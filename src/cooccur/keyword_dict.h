@@ -47,6 +47,12 @@ class KeywordDict {
 
   size_t size() const { return words_.size(); }
 
+  /// Drops every keyword with id >= `size`, rolling interning back to a
+  /// previous watermark (ids below `size` are untouched). O(size) probe
+  /// table rebuild — meant for cold abort paths (an ingest that failed
+  /// after interning), never the ingest hot path.
+  void TruncateTo(size_t size);
+
   /// Serializes to a text file (one word per line, line number = id).
   Status Save(const std::string& path) const;
 

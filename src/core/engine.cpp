@@ -5,6 +5,7 @@
 #include <map>
 
 #include "text/corpus.h"
+#include "util/timer.h"
 
 namespace stabletext {
 
@@ -26,11 +27,16 @@ Engine::Engine(EngineOptions options)
   if (options_.threads > 1) {
     pool_ = std::make_unique<ThreadPool>(options_.threads);
   }
+  if (options_.affinity.measure == AffinityMeasure::kIntersection) {
+    // Raw intersection counts go into the graph unnormalized; reads
+    // apply the running-max scale (lazy renormalization).
+    graph_.EnableRawWeights();
+  }
   Publish();  // Epoch 0: queries are valid before the first ingest.
 }
 
-Result<uint32_t> Engine::IngestText(const std::vector<std::string>& posts) {
-  const uint32_t interval = static_cast<uint32_t>(slots_.size());
+std::vector<Document> Engine::TokenizePosts(
+    uint32_t interval, const std::vector<std::string>& posts) {
   std::vector<Document> documents(posts.size());
   if (pool_ != nullptr && posts.size() > 1) {
     // Tokenization is document-independent: fan chunks out, write by
@@ -56,16 +62,11 @@ Result<uint32_t> Engine::IngestText(const std::vector<std::string>& posts) {
       documents[i] = processor.Process(interval, posts[i]);
     }
   }
-  return IngestDocuments(documents);
+  return documents;
 }
 
-Result<uint32_t> Engine::IngestDocuments(
+std::vector<std::vector<KeywordId>> Engine::InternDocuments(
     const std::vector<Document>& documents) {
-  if (graph_.frozen()) {
-    return Status::InvalidArgument(
-        "engine is compacted; create a new engine to ingest");
-  }
-  if (!broken_.ok()) return broken_;
   // Intern on the calling thread, in document order: keyword ids are
   // assigned exactly as a sequential run would assign them, no matter how
   // many workers the heavy phase uses.
@@ -80,20 +81,73 @@ Result<uint32_t> Engine::IngestDocuments(
     std::sort(ids.begin(), ids.end());
     interned.push_back(std::move(ids));
   }
-  return IngestInterned(interned, dict_.size());
+  return interned;
 }
 
-Result<uint32_t> Engine::IngestInterned(
-    const std::vector<std::vector<KeywordId>>& interned,
-    size_t vocab_snapshot) {
+Result<uint32_t> Engine::IngestText(const std::vector<std::string>& posts) {
   const uint32_t interval = static_cast<uint32_t>(slots_.size());
+  return IngestDocuments(TokenizePosts(interval, posts));
+}
+
+Result<uint32_t> Engine::IngestDocuments(
+    const std::vector<Document>& documents) {
+  if (graph_.frozen()) {
+    return Status::InvalidArgument(
+        "engine is compacted; create a new engine to ingest");
+  }
+  if (!broken_.ok()) return broken_;
+  // Interning first, vocab snapshot second (argument evaluation order
+  // would otherwise be unspecified).
+  const size_t vocab_before = dict_.size();
+  const auto interned = InternDocuments(documents);
+  auto r = IngestInterned(interned, dict_.size());
+  if (!r.ok() && broken_.ok()) {
+    // Clustering failed before anything was adopted: roll the interning
+    // back so a failed tick leaves no trace in keyword-id assignment (a
+    // later successful ingest must be byte-identical to one on an engine
+    // that never saw the failed tick). Mid-commit failures keep the
+    // words — the adopted slot's watermark already covers them.
+    dict_.TruncateTo(vocab_before);
+  }
+  return r;
+}
+
+Result<std::shared_ptr<SnapshotInterval>> Engine::ClusterInterval(
+    uint32_t interval, const std::vector<std::vector<KeywordId>>& interned,
+    size_t vocab_snapshot) {
   auto slot = std::make_shared<SnapshotInterval>();
+  slot->vocab_size = vocab_snapshot;
+  // RunInterned never touches the dictionary (see IntervalClusterer):
+  // this stage is safe on a worker while the previous interval commits.
   IntervalClusterer clusterer(&dict_, options_.clustering, &slot->io);
   auto result =
       clusterer.RunInterned(interval, interned, vocab_snapshot, pool_.get());
   if (!result.ok()) return result.status();
   slot->result = std::move(result).value();
+  return slot;
+}
+
+Result<uint32_t> Engine::CommitInterval(
+    std::shared_ptr<SnapshotInterval> slot) {
+  if (graph_.frozen()) {
+    return Status::InvalidArgument(
+        "engine is compacted; create a new engine to ingest");
+  }
+  if (!broken_.ok()) return broken_;
+  const uint32_t interval = static_cast<uint32_t>(slots_.size());
+  if (slot->result.interval != interval) {
+    // The slot was tokenized and clustered as a different interval —
+    // another ingest ran between the pipeline stages (e.g. from an
+    // on_tick callback). Refuse rather than commit misaligned data.
+    return Status::InvalidArgument(
+        "interval committed out of order: the engine ingested out of "
+        "band while a pipelined batch was in flight");
+  }
   io_ += slot->io;
+  for (const Cluster& cluster : slot->result.clusters) {
+    clusters_bytes_ +=
+        sizeof(Cluster) + cluster.keywords.size() * sizeof(KeywordId);
+  }
   slots_.push_back(std::move(slot));  // Immutable from here on.
   Status commit = ExtendGraph(interval);
   if (commit.ok()) commit = AdvanceWarmOnline(interval);
@@ -113,6 +167,108 @@ Result<uint32_t> Engine::IngestInterned(
   return interval;
 }
 
+Result<uint32_t> Engine::IngestInterned(
+    const std::vector<std::vector<KeywordId>>& interned,
+    size_t vocab_snapshot) {
+  const uint32_t interval = static_cast<uint32_t>(slots_.size());
+  auto slot = ClusterInterval(interval, interned, vocab_snapshot);
+  if (!slot.ok()) return slot.status();
+  return CommitInterval(std::move(slot).value());
+}
+
+Result<uint32_t> Engine::IngestTicks(
+    const std::vector<std::vector<std::string>>& ticks,
+    const TickCallback& on_tick) {
+  if (graph_.frozen()) {
+    return Status::InvalidArgument(
+        "engine is compacted; create a new engine to ingest");
+  }
+  if (!broken_.ok()) return broken_;
+  const bool pipelined =
+      options_.pipeline_ingest && pool_ != nullptr && ticks.size() > 1;
+  if (!pipelined) {
+    uint32_t ingested = 0;
+    for (const auto& posts : ticks) {
+      auto r = IngestText(posts);
+      if (!r.ok()) return r.status();
+      ++ingested;
+      if (on_tick != nullptr) {
+        ST_RETURN_IF_ERROR(on_tick(r.value(), posts));
+      }
+    }
+    return ingested;
+  }
+
+  // Two-stage pipeline. The caller thread owns every dictionary access
+  // (tokenize+intern interval t+1, then commit interval t, in that
+  // order), so interning for t+1 finishes before commit t publishes —
+  // the snapshot's keyword table is capped at the committed interval's
+  // vocab watermark to stay byte-identical to serial ingest. Stage A
+  // (clustering) runs on the pool and never touches writer state.
+  struct StageA {
+    Result<std::shared_ptr<SnapshotInterval>> slot =
+        Status::Internal("clustering stage never ran");
+    std::future<void> done;
+  };
+  auto launch = [&](uint32_t interval, const std::vector<std::string>& posts)
+      -> std::unique_ptr<StageA> {
+    auto interned = std::make_shared<std::vector<std::vector<KeywordId>>>(
+        InternDocuments(TokenizePosts(interval, posts)));
+    const size_t vocab = dict_.size();
+    auto stage = std::make_unique<StageA>();
+    StageA* raw = stage.get();
+    raw->done = pool_->Submit([this, raw, interned, interval, vocab] {
+      raw->slot = ClusterInterval(interval, *interned, vocab);
+    });
+    return stage;
+  };
+
+  // Abort path: a tick ahead of the failure may already have interned
+  // its words. Roll the dictionary back to the last committed interval's
+  // watermark so an aborted batch leaves keyword-id assignment exactly
+  // where a serial run would — a later ingest then stays byte-identical
+  // to the unpipelined engine. (A mid-commit failure keeps the words:
+  // the adopted slot's watermark covers them, and the engine is broken
+  // anyway.)
+  auto rollback_interning = [&] {
+    if (broken_.ok()) {
+      dict_.TruncateTo(slots_.empty() ? 0 : slots_.back()->vocab_size);
+    }
+  };
+
+  const uint32_t base = static_cast<uint32_t>(slots_.size());
+  uint32_t ingested = 0;
+  std::unique_ptr<StageA> inflight = launch(base, ticks[0]);
+  for (size_t t = 0; t < ticks.size(); ++t) {
+    std::unique_ptr<StageA> stage = std::move(inflight);
+    pool_->Wait(stage->done);
+    if (!stage->slot.ok()) {
+      rollback_interning();
+      return stage->slot.status();
+    }
+    if (t + 1 < ticks.size()) {
+      inflight = launch(base + static_cast<uint32_t>(t) + 1, ticks[t + 1]);
+    }
+    // Serial commit of tick t overlaps tick t+1's clustering.
+    auto committed = CommitInterval(std::move(stage->slot).value());
+    if (!committed.ok()) {
+      if (inflight != nullptr) pool_->Wait(inflight->done);
+      rollback_interning();
+      return committed.status();
+    }
+    ++ingested;
+    if (on_tick != nullptr) {
+      Status s = on_tick(committed.value(), ticks[t]);
+      if (!s.ok()) {
+        if (inflight != nullptr) pool_->Wait(inflight->done);
+        rollback_interning();
+        return s;
+      }
+    }
+  }
+  return ingested;
+}
+
 Result<uint32_t> Engine::IngestCorpusFile(const std::filesystem::path& path,
                                           const TickCallback& on_tick) {
   CorpusReader reader;
@@ -127,22 +283,18 @@ Result<uint32_t> Engine::IngestCorpusFile(const std::filesystem::path& path,
   }
   ST_RETURN_IF_ERROR(reader.status());
   uint32_t expected = static_cast<uint32_t>(slots_.size());
-  uint32_t ingested = 0;
-  for (const auto& [iv, posts] : by_interval) {
+  std::vector<std::vector<std::string>> ticks;
+  ticks.reserve(by_interval.size());
+  for (auto& [iv, posts] : by_interval) {
     if (iv != expected) {
       return Status::InvalidArgument(
           "corpus intervals must be contiguous from the engine's next "
           "interval");
     }
-    auto r = IngestText(posts);
-    if (!r.ok()) return r.status();
     ++expected;
-    ++ingested;
-    if (on_tick != nullptr) {
-      ST_RETURN_IF_ERROR(on_tick(r.value(), posts));
-    }
+    ticks.push_back(std::move(posts));
   }
-  return ingested;
+  return IngestTicks(ticks, on_tick);
 }
 
 Status Engine::ExtendGraph(uint32_t interval) {
@@ -205,10 +357,10 @@ Status Engine::ExtendGraph(uint32_t interval) {
 
   // Measures without a (0, 1] range (raw intersection counts) are
   // normalized by the running maximum, per the paper's footnote on
-  // affinity functions. When a new tick raises the maximum, the weights
-  // already in the graph are rescaled in place, so at any point every
-  // edge is normalized by the same constant — path rankings are
-  // unaffected by the shared scale.
+  // affinity functions — lazily: edges keep their raw weight and every
+  // read applies the shared scale 1/max, so a growing maximum updates one
+  // double instead of rewriting O(E) edges. At any point every edge is
+  // normalized by the same constant, so path rankings are unaffected.
   const bool needs_normalization =
       options_.affinity.measure == AffinityMeasure::kIntersection;
   if (needs_normalization) {
@@ -218,22 +370,21 @@ Status Engine::ExtendGraph(uint32_t interval) {
     }
     if (tick_max > running_max_affinity_) {
       if (running_max_affinity_ > 0) {
-        ST_RETURN_IF_ERROR(
-            graph_.ScaleEdgeWeights(running_max_affinity_ / tick_max));
         // The warm online finder holds paths built from the old scale;
         // rebuild it at the new scale before the next publish.
         online_rescale_needed_ = true;
       }
       running_max_affinity_ = tick_max;
+      graph_.set_weight_scale(1.0 / running_max_affinity_);
     }
-  }
-  for (const RawEdge& e : raw) {
-    double w = e.affinity;
-    if (needs_normalization && running_max_affinity_ > 0) {
-      w /= running_max_affinity_;
+    for (const RawEdge& e : raw) {
+      ST_RETURN_IF_ERROR(graph_.AddEdge(e.from, e.to, e.affinity));
     }
-    w = std::min(w, 1.0);
-    ST_RETURN_IF_ERROR(graph_.AddEdge(e.from, e.to, w));
+  } else {
+    for (const RawEdge& e : raw) {
+      ST_RETURN_IF_ERROR(
+          graph_.AddEdge(e.from, e.to, std::min(e.affinity, 1.0)));
+    }
   }
   graph_.SortTouched();
   return Status::OK();
@@ -292,46 +443,63 @@ Status Engine::AdvanceWarmOnline(uint32_t interval) {
 }
 
 void Engine::Publish() {
+  WallTimer publish_timer;
   auto snap = std::make_shared<GraphSnapshot>();
   snap->epoch = slots_.size();
-  snap->graph = std::make_shared<const ClusterGraph>(graph_.FrozenCopy());
+  // Seal the adjacency delta: only chunks this tick touched are rebuilt;
+  // every other chunk pointer is shared with the previous epoch's graph.
+  // The full-rebuild baseline (cow_publish=false) dirties everything
+  // first, restoring the old O(graph) publish for comparison.
+  if (!options_.cow_publish) graph_.MarkAllSealDirty();
+  ClusterGraph::SealStats seal;
+  snap->graph = std::make_shared<const ClusterGraph>(
+      graph_.SealedCopy(!options_.lazy_renormalize, &seal));
   snap->intervals = slots_;
   // The keyword table is append-only: completed chunks are shared with
-  // every earlier snapshot; only the partial tail chunk is copied.
+  // every earlier snapshot; only the partial tail chunk is copied. The
+  // table is capped at the committed interval's vocab watermark — with
+  // pipelined ingest the dictionary may already hold the next interval's
+  // words.
+  const size_t vocab =
+      slots_.empty() ? dict_.size() : slots_.back()->vocab_size;
   constexpr size_t kChunk = SnapshotWords::kChunkWords;
-  while ((word_chunks_.size() + 1) * kChunk <= dict_.size()) {
+  while ((word_chunks_.size() + 1) * kChunk <= vocab) {
     auto chunk = std::make_shared<std::vector<std::string>>();
     chunk->reserve(kChunk);
     const KeywordId base =
         static_cast<KeywordId>(word_chunks_.size() * kChunk);
     for (KeywordId id = base; id < base + kChunk; ++id) {
       chunk->push_back(dict_.Word(id));
+      words_bytes_ += sizeof(std::string) + chunk->back().size();
     }
     word_chunks_.push_back(std::move(chunk));
   }
   snap->words.chunks = word_chunks_;
   const size_t full = word_chunks_.size() * kChunk;
-  if (dict_.size() > full) {
+  size_t tail_bytes = 0;
+  if (vocab > full) {
     // Rebuild the tail chunk only when the vocabulary actually changed
     // since the last publish (e.g. a Compact republish reuses it). The
     // base offset guards against a stale tail from before a chunk
     // boundary was crossed.
     if (word_tail_ == nullptr || word_tail_base_ != full ||
-        full + word_tail_->size() != dict_.size()) {
+        full + word_tail_->size() != vocab) {
       auto tail = std::make_shared<std::vector<std::string>>();
-      tail->reserve(dict_.size() - full);
-      for (KeywordId id = static_cast<KeywordId>(full);
-           id < dict_.size(); ++id) {
+      tail->reserve(vocab - full);
+      for (KeywordId id = static_cast<KeywordId>(full); id < vocab; ++id) {
         tail->push_back(dict_.Word(id));
       }
       word_tail_ = std::move(tail);
       word_tail_base_ = full;
     }
+    for (const std::string& w : *word_tail_) {
+      tail_bytes += sizeof(std::string) + w.size();
+    }
     snap->words.chunks.push_back(word_tail_);
   } else {
     word_tail_.reset();
   }
-  snap->words.total = dict_.size();
+  snap->words.total = vocab;
   if (online_ != nullptr && online_fed_ == snap->epoch) {
     snap->has_online = true;
     snap->online_k = online_k_;
@@ -342,13 +510,19 @@ void Engine::Publish() {
   snap->stats.intervals = static_cast<uint32_t>(snap->epoch);
   snap->stats.clusters = graph_.node_count();
   snap->stats.edges = graph_.edge_count();
-  snap->stats.keywords = dict_.size();
+  snap->stats.keywords = vocab;
   snap->stats.graph_bytes = graph_.MemoryBytes();
   snap->stats.io = io_;
+  snap->stats.shared_chunk_count = seal.shared_chunks;
+  snap->stats.copied_chunk_count = seal.copied_chunks;
+  snap->stats.resident_bytes = snap->graph->MemoryBytes() + words_bytes_ +
+                               tail_bytes + clusters_bytes_;
   // Answers computed at superseded epochs can never be served again
   // (keys carry the epoch); drop them so the cache holds only live
   // entries.
   cache_->EvictBefore(snap->epoch);
+  snap->stats.publish_ns =
+      static_cast<uint64_t>(publish_timer.ElapsedNanos());
   std::atomic_store_explicit(
       &snapshot_,
       std::shared_ptr<const GraphSnapshot>(std::move(snap)),

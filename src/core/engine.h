@@ -4,8 +4,12 @@
 // Ingest(interval) commits one interval: it clusters the documents
 // (Section 3), affinity-joins the new clusters against the gap-window
 // frontier (Section 4.1), extends the cluster graph in place, and then
-// publishes an immutable GraphSnapshot (frozen CSR adjacency + interval
+// publishes an immutable GraphSnapshot (chunked CSR adjacency + interval
 // metadata + warm streaming-finder state) with an atomic shared_ptr swap.
+// Publishing is O(delta): only the adjacency chunks the tick touched are
+// sealed; every untouched chunk is shared by shared_ptr with the previous
+// epoch, and raw-intersection weights renormalize lazily through a
+// per-snapshot scale instead of an O(E) rewrite.
 // Query() runs entirely against the snapshot — read-only EdgeSpan
 // traversal — so readers never wait on ingest work and never observe a
 // half-committed interval. The only synchronization on the query path is
@@ -55,6 +59,25 @@ struct EngineOptions {
   size_t threads = 1;
   /// Query-cache knobs (entries_per_shard = 0 disables caching).
   QueryCacheOptions query_cache;
+  /// Chunk-shared copy-on-write publish: each committed interval seals
+  /// only the adjacency chunks it touched and shares the rest with the
+  /// previous epoch (O(delta) publish). false rebuilds every chunk per
+  /// publish — the old full-copy cost model, kept as the bench_publish
+  /// baseline. Results are byte-identical either way.
+  bool cow_publish = true;
+  /// Lazy running-max renormalization for raw-intersection affinities:
+  /// the graph stores raw weights and every snapshot carries the epoch's
+  /// normalizer, applied at edge-read time (a rescale is O(1) instead of
+  /// an O(E) rewrite). false materializes normalized weights into every
+  /// rebuilt chunk at publish (the eager baseline). Byte-identical
+  /// results either way; only measures without a (0, 1] range
+  /// (kIntersection) are affected at all.
+  bool lazy_renormalize = true;
+  /// Two-stage batch ingest (IngestTicks/IngestCorpusFile with
+  /// threads > 1): tokenization+clustering of interval t+1 runs on the
+  /// pool while the serial affinity-join/graph-extension of interval t
+  /// commits. Byte-identical to serial ingest at any thread count.
+  bool pipeline_ingest = true;
 };
 
 /// The library-wide query type: algorithm, mode, k, l, diversification.
@@ -107,11 +130,24 @@ class Engine {
       std::function<Status(uint32_t interval,
                            const std::vector<std::string>& posts)>;
 
+  /// Ingests a batch of ticks (one interval per element) in order, with
+  /// the two-stage pipeline when options.threads > 1 and
+  /// options.pipeline_ingest: while interval t runs its serial
+  /// affinity-join/graph-extension/publish, interval t+1's tokenization
+  /// and clustering already execute on the worker pool — the
+  /// cross-interval overlap of the old batch pipeline, with results
+  /// byte-identical to one IngestText call per tick. Commit semantics
+  /// per tick match IngestText (each interval is queryable before
+  /// `on_tick` runs for it). Returns the number of intervals ingested.
+  Result<uint32_t> IngestTicks(
+      const std::vector<std::vector<std::string>>& ticks,
+      const TickCallback& on_tick = nullptr);
+
   /// Streams a whole corpus file (CorpusWriter format; intervals must be
-  /// contiguous from the engine's next interval) tick by tick. Returns
-  /// the number of intervals ingested. `on_tick`, when non-null, runs
-  /// after each committed interval (per-tick reporting, interleaved
-  /// queries).
+  /// contiguous from the engine's next interval) tick by tick through
+  /// IngestTicks (pipelined when configured). Returns the number of
+  /// intervals ingested. `on_tick`, when non-null, runs after each
+  /// committed interval (per-tick reporting, interleaved queries).
   Result<uint32_t> IngestCorpusFile(const std::filesystem::path& path,
                                     const TickCallback& on_tick = nullptr);
 
@@ -174,9 +210,24 @@ class Engine {
                           size_t max_keywords = 8) const;
 
  private:
-  // Clusters `interned` documents as the next interval and commits: node
-  // allocation, frontier joins, graph extension, warm-online feed,
-  // snapshot publish.
+  // Pool-parallel tokenization of raw posts (document order preserved).
+  std::vector<Document> TokenizePosts(
+      uint32_t interval, const std::vector<std::string>& posts);
+  // Serial keyword interning in document order (dictionary ids must be
+  // assigned exactly as a sequential run would assign them).
+  std::vector<std::vector<KeywordId>> InternDocuments(
+      const std::vector<Document>& documents);
+  // Stage A of a tick: the Section 3 clustering of `interned` as interval
+  // `interval`. Pure with respect to writer state (never touches the
+  // dictionary or graph), so the pipeline may run it on the pool while
+  // the previous interval commits.
+  Result<std::shared_ptr<SnapshotInterval>> ClusterInterval(
+      uint32_t interval, const std::vector<std::vector<KeywordId>>& interned,
+      size_t vocab_snapshot);
+  // Stage B of a tick (serial): slot adoption, frontier joins, graph
+  // extension, warm-online feed, snapshot publish.
+  Result<uint32_t> CommitInterval(std::shared_ptr<SnapshotInterval> slot);
+  // ClusterInterval + CommitInterval (the unpipelined tick).
   Result<uint32_t> IngestInterned(
       const std::vector<std::vector<KeywordId>>& interned,
       size_t vocab_snapshot);
@@ -215,9 +266,16 @@ class Engine {
   std::shared_ptr<const std::vector<std::string>> word_tail_;
   size_t word_tail_base_ = 0;  // First keyword id covered by the tail.
   // Running maximum raw affinity, for measures without a (0, 1] range
-  // (kIntersection): edge weights are stored normalized by this value and
-  // rescaled in place whenever it grows.
+  // (kIntersection): edges store the *raw* weight and reads apply the
+  // scale 1/max (ClusterGraph::set_weight_scale), so a growing maximum is
+  // an O(1) scale update instead of an O(E) rewrite. With
+  // options_.lazy_renormalize=false, publishes additionally materialize
+  // the scaled weights into the rebuilt chunks (eager baseline).
   double running_max_affinity_ = 0;
+  // Incremental byte accounting for EngineStats::resident_bytes:
+  // completed word chunks and committed cluster payloads.
+  size_t words_bytes_ = 0;
+  size_t clusters_bytes_ = 0;
 
   // The published read view; swapped with std::atomic_store at every
   // commit. Readers pin it with std::atomic_load (Engine::snapshot()).

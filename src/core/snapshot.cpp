@@ -13,7 +13,11 @@ Result<std::vector<StableClusterChain>> GraphSnapshot::ToChains(
     chain.path = path;
     for (NodeId node : path.nodes) {
       if (node >= graph->node_count()) {
-        return Status::Internal("path node outside the snapshot epoch");
+        // A caller-supplied path naming nodes this epoch has never
+        // committed is a bad argument (e.g. a path carried over from a
+        // newer epoch), not an engine invariant violation.
+        return Status::InvalidArgument(
+            "path node outside the snapshot epoch");
       }
       chain.clusters.push_back(NodeCluster(node));
     }
@@ -54,9 +58,9 @@ Result<QueryResult> QuerySnapshot(const GraphSnapshot& snapshot,
   out.epoch = snapshot.epoch;
   // Serving semantics: asking for chains of (minimum) length l before
   // l+1 intervals exist is not an error, the stream just has no such
-  // chains yet — in either mode. (The graph-level RunFinder keeps strict
-  // validation.)
-  if (query.l != 0 && snapshot.epoch > 0 && query.l > snapshot.epoch - 1) {
+  // chains yet — in either mode, including the epoch-0 (empty) snapshot.
+  // (The graph-level RunFinder keeps strict validation.)
+  if (query.l != 0 && query.l >= snapshot.epoch) {
     return out;
   }
   const bool diversify =

@@ -1,13 +1,15 @@
 // GraphSnapshot: the immutable per-epoch read view that makes concurrent
-// serving possible. After every committed interval the Engine freezes its
-// private mutable ClusterGraph into CSR adjacency (a copy — the writer's
-// graph stays extendable), bundles it with the interval metadata a query
-// answer needs (clusters, keyword table) and the warm
-// streaming-finder state, and publishes the bundle with an atomic
-// shared_ptr swap. Readers pin an epoch by grabbing the pointer (the
-// only query-path synchronization; C++17 shared_ptr atomics use a
-// briefly held pooled lock, never the writer's tick), and nothing the
-// snapshot references is ever mutated afterwards, so any number of
+// serving possible. After every committed interval the Engine seals its
+// private mutable ClusterGraph into chunked CSR adjacency
+// (ClusterGraph::SealedCopy — only the fixed-size chunks the tick touched
+// are rebuilt; every untouched chunk is shared by shared_ptr with the
+// previous epoch, so publishing costs O(delta), not O(graph)), bundles it
+// with the interval metadata a query answer needs (clusters, keyword
+// table) and the warm streaming-finder state, and publishes the bundle
+// with an atomic shared_ptr swap. Readers pin an epoch by grabbing the
+// pointer (the only query-path synchronization; C++17 shared_ptr atomics
+// use a briefly held pooled lock, never the writer's tick), and nothing
+// the snapshot references is ever mutated afterwards, so any number of
 // queries can run while the next interval commits.
 //
 // The shared result types of the serving API (StableClusterChain,
@@ -64,6 +66,17 @@ struct EngineStats {
   IoStats io;                ///< Ingest-side traffic, all ticks summed.
   uint64_t query_cache_hits = 0;    ///< Live counter, not point-in-time.
   uint64_t query_cache_misses = 0;  ///< Live counter, not point-in-time.
+  /// Wall-clock nanoseconds the publish of this epoch took (seal + bundle,
+  /// up to the atomic swap). O(delta) under chunk-shared publishing.
+  uint64_t publish_ns = 0;
+  /// Adjacency chunks this epoch shares with the previous one (pointer
+  /// reuse) vs. chunks the publish rebuilt — the copy-on-write ratio.
+  size_t shared_chunk_count = 0;
+  size_t copied_chunk_count = 0;
+  /// Estimated resident bytes of the published epoch: chunked graph
+  /// (shared chunks counted once), keyword table and cluster payloads.
+  /// Readers pinning old epochs retain their unshared chunks on top.
+  size_t resident_bytes = 0;
 };
 
 /// One committed interval's immutable outputs, shared between the writer
@@ -71,6 +84,12 @@ struct EngineStats {
 struct SnapshotInterval {
   IntervalResult result;
   IoStats io;
+  /// Dictionary size when this interval was interned: the keyword-table
+  /// watermark its epoch publishes. With pipelined ingest the dictionary
+  /// may already contain the *next* interval's words at publish time;
+  /// capping the snapshot here keeps epochs byte-identical to serial
+  /// ingest.
+  size_t vocab_size = 0;
 };
 
 /// \brief Immutable keyword table (id -> string) shared across epochs.
@@ -102,7 +121,9 @@ class SnapshotWords {
 struct GraphSnapshot {
   /// Number of committed intervals (== graph->interval_count()).
   uint64_t epoch = 0;
-  /// Frozen CSR adjacency; every finder traverses this via EdgeSpan.
+  /// Frozen chunked-CSR adjacency; every finder traverses this via
+  /// EdgeSpan. Chunks untouched by this epoch's tick are shared with the
+  /// previous snapshot's graph.
   std::shared_ptr<const ClusterGraph> graph;
   /// Per-interval cluster outputs, in interval order.
   std::vector<std::shared_ptr<const SnapshotInterval>> intervals;

@@ -2,11 +2,28 @@
 // clusters, directed edges connect clusters of nearby intervals (within the
 // gap bound) whose affinity exceeds the threshold theta. Edge length is the
 // interval distance; edge weight is the affinity, normalized to (0, 1].
+//
+// Storage model (streaming-first): while building, adjacency lives in
+// per-node vectors the writer keeps extending. Frozen views — the per-epoch
+// snapshots the engine publishes, and the terminal SortChildren() freeze —
+// store adjacency and node metadata in immutable fixed-size CSR *chunks*
+// held by shared_ptr. Sealing an epoch rebuilds only the chunks touched
+// since the previous seal and shares every other chunk pointer with it
+// (copy-on-write at chunk granularity), so publishing a tick costs O(delta),
+// not O(graph), and any number of pinned old epochs stay byte-stable while
+// the writer keeps committing.
+//
+// Weights can be stored raw (EnableRawWeights): reads through EdgeSpan then
+// apply a per-graph scale (min(raw * scale, 1.0)) so a running-max
+// renormalization is a single scale update instead of an O(E) rewrite.
 
 #ifndef STABLETEXT_STABLE_CLUSTER_GRAPH_H_
 #define STABLETEXT_STABLE_CLUSTER_GRAPH_H_
 
+#include <algorithm>
 #include <cstdint>
+#include <iterator>
+#include <memory>
 #include <vector>
 
 #include "stable/path.h"
@@ -21,36 +38,112 @@ struct ClusterGraphEdge {
 };
 
 /// Non-owning view of one node's adjacency list.
+///
+/// Stored entries may hold raw (unnormalized) weights; iteration and
+/// indexing return edges with the graph's read-time scale applied
+/// (min(stored * scale, 1.0) — bit-identical to the stored weight when the
+/// scale is 1). Edges are therefore returned by value; binding the usual
+/// `const ClusterGraphEdge&` loop variable works as before.
 class EdgeSpan {
  public:
-  EdgeSpan(const ClusterGraphEdge* data, size_t size)
-      : data_(data), size_(size) {}
+  EdgeSpan(const ClusterGraphEdge* data, size_t size, double scale = 1.0)
+      : data_(data), size_(size), scale_(scale) {}
 
-  const ClusterGraphEdge* begin() const { return data_; }
-  const ClusterGraphEdge* end() const { return data_ + size_; }
+  class Iterator {
+   public:
+    // Multipass over immutable storage: forward, so vector::assign and
+    // std::distance size their result in one pass (the edges are
+    // returned by value, which forward consumers here never notice).
+    using iterator_category = std::forward_iterator_tag;
+    using value_type = ClusterGraphEdge;
+    using difference_type = std::ptrdiff_t;
+    using pointer = const ClusterGraphEdge*;
+    using reference = ClusterGraphEdge;
+
+    Iterator(const ClusterGraphEdge* p, double scale)
+        : p_(p), scale_(scale) {}
+    ClusterGraphEdge operator*() const {
+      return ClusterGraphEdge{p_->target,
+                              std::min(p_->weight * scale_, 1.0)};
+    }
+    Iterator& operator++() {
+      ++p_;
+      return *this;
+    }
+    Iterator operator++(int) {
+      Iterator old = *this;
+      ++p_;
+      return old;
+    }
+    friend bool operator==(const Iterator& a, const Iterator& b) {
+      return a.p_ == b.p_;
+    }
+    friend bool operator!=(const Iterator& a, const Iterator& b) {
+      return a.p_ != b.p_;
+    }
+
+   private:
+    const ClusterGraphEdge* p_;
+    double scale_;
+  };
+
+  Iterator begin() const { return Iterator(data_, scale_); }
+  Iterator end() const { return Iterator(data_ + size_, scale_); }
   size_t size() const { return size_; }
   bool empty() const { return size_ == 0; }
-  const ClusterGraphEdge& operator[](size_t i) const { return data_[i]; }
+  ClusterGraphEdge operator[](size_t i) const {
+    return ClusterGraphEdge{data_[i].target,
+                            std::min(data_[i].weight * scale_, 1.0)};
+  }
 
  private:
   const ClusterGraphEdge* data_;
   size_t size_;
+  double scale_;
 };
 
 /// \brief Interval-partitioned weighted DAG over cluster nodes.
 ///
 /// Nodes are added per interval; edges may only go forward in time by at
-/// most gap+1 intervals and must carry weight in (0, 1]. Children lists are
-/// kept sorted by descending weight — the DFS finder's exploration
-/// heuristic (Section 4.3: "while precomputing the list of children for all
-/// nodes, we sort them in the descending order of edge weights").
+/// most gap+1 intervals and must carry weight in (0, 1] (or any positive
+/// weight once EnableRawWeights() arms read-time normalization). Children
+/// lists are kept sorted by descending stored weight — the DFS finder's
+/// exploration heuristic (Section 4.3: "while precomputing the list of
+/// children for all nodes, we sort them in the descending order of edge
+/// weights").
 ///
 /// Two phases: while building, adjacency lives in per-node vectors;
-/// SortChildren() (= freeze) sorts them and compacts everything into
-/// immutable CSR arrays, which every finder then traverses without pointer
-/// chasing. AddEdge after the freeze is an error.
+/// SealedCopy() produces an immutable chunked-CSR view per epoch (O(delta):
+/// untouched chunks are shared with the previous seal), and SortChildren()
+/// (= terminal freeze) converts the graph itself into that representation.
+/// AddEdge after the freeze is an error.
 class ClusterGraph {
  public:
+  /// Nodes per immutable chunk (power of two). A committed tick touches
+  /// only the chunks covering its gap window, so per-epoch sealing
+  /// rebuilds O(window / kChunkNodes + 1) chunks.
+  static constexpr size_t kChunkShift = 9;
+  static constexpr size_t kChunkNodes = size_t{1} << kChunkShift;
+  static constexpr size_t kChunkMask = kChunkNodes - 1;
+
+  /// One immutable CSR chunk: the adjacency of nodes
+  /// [chunk * kChunkNodes, chunk * kChunkNodes + offsets.size() - 1).
+  struct AdjChunk {
+    std::vector<uint32_t> offsets;  ///< Relative; size = nodes in chunk + 1.
+    std::vector<ClusterGraphEdge> edges;
+
+    size_t MemoryBytes() const {
+      return sizeof(*this) + offsets.capacity() * sizeof(uint32_t) +
+             edges.capacity() * sizeof(ClusterGraphEdge);
+    }
+  };
+
+  /// Chunk accounting of one SealedCopy() call.
+  struct SealStats {
+    size_t shared_chunks = 0;  ///< Reused pointers (children + parents).
+    size_t copied_chunks = 0;  ///< Rebuilt chunks (children + parents).
+  };
+
   /// \param interval_count m, the number of temporal intervals.
   /// \param gap g >= 0; edges span at most gap+1 intervals.
   ClusterGraph(uint32_t interval_count, uint32_t gap)
@@ -66,14 +159,15 @@ class ClusterGraph {
   NodeId AddNode(uint32_t interval);
 
   /// Adds a directed edge. Requires interval(from) < interval(to),
-  /// interval distance <= gap+1, and weight in (0, 1]. Fails once the
-  /// graph has been frozen by SortChildren().
+  /// interval distance <= gap+1, and weight in (0, 1] — or merely a
+  /// positive finite weight in raw-weights mode, where reads normalize.
+  /// Fails once the graph has been frozen by SortChildren().
   Status AddEdge(NodeId from, NodeId to, double weight);
 
-  /// Freezes the graph: sorts all children lists by descending weight
-  /// (stable order: weight desc, then target asc), parents by source id,
-  /// and compacts the adjacency into CSR arrays. Called automatically by
-  /// AddEdge-heavy builders once at the end; idempotent.
+  /// Freezes the graph: sorts all children lists by descending stored
+  /// weight (stable order: weight desc, then target asc), parents by
+  /// source id, and compacts the adjacency into immutable chunks (reusing
+  /// any chunk already sealed and untouched). Idempotent.
   void SortChildren();
 
   /// Build-phase (streaming) variant of SortChildren: re-sorts only the
@@ -83,74 +177,133 @@ class ClusterGraph {
   /// frozen graph. O(touched lists) per call.
   void SortTouched();
 
-  /// Multiplies every edge weight by `factor` (> 0), preserving sort
-  /// order. Build phase only (error once frozen). Used by streaming
-  /// ingestion to renormalize raw-intersection affinities when the
-  /// running maximum grows.
+  /// Multiplies every stored edge weight by `factor` (> 0), preserving
+  /// sort order. Build phase only (error once frozen). Superseded on the
+  /// engine's hot path by set_weight_scale (lazy renormalization); kept
+  /// for callers that materialize weights in place. Dirties every chunk.
   Status ScaleEdgeWeights(double factor);
 
-  /// Returns a frozen (CSR) copy of the current graph without mutating
-  /// *this — the streaming freeze-to-snapshot path: the writer keeps
-  /// extending its build-phase adjacency while every published epoch
-  /// traverses its own immutable CSR arrays. Requires the adjacency lists
-  /// to be in sorted order (SortTouched after the last AddEdge batch);
-  /// the copy is then byte-identical to what SortChildren() would freeze.
-  ClusterGraph FrozenCopy() const;
+  /// Accepts weights outside (0, 1]: AddEdge then only requires a
+  /// positive finite weight, and callers are expected to normalize at
+  /// read time via set_weight_scale. Build phase only.
+  void EnableRawWeights() { raw_weights_ = true; }
 
-  /// True once SortChildren() has compacted the adjacency.
+  /// Read-time weight scale: every EdgeSpan read returns
+  /// min(stored * scale, 1.0). Updating the scale re-normalizes the whole
+  /// graph in O(1) — the lazy replacement for ScaleEdgeWeights.
+  void set_weight_scale(double scale) { weight_scale_ = scale; }
+  double weight_scale() const { return weight_scale_; }
+
+  /// \brief O(delta) frozen chunk-shared copy — the per-epoch seal.
+  ///
+  /// Returns an immutable (frozen) view of the current graph: chunks
+  /// covering nodes untouched since the previous SealedCopy() are shared
+  /// by pointer with it; only dirtied chunks are rebuilt. Requires the
+  /// adjacency lists to be in sorted order (SortTouched after the last
+  /// AddEdge batch). With `materialize_scale` the rebuilt chunks store
+  /// min(weight * weight_scale(), 1.0) and the copy reads at scale 1 (the
+  /// eager-normalization baseline: a scale change dirties every chunk);
+  /// otherwise chunks keep stored weights and the copy inherits the
+  /// scale. On an already-frozen graph this is a cheap pointer-sharing
+  /// copy. `stats`, when non-null, receives the shared/copied counts.
+  ClusterGraph SealedCopy(bool materialize_scale = false,
+                          SealStats* stats = nullptr);
+
+  /// Forces the next SealedCopy() to rebuild every chunk (the old
+  /// full-copy publish path, kept as a benchmark baseline).
+  void MarkAllSealDirty();
+
+  /// True once SortChildren() has compacted the adjacency (or this graph
+  /// was produced by SealedCopy()).
   bool frozen() const { return frozen_; }
 
   uint32_t interval_count() const { return interval_count_; }
   uint32_t gap() const { return gap_; }
-  size_t node_count() const { return node_interval_.size(); }
+  size_t node_count() const { return node_count_; }
   size_t edge_count() const { return edge_count_; }
 
-  uint32_t Interval(NodeId n) const { return node_interval_[n]; }
+  uint32_t Interval(NodeId n) const {
+    if (frozen_) {
+      return (*node_interval_chunks_[n >> kChunkShift])[n & kChunkMask];
+    }
+    return node_interval_[n];
+  }
   const std::vector<NodeId>& IntervalNodes(uint32_t interval) const {
+    if (frozen_) return *frozen_intervals_[interval];
     return intervals_[interval];
   }
 
   EdgeSpan Children(NodeId n) const {
-    if (frozen_) {
-      return EdgeSpan(child_edges_.data() + child_offsets_[n],
-                      child_offsets_[n + 1] - child_offsets_[n]);
-    }
-    return EdgeSpan(build_children_[n].data(), build_children_[n].size());
+    if (frozen_) return ChunkSpan(child_chunks_, n);
+    return EdgeSpan(build_children_[n].data(), build_children_[n].size(),
+                    weight_scale_);
   }
   EdgeSpan Parents(NodeId n) const {
-    if (frozen_) {
-      return EdgeSpan(parent_edges_.data() + parent_offsets_[n],
-                      parent_offsets_[n + 1] - parent_offsets_[n]);
-    }
-    return EdgeSpan(build_parents_[n].data(), build_parents_[n].size());
+    if (frozen_) return ChunkSpan(parent_chunks_, n);
+    return EdgeSpan(build_parents_[n].data(), build_parents_[n].size(),
+                    weight_scale_);
   }
 
   /// Length of the edge (a, b) in intervals.
   uint32_t EdgeLength(NodeId a, NodeId b) const {
-    return node_interval_[b] - node_interval_[a];
+    return Interval(b) - Interval(a);
   }
 
   /// Maximum out-degree (the d of Section 4.4's cost analysis).
   size_t MaxOutDegree() const;
 
-  /// Approximate resident bytes of the adjacency structure.
+  /// Approximate resident bytes of the adjacency structure. Chunks shared
+  /// with other epochs are counted once per graph (the paper's streaming
+  /// setting shares them across every live snapshot).
   size_t MemoryBytes() const;
 
+  // Chunk introspection (frozen graphs), for the chunk-sharing tests and
+  // the engine's publish accounting.
+  size_t chunk_count() const { return child_chunks_.size(); }
+  std::shared_ptr<const AdjChunk> child_chunk(size_t chunk) const {
+    return child_chunks_[chunk];
+  }
+  std::shared_ptr<const AdjChunk> parent_chunk(size_t chunk) const {
+    return parent_chunks_[chunk];
+  }
+
  private:
-  // Flattens sorted per-node lists into offsets + one contiguous array,
-  // leaving `lists` untouched (shared by the destructive freeze and the
-  // copying FrozenCopy so the CSR layout cannot diverge).
-  static void Compact(
+  using AdjChunkPtr = std::shared_ptr<const AdjChunk>;
+  using IntervalChunkPtr = std::shared_ptr<const std::vector<uint32_t>>;
+  using IntervalNodesPtr = std::shared_ptr<const std::vector<NodeId>>;
+
+  EdgeSpan ChunkSpan(const std::vector<AdjChunkPtr>& chunks,
+                     NodeId n) const {
+    const AdjChunk& c = *chunks[n >> kChunkShift];
+    const uint32_t i = static_cast<uint32_t>(n & kChunkMask);
+    return EdgeSpan(c.edges.data() + c.offsets[i],
+                    c.offsets[i + 1] - c.offsets[i], weight_scale_);
+  }
+
+  // Builds the chunk covering nodes [chunk*kChunkNodes, ...) from the
+  // build-phase `lists`, optionally materializing the read scale.
+  AdjChunkPtr BuildChunk(
       const std::vector<std::vector<ClusterGraphEdge>>& lists,
-      std::vector<size_t>* offsets, std::vector<ClusterGraphEdge>* edges);
+      size_t chunk, bool materialize_scale) const;
+
+  // Refreshes the seal cache (sealed_* members) from the build-phase
+  // state, rebuilding only dirty chunks. Returns chunk accounting.
+  SealStats RefreshSeal(bool materialize_scale);
+
+  // Marks node `n`'s chunk dirty in `flags` (growing it as needed).
+  void MarkChunkDirty(std::vector<uint8_t>* flags, NodeId n);
 
   uint32_t interval_count_;
   uint32_t gap_;
+  size_t node_count_ = 0;
   size_t edge_count_ = 0;
   bool frozen_ = false;
+  bool raw_weights_ = false;
+  double weight_scale_ = 1.0;
+
+  // ---- build-phase state (cleared by the terminal freeze) ----
   std::vector<std::vector<NodeId>> intervals_;
   std::vector<uint32_t> node_interval_;
-  // Build-phase adjacency; cleared by the freeze.
   std::vector<std::vector<ClusterGraphEdge>> build_children_;
   std::vector<std::vector<ClusterGraphEdge>> build_parents_;
   // Nodes whose build-phase lists gained edges since the last sort.
@@ -158,11 +311,27 @@ class ClusterGraph {
   std::vector<NodeId> touched_parents_;
   std::vector<uint8_t> child_touched_flag_;
   std::vector<uint8_t> parent_touched_flag_;
-  // Frozen CSR adjacency.
-  std::vector<size_t> child_offsets_;
-  std::vector<ClusterGraphEdge> child_edges_;
-  std::vector<size_t> parent_offsets_;
-  std::vector<ClusterGraphEdge> parent_edges_;
+
+  // ---- seal cache: the chunks of the last SealedCopy, shared with every
+  // epoch that still pins them; per-chunk dirty bits track what the next
+  // seal must rebuild. ----
+  std::vector<AdjChunkPtr> sealed_children_;
+  std::vector<AdjChunkPtr> sealed_parents_;
+  std::vector<IntervalChunkPtr> sealed_node_intervals_;
+  std::vector<IntervalNodesPtr> sealed_intervals_;
+  std::vector<uint8_t> seal_child_dirty_;
+  std::vector<uint8_t> seal_parent_dirty_;
+  std::vector<uint8_t> seal_meta_dirty_;
+  // Leading intervals whose node lists are unchanged since the last seal.
+  uint32_t seal_clean_intervals_ = 0;
+  bool sealed_materialized_ = false;
+  double sealed_scale_ = 1.0;
+
+  // ---- frozen (chunked CSR) state ----
+  std::vector<AdjChunkPtr> child_chunks_;
+  std::vector<AdjChunkPtr> parent_chunks_;
+  std::vector<IntervalChunkPtr> node_interval_chunks_;
+  std::vector<IntervalNodesPtr> frozen_intervals_;
 };
 
 }  // namespace stabletext

@@ -12,4 +12,10 @@ int64_t WallTimer::ElapsedMicros() const {
       .count();
 }
 
+int64_t WallTimer::ElapsedNanos() const {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now() -
+                                                              start_)
+      .count();
+}
+
 }  // namespace stabletext

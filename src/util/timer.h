@@ -25,6 +25,9 @@ class WallTimer {
   /// Microseconds elapsed since construction or the last Restart().
   int64_t ElapsedMicros() const;
 
+  /// Nanoseconds elapsed since construction or the last Restart().
+  int64_t ElapsedNanos() const;
+
  private:
   using Clock = std::chrono::steady_clock;
   Clock::time_point start_;
