@@ -140,6 +140,7 @@ inline std::string IoStatsJson(const IoStats& io) {
       .Put("random_seeks", io.random_seeks)
       .Put("bytes_read", io.bytes_read)
       .Put("bytes_written", io.bytes_written)
+      .Put("fsyncs", io.fsyncs)
       .Put("sort_runs_spilled", io.sort_runs_spilled)
       .Put("sort_merge_passes", io.sort_merge_passes)
       .Put("sort_in_memory_sorts", io.sort_in_memory_sorts)

@@ -3,8 +3,17 @@
 //   gen <out.corpus> [days] [posts_per_day] [micro_events] [seed]
 //       Generate a synthetic planted-event corpus (PaperWeek script).
 //   ingest <corpus> [--gap N] [--threads N] [--save out.graph]
+//          [--data-dir DIR [--durable]]
 //       Stream the corpus tick by tick through the engine, printing
 //       per-tick commit stats; optionally persist the cluster graph.
+//       With --data-dir the engine runs durably: every commit is
+//       WAL-logged and checkpointed under DIR, and a later run (or
+//       `recover`) resumes from exactly the committed state.
+//   recover <data-dir> [--gap N] [--threads N] [--algo ...] [--k N]
+//           [--l N]
+//       Reopen a durable engine from its data directory: restore the
+//       newest checkpoint, replay the WAL tail, report the recovered
+//       epoch and answer one query against the recovered state.
 //   query <corpus> [--algo bfs|dfs|ta|brute-force|online]
 //         [--mode kl-stable|normalized] [--k N] [--l N] [--gap N]
 //         [--threads N] [--diversify P,S] [--per-tick]
@@ -33,6 +42,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -72,9 +82,27 @@ struct CliArgs {
   size_t threads = 1;
   size_t readers = 2;
   bool per_tick = false;
+  bool durable = false;
+  std::string data_dir;
   std::string save_path;
   Status status;
 };
+
+// Builds the engine for an engine-backed subcommand. --data-dir (or
+// --durable) routes construction through Engine::Recover, so an existing
+// data directory resumes where the last run stopped.
+Result<std::unique_ptr<Engine>> MakeEngine(const CliArgs& args) {
+  EngineOptions options = DefaultEngineOptions(args.gap, args.threads);
+  if (!args.durable && args.data_dir.empty()) {
+    return std::make_unique<Engine>(options);
+  }
+  if (args.data_dir.empty()) {
+    return Status::InvalidArgument("--durable needs --data-dir DIR");
+  }
+  options.durability.enabled = true;
+  options.durability.dir = args.data_dir;
+  return Engine::Recover(std::move(options));
+}
 
 // Strict decimal parse: the whole string must be a number (no silent
 // zero for a forgotten or garbled flag value).
@@ -151,6 +179,11 @@ CliArgs ParseCliArgs(int argc, char** argv) {
       args.readers = static_cast<size_t>(std::max(1L, n));
     } else if (a == "--per-tick") {
       args.per_tick = true;
+    } else if (a == "--durable") {
+      args.durable = true;
+    } else if (a == "--data-dir") {
+      args.data_dir = value();
+      args.durable = true;
     } else if (a == "--save") {
       args.save_path = value();
     } else if (!a.empty() && a[0] == '-') {
@@ -193,7 +226,13 @@ int CmdIngest(int argc, char** argv) {
   CliArgs args = ParseCliArgs(argc, argv);
   if (!args.status.ok()) return Fail(args.status);
   if (args.positional.empty()) return 2;
-  Engine engine(DefaultEngineOptions(args.gap, args.threads));
+  auto made = MakeEngine(args);
+  if (!made.ok()) return Fail(made.status());
+  Engine& engine = *made.value();
+  if (engine.interval_count() > 0) {
+    std::printf("recovered %u committed interval(s) from %s\n",
+                engine.interval_count(), args.data_dir.c_str());
+  }
 
   auto ingested = engine.IngestCorpusFile(
       args.positional[0],
@@ -208,6 +247,15 @@ int CmdIngest(int argc, char** argv) {
         return Status::OK();
       });
   if (!ingested.ok()) return Fail(ingested.status());
+  if (args.durable) {
+    const EngineStats stats = engine.stats();
+    std::printf(
+        "durability: %llu WAL bytes, %llu fsyncs, last checkpoint "
+        "%.1f ms\n",
+        static_cast<unsigned long long>(stats.wal_bytes),
+        static_cast<unsigned long long>(stats.io.fsyncs),
+        stats.checkpoint_ns / 1e6);
+  }
   if (!args.save_path.empty()) {
     Status s = engine.Compact();
     if (!s.ok()) return Fail(s);
@@ -224,7 +272,9 @@ int CmdQuery(int argc, char** argv) {
   CliArgs args = ParseCliArgs(argc, argv);
   if (!args.status.ok()) return Fail(args.status);
   if (args.positional.empty()) return 2;
-  Engine engine(DefaultEngineOptions(args.gap, args.threads));
+  auto made = MakeEngine(args);
+  if (!made.ok()) return Fail(made.status());
+  Engine& engine = *made.value();
 
   if (!args.per_tick) {
     auto ingested = engine.IngestCorpusFile(args.positional[0]);
@@ -262,7 +312,9 @@ int CmdServe(int argc, char** argv) {
   CliArgs args = ParseCliArgs(argc, argv);
   if (!args.status.ok()) return Fail(args.status);
   if (args.positional.empty()) return 2;
-  Engine engine(DefaultEngineOptions(args.gap, args.threads));
+  auto made = MakeEngine(args);
+  if (!made.ok()) return Fail(made.status());
+  Engine& engine = *made.value();
 
   std::atomic<bool> done{false};
   std::atomic<uint64_t> queries{0};
@@ -331,7 +383,9 @@ int CmdStats(int argc, char** argv) {
   CliArgs args = ParseCliArgs(argc, argv);
   if (!args.status.ok()) return Fail(args.status);
   if (args.positional.empty()) return 2;
-  Engine engine(DefaultEngineOptions(args.gap, args.threads));
+  auto made = MakeEngine(args);
+  if (!made.ok()) return Fail(made.status());
+  Engine& engine = *made.value();
   auto ingested = engine.IngestCorpusFile(args.positional[0]);
   if (!ingested.ok()) return Fail(ingested.status());
   const EngineStats stats = engine.stats();
@@ -346,6 +400,32 @@ int CmdStats(int argc, char** argv) {
               stats.publish_ns / 1e3, stats.shared_chunk_count,
               stats.copied_chunk_count);
   std::printf("ingest io:      %s\n", stats.io.ToString().c_str());
+  return 0;
+}
+
+// Reopens a durable data directory: checkpoint restore + WAL-tail
+// replay, then one query against the recovered state.
+int CmdRecover(int argc, char** argv) {
+  CliArgs args = ParseCliArgs(argc, argv);
+  if (!args.status.ok()) return Fail(args.status);
+  if (args.data_dir.empty() && !args.positional.empty()) {
+    args.data_dir = args.positional[0];
+  }
+  if (args.data_dir.empty()) return 2;
+  args.durable = true;
+  auto made = MakeEngine(args);
+  if (!made.ok()) return Fail(made.status());
+  Engine& engine = *made.value();
+  const EngineStats stats = engine.stats();
+  std::printf(
+      "recovered %llu interval(s) from %s: %zu clusters, %zu edges, "
+      "%zu keywords\n",
+      static_cast<unsigned long long>(stats.recovered_epoch),
+      args.data_dir.c_str(), stats.clusters, stats.edges, stats.keywords);
+  if (engine.interval_count() == 0) return 0;
+  auto result = engine.Query(args.query);
+  if (!result.ok()) return Fail(result.status());
+  PrintChains(engine, result.value());
   return 0;
 }
 
@@ -410,7 +490,8 @@ int main(int argc, char** argv) {
   if (argc < 2) {
     std::fprintf(
         stderr,
-        "usage: %s <gen|ingest|query|serve|stats|cluster|refine|topk> "
+        "usage: %s "
+        "<gen|ingest|recover|query|serve|stats|cluster|refine|topk> "
         "...\n"
         "(see the header comment of stabletext_cli.cpp)\n",
         argv[0]);
@@ -420,6 +501,7 @@ int main(int argc, char** argv) {
   int rc = 2;
   if (cmd == "gen") rc = CmdGen(argc - 2, argv + 2);
   else if (cmd == "ingest") rc = CmdIngest(argc - 2, argv + 2);
+  else if (cmd == "recover") rc = CmdRecover(argc - 2, argv + 2);
   else if (cmd == "query") rc = CmdQuery(argc - 2, argv + 2);
   else if (cmd == "serve") rc = CmdServe(argc - 2, argv + 2);
   else if (cmd == "stats") rc = CmdStats(argc - 2, argv + 2);

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cassert>
+#include <cstring>
 #include <map>
 
 #include "text/corpus.h"
@@ -17,6 +18,78 @@ namespace {
 uint64_t PackOnlineHint(size_t k, uint32_t l) {
   if (k == 0 || k > UINT32_MAX) return 0;
   return (static_cast<uint64_t>(k) << 32) | l;
+}
+
+// Interval-delta (de)serialization for the durability log. Host-endian,
+// like every file the storage layer writes; doubles are copied bit-exact
+// (replay must reproduce weights to the last bit).
+class ByteWriter {
+ public:
+  void U32(uint32_t v) { Raw(&v, sizeof(v)); }
+  void U64(uint64_t v) { Raw(&v, sizeof(v)); }
+  void F64(double v) { Raw(&v, sizeof(v)); }
+  void Str(const std::string& s) {
+    U32(static_cast<uint32_t>(s.size()));
+    Raw(s.data(), s.size());
+  }
+  void Raw(const void* p, size_t n) {
+    out_.append(static_cast<const char*>(p), n);
+  }
+  std::string Take() { return std::move(out_); }
+
+ private:
+  std::string out_;
+};
+
+class ByteReader {
+ public:
+  explicit ByteReader(const std::string& data) : data_(data) {}
+  bool U32(uint32_t* v) { return Raw(v, sizeof(*v)); }
+  bool U64(uint64_t* v) { return Raw(v, sizeof(*v)); }
+  bool F64(double* v) { return Raw(v, sizeof(*v)); }
+  bool Str(std::string* s) {
+    uint32_t len = 0;
+    if (!U32(&len)) return false;
+    if (len > data_.size() - offset_) return false;
+    s->assign(data_.data() + offset_, len);
+    offset_ += len;
+    return true;
+  }
+  bool Raw(void* p, size_t n) {
+    if (n > data_.size() - offset_) return false;
+    std::memcpy(p, data_.data() + offset_, n);
+    offset_ += n;
+    return true;
+  }
+  bool AtEnd() const { return offset_ == data_.size(); }
+
+ private:
+  const std::string& data_;
+  size_t offset_ = 0;
+};
+
+void WriteIoStats(ByteWriter* w, const IoStats& io) {
+  w->U64(io.page_reads);
+  w->U64(io.page_writes);
+  w->U64(io.logical_reads);
+  w->U64(io.random_seeks);
+  w->U64(io.bytes_read);
+  w->U64(io.bytes_written);
+  w->U64(io.fsyncs);
+  w->U64(io.sort_runs_spilled);
+  w->U64(io.sort_merge_passes);
+  w->U64(io.sort_in_memory_sorts);
+  w->U64(io.sort_tail_records);
+}
+
+bool ReadIoStats(ByteReader* r, IoStats* io) {
+  return r->U64(&io->page_reads) && r->U64(&io->page_writes) &&
+         r->U64(&io->logical_reads) && r->U64(&io->random_seeks) &&
+         r->U64(&io->bytes_read) && r->U64(&io->bytes_written) &&
+         r->U64(&io->fsyncs) && r->U64(&io->sort_runs_spilled) &&
+         r->U64(&io->sort_merge_passes) &&
+         r->U64(&io->sort_in_memory_sorts) &&
+         r->U64(&io->sort_tail_records);
 }
 
 }  // namespace
@@ -134,6 +207,12 @@ Result<uint32_t> Engine::CommitInterval(
         "engine is compacted; create a new engine to ingest");
   }
   if (!broken_.ok()) return broken_;
+  if (options_.durability.enabled && durability_ == nullptr) {
+    return Status::InvalidArgument(
+        "durability is enabled but the engine was not built by "
+        "Engine::Recover; a plain constructor cannot report log recovery "
+        "failures");
+  }
   const uint32_t interval = static_cast<uint32_t>(slots_.size());
   if (slot->result.interval != interval) {
     // The slot was tokenized and clustered as a different interval —
@@ -151,6 +230,13 @@ Result<uint32_t> Engine::CommitInterval(
   slots_.push_back(std::move(slot));  // Immutable from here on.
   Status commit = ExtendGraph(interval);
   if (commit.ok()) commit = AdvanceWarmOnline(interval);
+  if (commit.ok() && durability_ != nullptr) {
+    // Log before publish: an epoch readers can observe is always
+    // recoverable. The converse tail case — record synced, publish
+    // preempted — is why recovery may land one epoch *ahead* of what
+    // was published at the crash.
+    commit = durability_->LogCommit(SerializeIntervalDelta(interval));
+  }
   if (!commit.ok()) {
     // The interval is half-committed in writer state and cannot be
     // rolled back; refusing further ingest keeps the published epochs
@@ -164,7 +250,233 @@ Result<uint32_t> Engine::CommitInterval(
   // The commit point for readers: everything above mutated only private
   // writer state; the swap below makes the new epoch visible atomically.
   Publish();
+  if (durability_ != nullptr &&
+      durability_->ShouldCheckpoint(slots_.size())) {
+    Status ck = durability_->WriteCheckpoint(
+        slots_.size(),
+        [this](uint32_t i) { return SerializeIntervalDelta(i); });
+    if (!ck.ok()) {
+      // The interval itself is committed, published and WAL-durable;
+      // only the checkpoint failed. The on-disk state is still the
+      // consistent previous generation, but this writer's next
+      // checkpoint boundary would silently drift, so refuse further
+      // ingest and surface the failure.
+      broken_ = Status::Internal(
+          "checkpoint failed (" + ck.message() +
+          "); the engine no longer accepts intervals");
+      return ck;
+    }
+  }
   return interval;
+}
+
+Result<std::unique_ptr<Engine>> Engine::Recover(EngineOptions options) {
+  if (!options.durability.enabled || options.durability.dir.empty()) {
+    return Status::InvalidArgument(
+        "Engine::Recover requires durability.enabled and a data "
+        "directory");
+  }
+  auto engine = std::make_unique<Engine>(std::move(options));
+  Durability::RecoveredState state;
+  auto durability = Durability::Open(engine->options_.durability, &state);
+  if (!durability.ok()) return durability.status();
+  engine->durability_ = std::move(durability).value();
+  for (const std::string& blob : state.blobs) {
+    ST_RETURN_IF_ERROR(engine->ReplayInterval(blob));
+  }
+  engine->recovered_epoch_ = engine->slots_.size();
+  engine->Publish();
+  return std::move(engine);
+}
+
+std::string Engine::SerializeIntervalDelta(uint32_t interval) const {
+  ByteWriter w;
+  w.U32(interval);
+  const uint64_t vocab_before =
+      interval == 0 ? 0 : slots_[interval - 1]->vocab_size;
+  const uint64_t vocab_after = slots_[interval]->vocab_size;
+  w.U64(vocab_before);
+  w.U64(vocab_after);
+  // Words this interval interned. Replay re-interns them in id order, so
+  // a recovered dictionary assigns every id exactly as the original run.
+  for (uint64_t id = vocab_before; id < vocab_after; ++id) {
+    w.Str(dict_.Word(static_cast<KeywordId>(id)));
+  }
+  const IntervalResult& res = slots_[interval]->result;
+  w.U64(res.graph_summary.document_count);
+  w.U64(res.graph_summary.keyword_count);
+  w.U64(res.graph_summary.raw_edge_count);
+  w.U64(res.graph_summary.prune.input_edges);
+  w.U64(res.graph_summary.prune.failed_support);
+  w.U64(res.graph_summary.prune.failed_chi_square);
+  w.U64(res.graph_summary.prune.failed_rho);
+  w.U64(res.graph_summary.prune.surviving_edges);
+  w.U64(res.biconnected.components);
+  w.U64(res.biconnected.articulation_points);
+  w.U64(res.biconnected.max_stack_entries);
+  w.U64(res.biconnected.spilled_entries);
+  w.U64(res.clusters.size());
+  for (const Cluster& cluster : res.clusters) {
+    w.U32(static_cast<uint32_t>(cluster.keywords.size()));
+    for (KeywordId kw : cluster.keywords) w.U32(kw);
+    w.U32(static_cast<uint32_t>(cluster.edges.size()));
+    for (const WeightedEdge& e : cluster.edges) {
+      w.U32(e.u);
+      w.U32(e.v);
+      w.F64(e.weight);
+    }
+  }
+  WriteIoStats(&w, slots_[interval]->io);
+  // The tick's adjacency delta: every edge added by this interval's
+  // commit has its head here (edges only point forward in time), so the
+  // parents of this interval's nodes are exactly the delta. Stored
+  // (raw) weights — replaying AddEdge with them reproduces the graph
+  // bits and the running-max normalizer without rerunning the joins.
+  uint64_t edge_count = 0;
+  for (NodeId c : graph_.IntervalNodes(interval)) {
+    edge_count += graph_.StoredParents(c).size();
+  }
+  w.U64(edge_count);
+  for (NodeId c : graph_.IntervalNodes(interval)) {
+    for (const ClusterGraphEdge e : graph_.StoredParents(c)) {
+      w.U32(e.target);  // from
+      w.U32(c);         // to
+      w.F64(e.weight);
+    }
+  }
+  return w.Take();
+}
+
+Status Engine::ReplayInterval(const std::string& blob) {
+  auto corrupt = [](const char* what) {
+    return Status::Corruption(std::string("interval delta: ") + what);
+  };
+  ByteReader r(blob);
+  uint32_t interval = 0;
+  if (!r.U32(&interval)) return corrupt("truncated header");
+  if (interval != slots_.size()) {
+    return corrupt("interval out of order");
+  }
+  uint64_t vocab_before = 0;
+  uint64_t vocab_after = 0;
+  if (!r.U64(&vocab_before) || !r.U64(&vocab_after) ||
+      vocab_after < vocab_before) {
+    return corrupt("bad vocabulary watermarks");
+  }
+  if (vocab_before != dict_.size()) {
+    return corrupt("vocabulary watermark mismatch");
+  }
+  for (uint64_t id = vocab_before; id < vocab_after; ++id) {
+    std::string word;
+    if (!r.Str(&word)) return corrupt("truncated keyword");
+    if (dict_.Intern(word) != id) {
+      return corrupt("keyword id diverged during replay");
+    }
+  }
+  auto slot = std::make_shared<SnapshotInterval>();
+  slot->vocab_size = vocab_after;
+  IntervalResult& res = slot->result;
+  res.interval = interval;
+  uint64_t cluster_count = 0;
+  if (!r.U64(&res.graph_summary.document_count) ||
+      !r.U64(&res.graph_summary.keyword_count) ||
+      !r.U64(&res.graph_summary.raw_edge_count) ||
+      !r.U64(&res.graph_summary.prune.input_edges) ||
+      !r.U64(&res.graph_summary.prune.failed_support) ||
+      !r.U64(&res.graph_summary.prune.failed_chi_square) ||
+      !r.U64(&res.graph_summary.prune.failed_rho) ||
+      !r.U64(&res.graph_summary.prune.surviving_edges) ||
+      !r.U64(&res.biconnected.components) ||
+      !r.U64(&res.biconnected.articulation_points) ||
+      !r.U64(&res.biconnected.max_stack_entries) ||
+      !r.U64(&res.biconnected.spilled_entries) || !r.U64(&cluster_count)) {
+    return corrupt("truncated interval summary");
+  }
+  res.clusters.reserve(cluster_count);
+  for (uint64_t j = 0; j < cluster_count; ++j) {
+    Cluster cluster;
+    cluster.interval = interval;
+    uint32_t kw_count = 0;
+    if (!r.U32(&kw_count)) return corrupt("truncated cluster");
+    cluster.keywords.resize(kw_count);
+    for (uint32_t i = 0; i < kw_count; ++i) {
+      if (!r.U32(&cluster.keywords[i])) return corrupt("truncated cluster");
+      if (cluster.keywords[i] >= vocab_after) {
+        return corrupt("cluster keyword beyond watermark");
+      }
+    }
+    uint32_t member_edges = 0;
+    if (!r.U32(&member_edges)) return corrupt("truncated cluster");
+    cluster.edges.resize(member_edges);
+    for (uint32_t i = 0; i < member_edges; ++i) {
+      if (!r.U32(&cluster.edges[i].u) || !r.U32(&cluster.edges[i].v) ||
+          !r.F64(&cluster.edges[i].weight)) {
+        return corrupt("truncated cluster edge");
+      }
+    }
+    res.clusters.push_back(std::move(cluster));
+  }
+  if (!ReadIoStats(&r, &slot->io)) return corrupt("truncated io stats");
+  uint64_t edge_count = 0;
+  if (!r.U64(&edge_count)) return corrupt("truncated edge count");
+  struct ReplayEdge {
+    NodeId from;
+    NodeId to;
+    double weight;
+  };
+  std::vector<ReplayEdge> edges;
+  edges.reserve(edge_count);
+  for (uint64_t i = 0; i < edge_count; ++i) {
+    ReplayEdge e;
+    if (!r.U32(&e.from) || !r.U32(&e.to) || !r.F64(&e.weight)) {
+      return corrupt("truncated adjacency edge");
+    }
+    edges.push_back(e);
+  }
+  if (!r.AtEnd()) return corrupt("trailing bytes");
+
+  // Adopt — the mirror of CommitInterval/ExtendGraph, with the logged
+  // deltas standing in for clustering and the affinity joins. Warm
+  // online state is deliberately not rebuilt (it is reader-visible
+  // cache, recreated on demand).
+  io_ += slot->io;
+  for (const Cluster& cluster : res.clusters) {
+    clusters_bytes_ +=
+        sizeof(Cluster) + cluster.keywords.size() * sizeof(KeywordId);
+  }
+  const uint64_t cluster_total = res.clusters.size();
+  slots_.push_back(std::move(slot));
+  const uint32_t added = graph_.AddInterval();
+  assert(added == interval);
+  (void)added;
+  node_of_.emplace_back();
+  node_of_.back().reserve(cluster_total);
+  for (uint64_t j = 0; j < cluster_total; ++j) {
+    node_of_.back().push_back(graph_.AddNode(interval));
+  }
+  const bool needs_normalization =
+      options_.affinity.measure == AffinityMeasure::kIntersection;
+  if (needs_normalization) {
+    double tick_max = 0;
+    for (const ReplayEdge& e : edges) {
+      tick_max = std::max(tick_max, e.weight);
+    }
+    if (tick_max > running_max_affinity_) {
+      if (running_max_affinity_ > 0) online_rescale_needed_ = true;
+      running_max_affinity_ = tick_max;
+      graph_.set_weight_scale(1.0 / running_max_affinity_);
+    }
+    for (const ReplayEdge& e : edges) {
+      ST_RETURN_IF_ERROR(graph_.AddEdge(e.from, e.to, e.weight));
+    }
+  } else {
+    for (const ReplayEdge& e : edges) {
+      ST_RETURN_IF_ERROR(
+          graph_.AddEdge(e.from, e.to, std::min(e.weight, 1.0)));
+    }
+  }
+  graph_.SortTouched();
+  return Status::OK();
 }
 
 Result<uint32_t> Engine::IngestInterned(
@@ -513,6 +825,14 @@ void Engine::Publish() {
   snap->stats.keywords = vocab;
   snap->stats.graph_bytes = graph_.MemoryBytes();
   snap->stats.io = io_;
+  if (durability_ != nullptr) {
+    // WAL + checkpoint traffic (fsyncs included). Kept out of io_ so the
+    // ingest-side counters a recovered engine replays stay exact.
+    snap->stats.io += durability_->io();
+    snap->stats.wal_bytes = durability_->wal_bytes();
+    snap->stats.checkpoint_ns = durability_->checkpoint_ns();
+  }
+  snap->stats.recovered_epoch = recovered_epoch_;
   snap->stats.shared_chunk_count = seal.shared_chunks;
   snap->stats.copied_chunk_count = seal.copied_chunks;
   snap->stats.resident_bytes = snap->graph->MemoryBytes() + words_bytes_ +
@@ -594,6 +914,13 @@ EngineStats Engine::stats() const {
   EngineStats stats = snapshot()->stats;
   stats.query_cache_hits = cache_->hits();
   stats.query_cache_misses = cache_->misses();
+  if (durability_ != nullptr) {
+    // Live atomics, like the cache counters: a checkpoint runs *after*
+    // its epoch's publish, so the published point-in-time copy would
+    // otherwise lag one boundary behind.
+    stats.wal_bytes = durability_->wal_bytes();
+    stats.checkpoint_ns = durability_->checkpoint_ns();
+  }
   return stats;
 }
 

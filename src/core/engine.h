@@ -38,6 +38,7 @@
 #include <vector>
 
 #include "affinity/similarity_join.h"
+#include "core/durability.h"
 #include "core/interval_clusterer.h"
 #include "core/query_cache.h"
 #include "core/snapshot.h"
@@ -78,6 +79,11 @@ struct EngineOptions {
   /// pool while the serial affinity-join/graph-extension of interval t
   /// commits. Byte-identical to serial ingest at any thread count.
   bool pipeline_ingest = true;
+  /// Crash durability (WAL + checkpoints; see core/durability.h). When
+  /// enabled the engine must be built with Engine::Recover — a plain
+  /// constructor refuses to ingest, because it has no way to report a
+  /// failed log/checkpoint recovery. Disabled: no file is ever touched.
+  DurabilityOptions durability;
 };
 
 /// The library-wide query type: algorithm, mode, k, l, diversification.
@@ -115,6 +121,21 @@ using Query = FinderQuery;
 class Engine {
  public:
   explicit Engine(EngineOptions options = {});
+
+  /// \brief Opens (or creates) a durable engine from its data directory.
+  ///
+  /// Restores the newest checkpoint, replays the write-ahead log's valid
+  /// tail (a torn or corrupt tail is truncated, never replayed), and
+  /// resumes ingest exactly where the crash left off: the recovered
+  /// engine is byte-identical to one that ingested the same intervals
+  /// uninterrupted — same keyword ids, clusters, adjacency bits and
+  /// query answers (warm online state is the one deliberate exception:
+  /// it is reader-visible cache, rebuilt on demand, never persisted).
+  /// Recovery lands on the epoch that was published at the crash, or one
+  /// later when the crash hit between the WAL fsync and the publish.
+  /// Requires options.durability.enabled and a directory; this is the
+  /// only way to construct an engine that accepts durable ingest.
+  static Result<std::unique_ptr<Engine>> Recover(EngineOptions options);
 
   /// Preprocesses, clusters and commits one interval of raw posts.
   /// Intervals are implicitly numbered 0, 1, ... in arrival order.
@@ -245,6 +266,18 @@ class Engine {
   Status AdvanceWarmOnline(uint32_t interval);
   // Builds and atomically publishes the snapshot for the current state.
   void Publish();
+  // Serializes committed interval `interval`'s delta — new keywords
+  // since the previous watermark, clusters, per-tick I/O, and its
+  // adjacency edges at stored weights — into the blob ReplayInterval
+  // consumes. Used for both the per-commit WAL record and the
+  // checkpoint payload (the adjacency is read back from the graph, so
+  // nothing per-tick needs retaining).
+  std::string SerializeIntervalDelta(uint32_t interval) const;
+  // Replays one serialized delta: re-interns the words (validating id
+  // assignment), adopts the slot, extends the graph with the logged
+  // edges and re-derives the running-max scale. The write-side mirror
+  // of CommitInterval minus durability, warm-online and publish.
+  Status ReplayInterval(const std::string& blob);
 
   EngineOptions options_;
   KeywordDict dict_;
@@ -301,6 +334,12 @@ class Engine {
   // half-committed interval that must never be published, so further
   // ingest is refused while queries keep serving the last epoch.
   Status broken_;
+
+  // Durability (null unless built by Engine::Recover with
+  // options_.durability.enabled): WAL + checkpoint writer, plus the
+  // epoch recovery restored (0 for a fresh directory).
+  std::unique_ptr<Durability> durability_;
+  uint64_t recovered_epoch_ = 0;
 };
 
 }  // namespace stabletext

@@ -77,6 +77,14 @@ struct EngineStats {
   /// (shared chunks counted once), keyword table and cluster payloads.
   /// Readers pinning old epochs retain their unshared chunks on top.
   size_t resident_bytes = 0;
+  // Durability counters, all zero when durability is off. WAL and
+  // checkpoint traffic (including IoStats::fsyncs) is folded into `io`
+  // at publish; the engine keeps its ingest-side accounting separate
+  // internally so a recovered engine reproduces the ingest counters
+  // exactly.
+  uint64_t wal_bytes = 0;       ///< WAL record bytes appended (live).
+  uint64_t checkpoint_ns = 0;   ///< Wall clock of the latest checkpoint.
+  uint64_t recovered_epoch = 0; ///< Epoch Engine::Recover restored.
 };
 
 /// One committed interval's immutable outputs, shared between the writer

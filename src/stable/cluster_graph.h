@@ -243,6 +243,20 @@ class ClusterGraph {
     return EdgeSpan(build_parents_[n].data(), build_parents_[n].size(),
                     weight_scale_);
   }
+  /// Parents at *stored* weights (scale 1), bypassing the read-time
+  /// normalization. The durability log serializes these so replaying
+  /// AddEdge reproduces the stored bits — and the running-max scale —
+  /// exactly.
+  EdgeSpan StoredParents(NodeId n) const {
+    if (frozen_) {
+      const AdjChunk& c = *parent_chunks_[n >> kChunkShift];
+      const uint32_t i = static_cast<uint32_t>(n & kChunkMask);
+      return EdgeSpan(c.edges.data() + c.offsets[i],
+                      c.offsets[i + 1] - c.offsets[i], 1.0);
+    }
+    return EdgeSpan(build_parents_[n].data(), build_parents_[n].size(),
+                    1.0);
+  }
 
   /// Length of the edge (a, b) in intervals.
   uint32_t EdgeLength(NodeId a, NodeId b) const {

@@ -11,6 +11,7 @@ IoStats& IoStats::operator+=(const IoStats& other) {
   random_seeks += other.random_seeks;
   bytes_read += other.bytes_read;
   bytes_written += other.bytes_written;
+  fsyncs += other.fsyncs;
   sort_runs_spilled += other.sort_runs_spilled;
   sort_merge_passes += other.sort_merge_passes;
   sort_in_memory_sorts += other.sort_in_memory_sorts;
@@ -25,6 +26,7 @@ IoStats operator-(IoStats a, const IoStats& b) {
   a.random_seeks -= b.random_seeks;
   a.bytes_read -= b.bytes_read;
   a.bytes_written -= b.bytes_written;
+  a.fsyncs -= b.fsyncs;
   a.sort_runs_spilled -= b.sort_runs_spilled;
   a.sort_merge_passes -= b.sort_merge_passes;
   a.sort_in_memory_sorts -= b.sort_in_memory_sorts;
@@ -35,12 +37,13 @@ IoStats operator-(IoStats a, const IoStats& b) {
 std::string IoStats::ToString() const {
   return StringPrintf(
       "reads=%llu writes=%llu cached=%llu seeks=%llu read=%s written=%s "
-      "sort[runs=%llu passes=%llu memsorts=%llu tail=%llu]",
+      "fsyncs=%llu sort[runs=%llu passes=%llu memsorts=%llu tail=%llu]",
       static_cast<unsigned long long>(page_reads),
       static_cast<unsigned long long>(page_writes),
       static_cast<unsigned long long>(logical_reads),
       static_cast<unsigned long long>(random_seeks),
       HumanBytes(bytes_read).c_str(), HumanBytes(bytes_written).c_str(),
+      static_cast<unsigned long long>(fsyncs),
       static_cast<unsigned long long>(sort_runs_spilled),
       static_cast<unsigned long long>(sort_merge_passes),
       static_cast<unsigned long long>(sort_in_memory_sorts),

@@ -24,6 +24,7 @@ struct IoStats {
   uint64_t random_seeks = 0;      ///< Non-sequential repositionings.
   uint64_t bytes_read = 0;        ///< Physical bytes read.
   uint64_t bytes_written = 0;     ///< Physical bytes written.
+  uint64_t fsyncs = 0;            ///< fsync(2) barriers (durability).
   // External-sort phase accounting (ExternalSorter).
   uint64_t sort_runs_spilled = 0;      ///< Sorted runs written to disk.
   uint64_t sort_merge_passes = 0;      ///< Intermediate merge passes.

@@ -1,5 +1,7 @@
 #include "storage/paged_file.h"
 
+#include <unistd.h>
+
 #include <algorithm>
 #include <cstring>
 #include <filesystem>
@@ -42,10 +44,13 @@ Status PagedFile::Open(const std::string& path,
 Status PagedFile::Close() {
   if (file_ == nullptr) return Status::OK();
   Status s = Flush();
-  std::fclose(file_);
+  const int rc = std::fclose(file_);
   file_ = nullptr;
   cache_.clear();
   lru_.clear();
+  if (s.ok() && rc != 0) {
+    return Status::IOError("close failed for " + path_);
+  }
   return s;
 }
 
@@ -187,7 +192,19 @@ Status PagedFile::Flush() {
     ST_RETURN_IF_ERROR(PhysicalWrite(page_no, entry.first.data.data()));
     entry.first.dirty = false;
   }
-  std::fflush(file_);
+  if (std::fflush(file_) != 0) {
+    return Status::IOError("flush failed for " + path_);
+  }
+  return Status::OK();
+}
+
+Status PagedFile::Sync() {
+  if (file_ == nullptr) return Status::InvalidArgument("file not open");
+  ST_RETURN_IF_ERROR(Flush());
+  if (::fsync(::fileno(file_)) != 0) {
+    return Status::IOError("fsync failed for " + path_);
+  }
+  if (stats_ != nullptr) ++stats_->fsyncs;
   return Status::OK();
 }
 

@@ -48,7 +48,9 @@ class PagedFile {
   Status Open(const std::string& path, const PagedFileOptions& options,
               IoStats* stats);
 
-  /// Writes back dirty pages and closes. Idempotent.
+  /// Writes back dirty pages and closes, surfacing flush *and* fclose
+  /// failures as Status (a close that loses buffered bytes is an
+  /// IOError, not a silent success). Idempotent.
   Status Close();
 
   bool is_open() const { return file_ != nullptr; }
@@ -67,6 +69,10 @@ class PagedFile {
 
   /// Writes back all dirty cached pages.
   Status Flush();
+
+  /// Flush + fsync(2): the durability barrier checkpoint writes rely on.
+  /// Counts one IoStats::fsyncs when it reaches the disk.
+  Status Sync();
 
   /// Drops all cached pages (after writing back dirty ones). Used by tests
   /// and by benchmarks that want cold-cache measurements.

@@ -1,5 +1,9 @@
 // Sequential files of fixed-size trivially-copyable records, layered on
 // PagedFile. Used for the keyword-pair file of Section 3 and for sort runs.
+//
+// Every page — header and data alike — carries a CRC32 trailer in its
+// last four bytes, verified on read: bit rot or a torn page surfaces as
+// Status::DataLoss instead of silently decoding garbage records.
 
 #ifndef STABLETEXT_STORAGE_RECORD_FILE_H_
 #define STABLETEXT_STORAGE_RECORD_FILE_H_
@@ -10,15 +14,42 @@
 #include <vector>
 
 #include "storage/paged_file.h"
+#include "util/crc32.h"
 #include "util/status.h"
 
 namespace stabletext {
+
+namespace record_file_internal {
+
+/// Bytes of each page reserved for the CRC32 trailer.
+inline constexpr size_t kChecksumBytes = sizeof(uint32_t);
+
+/// Stamps the CRC32 of page[0, page_size-4) into the trailer.
+inline void StampPage(uint8_t* page, size_t page_size) {
+  const uint32_t crc = Crc32(page, page_size - kChecksumBytes);
+  std::memcpy(page + page_size - kChecksumBytes, &crc, kChecksumBytes);
+}
+
+/// Verifies the trailer; DataLoss on mismatch.
+inline Status VerifyPage(const uint8_t* page, size_t page_size,
+                         const std::string& path, uint64_t page_no) {
+  uint32_t stored = 0;
+  std::memcpy(&stored, page + page_size - kChecksumBytes, kChecksumBytes);
+  if (Crc32(page, page_size - kChecksumBytes) != stored) {
+    return Status::DataLoss("page checksum mismatch in " + path +
+                            " at page " + std::to_string(page_no));
+  }
+  return Status::OK();
+}
+
+}  // namespace record_file_internal
 
 /// \brief Appends fixed-size records sequentially to a paged file.
 ///
 /// Records never straddle pages; any per-page slack is wasted (records are
 /// small relative to pages everywhere in this library). The record count is
-/// stored in a sidecar header page (page 0).
+/// stored in a sidecar header page (page 0). Each page ends in a CRC32
+/// trailer that RecordReader verifies.
 template <typename Record>
 class RecordWriter {
   static_assert(std::is_trivially_copyable_v<Record>,
@@ -30,7 +61,8 @@ class RecordWriter {
   Status Open(const std::string& path, IoStats* stats,
               size_t page_size = 4096, size_t cache_pages = 1,
               uint64_t fail_after_physical_ops = 0) {
-    if (page_size < sizeof(Record) + sizeof(uint64_t)) {
+    if (page_size < sizeof(Record) + sizeof(uint64_t) +
+                        record_file_internal::kChecksumBytes) {
       return Status::InvalidArgument("page too small for record");
     }
     PagedFileOptions opt;
@@ -39,12 +71,17 @@ class RecordWriter {
     opt.truncate = true;
     opt.fail_after_physical_ops = fail_after_physical_ops;
     ST_RETURN_IF_ERROR(file_.Open(path, opt, stats));
-    per_page_ = page_size / sizeof(Record);
+    path_ = path;
+    per_page_ =
+        (page_size - record_file_internal::kChecksumBytes) / sizeof(Record);
     buffer_.assign(page_size, 0);
     in_page_ = 0;
     count_ = 0;
-    // Reserve page 0 for the header.
+    // Reserve page 0 for the header (stamped so an unfinished file still
+    // reads as a valid, empty one rather than a checksum failure).
+    record_file_internal::StampPage(buffer_.data(), page_size);
     ST_RETURN_IF_ERROR(file_.WritePage(0, buffer_.data()));
+    std::fill(buffer_.begin(), buffer_.end(), 0);
     next_page_ = 1;
     return Status::OK();
   }
@@ -64,6 +101,7 @@ class RecordWriter {
     if (in_page_ > 0) ST_RETURN_IF_ERROR(FlushPage());
     std::vector<uint8_t> header(file_.page_size(), 0);
     std::memcpy(header.data(), &count_, sizeof(count_));
+    record_file_internal::StampPage(header.data(), file_.page_size());
     ST_RETURN_IF_ERROR(file_.WritePage(0, header.data()));
     return file_.Close();
   }
@@ -72,6 +110,7 @@ class RecordWriter {
 
  private:
   Status FlushPage() {
+    record_file_internal::StampPage(buffer_.data(), file_.page_size());
     ST_RETURN_IF_ERROR(file_.WritePage(next_page_, buffer_.data()));
     ++next_page_;
     in_page_ = 0;
@@ -80,6 +119,7 @@ class RecordWriter {
   }
 
   PagedFile file_;
+  std::string path_;
   std::vector<uint8_t> buffer_;
   size_t per_page_ = 0;
   size_t in_page_ = 0;
@@ -87,7 +127,8 @@ class RecordWriter {
   uint64_t count_ = 0;
 };
 
-/// \brief Sequentially reads a file produced by RecordWriter.
+/// \brief Sequentially reads a file produced by RecordWriter, verifying
+/// each page's CRC32 trailer (DataLoss on mismatch).
 template <typename Record>
 class RecordReader {
   static_assert(std::is_trivially_copyable_v<Record>,
@@ -103,9 +144,13 @@ class RecordReader {
     opt.cache_pages = cache_pages;
     opt.fail_after_physical_ops = fail_after_physical_ops;
     ST_RETURN_IF_ERROR(file_.Open(path, opt, stats));
-    per_page_ = page_size / sizeof(Record);
+    path_ = path;
+    per_page_ =
+        (page_size - record_file_internal::kChecksumBytes) / sizeof(Record);
     std::vector<uint8_t> header;
     ST_RETURN_IF_ERROR(file_.ReadPage(0, &header));
+    ST_RETURN_IF_ERROR(record_file_internal::VerifyPage(
+        header.data(), page_size, path_, 0));
     std::memcpy(&count_, header.data(), sizeof(count_));
     position_ = 0;
     page_no_ = 0;
@@ -113,12 +158,16 @@ class RecordReader {
   }
 
   /// Reads the next record into *out. Returns false at end of file.
-  /// I/O failures surface through status().
+  /// I/O failures and checksum mismatches surface through status().
   bool Next(Record* out) {
+    if (!status_.ok()) return false;
     if (position_ >= count_) return false;
     const uint64_t page = 1 + position_ / per_page_;
     if (page != page_no_) {
       status_ = file_.ReadPage(page, &page_buf_);
+      if (!status_.ok()) return false;
+      status_ = record_file_internal::VerifyPage(
+          page_buf_.data(), file_.page_size(), path_, page);
       if (!status_.ok()) return false;
       page_no_ = page;
     }
@@ -134,6 +183,7 @@ class RecordReader {
 
  private:
   PagedFile file_;
+  std::string path_;
   std::vector<uint8_t> page_buf_;
   Status status_;
   size_t per_page_ = 0;

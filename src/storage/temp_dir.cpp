@@ -3,6 +3,7 @@
 #include <unistd.h>
 
 #include <atomic>
+#include <cstdio>
 #include <filesystem>
 
 namespace stabletext {
@@ -28,8 +29,24 @@ TempDir::TempDir(const std::string& tag) {
 }
 
 TempDir::~TempDir() {
+  if (path_.empty()) return;
+  // A destructor cannot return a Status; at least make the leak visible.
+  Status s = Cleanup();
+  if (!s.ok()) {
+    std::fprintf(stderr, "TempDir: %s\n", s.ToString().c_str());
+  }
+}
+
+Status TempDir::Cleanup() {
+  if (path_.empty()) return Status::OK();
   std::error_code ec;
-  fs::remove_all(path_, ec);  // Best effort; ignore errors at teardown.
+  fs::remove_all(path_, ec);
+  if (ec) {
+    return Status::IOError("failed to remove " + path_ + ": " +
+                           ec.message());
+  }
+  path_.clear();
+  return Status::OK();
 }
 
 std::string TempDir::FilePath(const std::string& name) const {

@@ -5,6 +5,8 @@
 
 #include <string>
 
+#include "util/status.h"
+
 namespace stabletext {
 
 /// \brief Creates a unique directory under the system temp path and removes
@@ -23,6 +25,12 @@ class TempDir {
 
   /// Returns path()/name.
   std::string FilePath(const std::string& name) const;
+
+  /// Removes the directory tree now, reporting failure instead of hiding
+  /// it. Idempotent; the destructor becomes a no-op afterwards. Callers
+  /// that care whether scratch space was actually reclaimed (tests, the
+  /// CLI) should use this; the destructor can only warn on stderr.
+  Status Cleanup();
 
  private:
   std::string path_;

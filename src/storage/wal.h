@@ -1,0 +1,112 @@
+// Write-ahead interval log: an append-only file of checksummed,
+// length-prefixed records. The engine appends one record per committed
+// interval (before publishing the epoch) and fsyncs, so a crash loses at
+// most the record being written; WalScanAndTruncate detects a torn or
+// corrupt tail on open and truncates it — a half-written record is never
+// replayed.
+//
+// On-disk layout:
+//   [8-byte magic "STWAL1\n"]
+//   repeated records: [u32 payload_len][u32 crc32(payload)][payload]
+//
+// All multi-byte fields are host-endian (the log is machine-local state,
+// like every other file this storage layer writes).
+
+#ifndef STABLETEXT_STORAGE_WAL_H_
+#define STABLETEXT_STORAGE_WAL_H_
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "storage/io_stats.h"
+#include "util/status.h"
+
+namespace stabletext {
+
+/// \brief Shared physical-operation budget for crash-injection tests.
+///
+/// Every durability-layer physical operation (log write, checkpoint page
+/// write, fsync, rename) charges one op; once the budget is exceeded each
+/// further operation fails with IOError — simulating a crash at that
+/// exact physical-op boundary. A budget of 0 disables injection.
+struct FaultInjector {
+  uint64_t fail_after_physical_ops = 0;
+  uint64_t ops = 0;
+
+  Status Charge(const char* what) {
+    if (fail_after_physical_ops != 0 && ++ops > fail_after_physical_ops) {
+      return Status::IOError(std::string("injected fault at ") + what);
+    }
+    return Status::OK();
+  }
+};
+
+/// \brief Appends checksummed records to a write-ahead log file.
+///
+/// Writes go through the OS in bounded chunks (one charged physical op
+/// per chunk), so fault injection can kill an append mid-record — the
+/// torn tail this leaves behind is exactly what WalScanAndTruncate must
+/// cope with.
+class WalWriter {
+ public:
+  WalWriter() = default;
+  ~WalWriter();
+
+  WalWriter(const WalWriter&) = delete;
+  WalWriter& operator=(const WalWriter&) = delete;
+
+  /// Creates (truncating) a fresh log at `path`: writes and fsyncs the
+  /// magic header. `faults` and `stats` may be null; both must outlive
+  /// the writer.
+  Status Create(const std::string& path, FaultInjector* faults,
+                IoStats* stats);
+
+  /// Opens an existing log (already validated/truncated by
+  /// WalScanAndTruncate) and positions at its end for appends.
+  Status OpenForAppend(const std::string& path, FaultInjector* faults,
+                       IoStats* stats);
+
+  /// Appends one length-prefixed, CRC32-checksummed record.
+  Status Append(const void* payload, size_t size);
+
+  /// fsyncs the log file.
+  Status Sync();
+
+  /// Closes the file. Idempotent; surfaces the close(2) error.
+  Status Close();
+
+  bool is_open() const { return fd_ >= 0; }
+
+  /// Total record bytes appended through this writer (headers included).
+  uint64_t bytes_appended() const {
+    return bytes_appended_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  Status WriteAll(const void* data, size_t size, const char* what);
+
+  int fd_ = -1;
+  std::string path_;
+  FaultInjector* faults_ = nullptr;
+  IoStats* stats_ = nullptr;
+  std::atomic<uint64_t> bytes_appended_{0};
+};
+
+/// \brief Validates a log and returns its record payloads.
+///
+/// Reads `path`, verifies the magic header, and appends every complete,
+/// checksum-valid record payload to `records` in order. The first torn or
+/// corrupt record ends the scan and the file is truncated at its start
+/// offset, so a later OpenForAppend continues from the last durable
+/// record. A file whose header itself is torn is truncated to empty and
+/// reported as kNotFound (callers recreate it); a present-but-garbage
+/// header is kCorruption.
+Status WalScanAndTruncate(const std::string& path,
+                          std::vector<std::string>* records,
+                          IoStats* stats);
+
+}  // namespace stabletext
+
+#endif  // STABLETEXT_STORAGE_WAL_H_

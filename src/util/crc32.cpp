@@ -1,0 +1,36 @@
+#include "util/crc32.h"
+
+#include <array>
+
+namespace stabletext {
+
+namespace {
+
+// Slice-by-one table for the reflected polynomial 0xEDB88320, generated
+// once at startup (256 * 4 bytes; the durability paths that use this are
+// I/O bound, not CRC bound).
+std::array<uint32_t, 256> MakeTable() {
+  std::array<uint32_t, 256> table{};
+  for (uint32_t i = 0; i < 256; ++i) {
+    uint32_t c = i;
+    for (int bit = 0; bit < 8; ++bit) {
+      c = (c & 1) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+    }
+    table[i] = c;
+  }
+  return table;
+}
+
+}  // namespace
+
+uint32_t Crc32(uint32_t crc, const void* data, size_t size) {
+  static const std::array<uint32_t, 256> kTable = MakeTable();
+  const uint8_t* p = static_cast<const uint8_t*>(data);
+  crc = ~crc;
+  for (size_t i = 0; i < size; ++i) {
+    crc = kTable[(crc ^ p[i]) & 0xFF] ^ (crc >> 8);
+  }
+  return ~crc;
+}
+
+}  // namespace stabletext

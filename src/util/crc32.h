@@ -1,0 +1,26 @@
+// CRC32 (IEEE 802.3 polynomial, reflected) for on-disk integrity checks:
+// write-ahead-log records, checkpoint payloads and record-file pages all
+// carry a checksum so bit rot and torn writes are detected instead of
+// silently replayed.
+
+#ifndef STABLETEXT_UTIL_CRC32_H_
+#define STABLETEXT_UTIL_CRC32_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace stabletext {
+
+/// Extends a running CRC32 with `size` bytes. Seed a fresh computation
+/// with crc = 0; the returned value is the standard (zlib-compatible)
+/// CRC-32 of the concatenated input.
+uint32_t Crc32(uint32_t crc, const void* data, size_t size);
+
+/// One-shot CRC32 of a buffer.
+inline uint32_t Crc32(const void* data, size_t size) {
+  return Crc32(0, data, size);
+}
+
+}  // namespace stabletext
+
+#endif  // STABLETEXT_UTIL_CRC32_H_

@@ -22,6 +22,7 @@ enum class StatusCode {
   kCorruption,
   kNotSupported,
   kInternal,
+  kDataLoss,
 };
 
 /// \brief Lightweight status object returned by fallible operations.
@@ -53,6 +54,9 @@ class Status {
   }
   static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status DataLoss(std::string msg) {
+    return Status(StatusCode::kDataLoss, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

@@ -1,0 +1,359 @@
+// Fault-injected crash recovery. The tentpole claim under test: a durable
+// engine killed at ANY physical-op boundary (WAL chunk write, WAL fsync,
+// checkpoint page write/fsync/rename, log rotation) recovers to the epoch
+// that was published at the crash — or one later, when the crash hit
+// after the WAL fsync but before the publish — and the recovered state is
+// byte-identical to an uninterrupted run at that epoch: same graph bits,
+// same query answers. The sweep advances the injected fault budget one
+// physical op at a time over a 64-tick ingest until a run completes
+// cleanly, so every boundary the workload crosses is a kill point. Plus
+// WAL torn-tail/corrupt-record unit tests and the durability lifecycle
+// contract (Recover-only construction, DataLoss on vanished checkpoints).
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/engine.h"
+#include "gen/corpus_generator.h"
+#include "storage/temp_dir.h"
+#include "storage/wal.h"
+#include "util/strings.h"
+
+namespace stabletext {
+namespace {
+
+namespace fs = std::filesystem;
+
+// Small, fast ticks: the sweep ingests tens of thousands of them.
+constexpr uint32_t kTicks = 64;
+constexpr uint32_t kCheckpointInterval = 8;
+
+std::vector<std::vector<std::string>> GenerateTicks() {
+  CorpusGenOptions opt;
+  opt.days = 8;
+  opt.posts_per_day = 24;
+  opt.vocabulary = 240;
+  opt.min_words_per_post = 6;
+  opt.max_words_per_post = 14;
+  opt.micro_events = 8;
+  opt.seed = 7;
+  opt.script = EventScript::PaperWeek();
+  CorpusGenerator gen(opt);
+  std::vector<std::vector<std::string>> ticks;
+  ticks.reserve(kTicks);
+  for (uint32_t t = 0; t < kTicks; ++t) {
+    ticks.push_back(gen.GenerateDay(t % opt.days));
+  }
+  return ticks;
+}
+
+EngineOptions BaseOptions() {
+  EngineOptions opt;
+  opt.gap = 1;
+  opt.clustering.pruning.rho_threshold = 0.15;
+  opt.clustering.pruning.min_pair_support = 2;
+  opt.affinity.theta = 0.05;
+  return opt;
+}
+
+EngineOptions DurableOptions(const std::string& dir,
+                             uint64_t fail_after_physical_ops) {
+  EngineOptions opt = BaseOptions();
+  opt.durability.enabled = true;
+  opt.durability.dir = dir;
+  opt.durability.checkpoint_interval = kCheckpointInterval;
+  opt.durability.fail_after_physical_ops = fail_after_physical_ops;
+  return opt;
+}
+
+std::string GraphFingerprint(const ClusterGraph& graph) {
+  std::string out = StringPrintf("nodes=%zu edges=%zu intervals=%u\n",
+                                 graph.node_count(), graph.edge_count(),
+                                 graph.interval_count());
+  for (NodeId v = 0; v < graph.node_count(); ++v) {
+    for (const ClusterGraphEdge& e : graph.Children(v)) {
+      out += StringPrintf("%u->%u %.17g\n", v, e.target, e.weight);
+    }
+  }
+  return out;
+}
+
+std::string QueryFingerprint(const Engine& engine) {
+  Query q;
+  q.algorithm = FinderAlgorithm::kBfs;
+  q.k = 4;
+  q.l = 2;
+  auto r = engine.Query(q);
+  if (!r.ok()) return "query failed: " + r.status().ToString();
+  std::string out;
+  for (const StableClusterChain& chain : r.value().chains) {
+    for (NodeId n : chain.path.nodes) out += StringPrintf("%u-", n);
+    out += StringPrintf(" w=%.17g len=%u\n", chain.path.weight,
+                        chain.path.length);
+  }
+  return out;
+}
+
+// Per-epoch reference state from an uninterrupted, non-durable run:
+// recovery at epoch e must reproduce these bytes exactly.
+struct Reference {
+  std::vector<std::string> graphs;   // [0..kTicks]
+  std::vector<std::string> queries;  // [0..kTicks]
+};
+
+Reference BuildReference(const std::vector<std::vector<std::string>>& ticks) {
+  Reference ref;
+  Engine engine(BaseOptions());
+  ref.graphs.push_back(GraphFingerprint(engine.graph()));
+  ref.queries.push_back(QueryFingerprint(engine));
+  for (const auto& posts : ticks) {
+    auto r = engine.IngestText(posts);
+    EXPECT_TRUE(r.ok()) << r.status().ToString();
+    ref.graphs.push_back(GraphFingerprint(engine.graph()));
+    ref.queries.push_back(QueryFingerprint(engine));
+  }
+  return ref;
+}
+
+TEST(WalTest, TornTailIsTruncatedNotReplayed) {
+  TempDir dir("wal");
+  const std::string path = dir.FilePath("wal-0");
+  const std::string rec1 = "first record payload";
+  const std::string rec2 = "second, longer record payload with more bytes";
+  {
+    WalWriter writer;
+    ASSERT_TRUE(writer.Create(path, nullptr, nullptr).ok());
+    ASSERT_TRUE(writer.Append(rec1.data(), rec1.size()).ok());
+    ASSERT_TRUE(writer.Append(rec2.data(), rec2.size()).ok());
+    ASSERT_TRUE(writer.Sync().ok());
+    ASSERT_TRUE(writer.Close().ok());
+  }
+  // Simulate a torn third record: header promising more bytes than exist.
+  const auto intact_size = fs::file_size(path);
+  {
+    std::ofstream f(path, std::ios::binary | std::ios::app);
+    const uint32_t len = 1000;
+    const uint32_t crc = 0;
+    f.write(reinterpret_cast<const char*>(&len), 4);
+    f.write(reinterpret_cast<const char*>(&crc), 4);
+    f.write("partial", 7);
+  }
+  std::vector<std::string> records;
+  ASSERT_TRUE(WalScanAndTruncate(path, &records, nullptr).ok());
+  ASSERT_EQ(records.size(), 2u);
+  EXPECT_EQ(records[0], rec1);
+  EXPECT_EQ(records[1], rec2);
+  // The torn tail was physically truncated.
+  EXPECT_EQ(fs::file_size(path), intact_size);
+  // A second scan sees a clean file.
+  records.clear();
+  ASSERT_TRUE(WalScanAndTruncate(path, &records, nullptr).ok());
+  EXPECT_EQ(records.size(), 2u);
+}
+
+TEST(WalTest, CorruptRecordEndsTheScan) {
+  TempDir dir("wal");
+  const std::string path = dir.FilePath("wal-0");
+  const std::string rec1 = "good record";
+  const std::string rec2 = "record that will rot";
+  const std::string rec3 = "record after the rot";
+  {
+    WalWriter writer;
+    ASSERT_TRUE(writer.Create(path, nullptr, nullptr).ok());
+    for (const std::string* r : {&rec1, &rec2, &rec3}) {
+      ASSERT_TRUE(writer.Append(r->data(), r->size()).ok());
+    }
+    ASSERT_TRUE(writer.Close().ok());
+  }
+  // Flip one payload byte of the second record. Layout: 8 magic, then
+  // per record 8-byte header + payload.
+  const size_t offset = 8 + 8 + rec1.size() + 8 + 3;
+  {
+    std::fstream f(path, std::ios::binary | std::ios::in | std::ios::out);
+    f.seekg(static_cast<std::streamoff>(offset));
+    char c = 0;
+    f.get(c);
+    f.seekp(static_cast<std::streamoff>(offset));
+    f.put(static_cast<char>(c ^ 0x40));
+  }
+  std::vector<std::string> records;
+  ASSERT_TRUE(WalScanAndTruncate(path, &records, nullptr).ok());
+  // Only the prefix before the corruption survives — the corrupt record
+  // and everything after it (even though intact) is discarded, never
+  // replayed.
+  ASSERT_EQ(records.size(), 1u);
+  EXPECT_EQ(records[0], rec1);
+}
+
+TEST(WalTest, TornHeaderReportsNotFound) {
+  TempDir dir("wal");
+  const std::string path = dir.FilePath("wal-0");
+  {
+    std::ofstream f(path, std::ios::binary);
+    f.write("STW", 3);  // Crash mid-magic.
+  }
+  std::vector<std::string> records;
+  Status s = WalScanAndTruncate(path, &records, nullptr);
+  EXPECT_EQ(s.code(), StatusCode::kNotFound);
+  EXPECT_EQ(fs::file_size(path), 0u);  // Truncated for recreation.
+}
+
+TEST(CrashRecoveryTest, DurableConstructionContract) {
+  TempDir dir("durable");
+  // Durability on, but built with the plain constructor: ingest refuses.
+  Engine wrong(DurableOptions(dir.path(), 0));
+  auto r = wrong.IngestText({"alpha beta gamma"});
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument);
+  // Recover without durability enabled: invalid.
+  EXPECT_FALSE(Engine::Recover(BaseOptions()).ok());
+}
+
+TEST(CrashRecoveryTest, RoundTripRestoresStateByteIdentically) {
+  const auto ticks = GenerateTicks();
+  TempDir dir("durable");
+  std::string expected_graph;
+  std::string expected_query;
+  uint64_t wal_bytes = 0;
+  {
+    auto created = Engine::Recover(DurableOptions(dir.path(), 0));
+    ASSERT_TRUE(created.ok()) << created.status().ToString();
+    Engine& engine = *created.value();
+    for (uint32_t t = 0; t < 2 * kCheckpointInterval + 3; ++t) {
+      auto r = engine.IngestText(ticks[t]);
+      ASSERT_TRUE(r.ok()) << r.status().ToString();
+    }
+    expected_graph = GraphFingerprint(engine.graph());
+    expected_query = QueryFingerprint(engine);
+    const EngineStats stats = engine.stats();
+    EXPECT_GT(stats.wal_bytes, 0u);
+    EXPECT_GT(stats.checkpoint_ns, 0u);
+    EXPECT_GT(stats.io.fsyncs, 0u);
+    EXPECT_EQ(stats.recovered_epoch, 0u);
+    wal_bytes = stats.wal_bytes;
+  }
+  auto recovered = Engine::Recover(DurableOptions(dir.path(), 0));
+  ASSERT_TRUE(recovered.ok()) << recovered.status().ToString();
+  Engine& engine = *recovered.value();
+  EXPECT_EQ(engine.snapshot()->epoch, 2 * kCheckpointInterval + 3);
+  EXPECT_EQ(engine.stats().recovered_epoch, 2 * kCheckpointInterval + 3);
+  EXPECT_EQ(GraphFingerprint(engine.graph()), expected_graph);
+  EXPECT_EQ(QueryFingerprint(engine), expected_query);
+  // A fresh process starts its WAL byte counter at zero.
+  EXPECT_LT(engine.stats().wal_bytes, wal_bytes);
+  // And the non-durable engine reproduces the same state: durability is
+  // observationally free.
+  Engine plain(BaseOptions());
+  for (uint32_t t = 0; t < 2 * kCheckpointInterval + 3; ++t) {
+    ASSERT_TRUE(plain.IngestText(ticks[t]).ok());
+  }
+  EXPECT_EQ(GraphFingerprint(plain.graph()), expected_graph);
+  EXPECT_EQ(plain.stats().wal_bytes, 0u);
+  EXPECT_EQ(plain.stats().io.fsyncs, 0u);
+}
+
+TEST(CrashRecoveryTest, VanishedCheckpointIsDataLossNotSilentTruncation) {
+  const auto ticks = GenerateTicks();
+  TempDir dir("durable");
+  {
+    auto created = Engine::Recover(DurableOptions(dir.path(), 0));
+    ASSERT_TRUE(created.ok()) << created.status().ToString();
+    for (uint32_t t = 0; t < kCheckpointInterval + 2; ++t) {
+      ASSERT_TRUE(created.value()->IngestText(ticks[t]).ok());
+    }
+  }
+  // The checkpoint fsync promised durability; deleting it must surface
+  // as DataLoss (the surviving log has no base to replay onto), never as
+  // a quietly empty engine.
+  const std::string checkpoint =
+      (fs::path(dir.path()) /
+       ("checkpoint-" + std::to_string(kCheckpointInterval)))
+          .string();
+  ASSERT_TRUE(fs::remove(checkpoint));
+  auto recovered = Engine::Recover(DurableOptions(dir.path(), 0));
+  ASSERT_FALSE(recovered.ok());
+  EXPECT_EQ(recovered.status().code(), StatusCode::kDataLoss);
+}
+
+// The sweep. For every fault budget B = 1, 2, 3, ... the writer is
+// recreated against a fresh directory and killed by I/O-op exhaustion
+// somewhere in a 64-tick ingest; recovery (no injection) must then land
+// on the epoch published at the kill — or one later — with byte-exact
+// state. The sweep ends at the first budget that survives the whole
+// ingest, so every physical-op boundary the workload crosses has been a
+// kill point exactly once.
+TEST(CrashRecoveryTest, KillAtEveryPhysicalOpBoundary) {
+  const auto ticks = GenerateTicks();
+  const Reference ref = BuildReference(ticks);
+  // Safety bound: the workload takes a few hundred physical ops end to
+  // end; far more means runaway I/O (itself a regression).
+  constexpr uint64_t kMaxBudget = 50000;
+  uint64_t completed_at = 0;
+  for (uint64_t budget = 1; budget <= kMaxBudget; ++budget) {
+    SCOPED_TRACE(StringPrintf("fault budget=%llu",
+                              static_cast<unsigned long long>(budget)));
+    TempDir dir("crash");
+    uint64_t published = 0;
+    bool crashed = false;
+    {
+      auto writer = Engine::Recover(DurableOptions(dir.path(), budget));
+      if (!writer.ok()) {
+        crashed = true;  // Killed during directory/WAL creation.
+      } else {
+        Engine& engine = *writer.value();
+        for (uint32_t t = 0; t < kTicks; ++t) {
+          auto r = engine.IngestText(ticks[t]);
+          if (!r.ok()) {
+            ASSERT_TRUE(r.status().code() == StatusCode::kIOError ||
+                        r.status().code() == StatusCode::kInternal)
+                << r.status().ToString();
+            crashed = true;
+            break;
+          }
+        }
+        published = engine.snapshot()->epoch;
+      }
+    }  // The "crash": the writer is destroyed with no clean shutdown.
+
+    auto recovered = Engine::Recover(DurableOptions(dir.path(), 0));
+    ASSERT_TRUE(recovered.ok()) << recovered.status().ToString();
+    Engine& engine = *recovered.value();
+    const uint64_t epoch = engine.snapshot()->epoch;
+    if (!crashed) {
+      EXPECT_EQ(epoch, kTicks);
+      EXPECT_EQ(GraphFingerprint(engine.graph()), ref.graphs[kTicks]);
+      EXPECT_EQ(QueryFingerprint(engine), ref.queries[kTicks]);
+      completed_at = budget;
+      break;
+    }
+    // Published epochs are always recoverable; one more only when the
+    // crash split a WAL fsync from its publish.
+    ASSERT_TRUE(epoch == published || epoch == published + 1)
+        << "published=" << published << " recovered=" << epoch;
+    ASSERT_EQ(GraphFingerprint(engine.graph()), ref.graphs[epoch]);
+    ASSERT_EQ(QueryFingerprint(engine), ref.queries[epoch]);
+    EXPECT_EQ(engine.stats().recovered_epoch, epoch);
+    // Sampled: the recovered writer resumes ingest to completion and
+    // converges on the uninterrupted run's final bytes.
+    if (budget % 13 == 0) {
+      for (uint32_t t = static_cast<uint32_t>(epoch); t < kTicks; ++t) {
+        auto r = engine.IngestText(ticks[t]);
+        ASSERT_TRUE(r.ok()) << r.status().ToString();
+      }
+      ASSERT_EQ(GraphFingerprint(engine.graph()), ref.graphs[kTicks]);
+      ASSERT_EQ(QueryFingerprint(engine), ref.queries[kTicks]);
+    }
+  }
+  ASSERT_GT(completed_at, 0u) << "no budget survived the whole ingest";
+  std::printf("sweep covered %llu fault budgets\n",
+              static_cast<unsigned long long>(completed_at));
+}
+
+}  // namespace
+}  // namespace stabletext
