@@ -18,6 +18,7 @@
 #include <type_traits>
 #include <vector>
 
+#include "core/snapshot.h"
 #include "gen/cluster_graph_generator.h"
 #include "stable/finder.h"
 #include "storage/io_stats.h"
@@ -145,6 +146,19 @@ inline std::string IoStatsJson(const IoStats& io) {
       .Put("sort_merge_passes", io.sort_merge_passes)
       .Put("sort_in_memory_sorts", io.sort_in_memory_sorts)
       .Put("sort_tail_records", io.sort_tail_records);
+  return j.ToString();
+}
+
+/// JSON object for the serving-layer counters of an EngineStats (the
+/// fields net::Server::FillServingStats fills, plus the cache counters
+/// a serving workload exercises).
+inline std::string ServingStatsJson(const EngineStats& stats) {
+  Json j;
+  j.Put("subscriptions_active", stats.subscriptions_active)
+      .Put("pushes_sent", stats.pushes_sent)
+      .Put("queries_rejected", stats.queries_rejected)
+      .Put("query_cache_hits", stats.query_cache_hits)
+      .Put("query_cache_misses", stats.query_cache_misses);
   return j.ToString();
 }
 

@@ -1,0 +1,296 @@
+// Network serving throughput/latency under live ingest: a poll(2)-
+// multiplexed load generator drives N concurrent connections against a
+// net::Server (one outstanding QUERY per connection, resent the moment
+// its answer lands) while the writer keeps committing intervals the
+// whole time and a couple of standing subscriptions receive per-epoch
+// deltas. Reports q/s and p50/p99 latency per connection count, plus
+// the admission-control shed rate.
+//
+//   connections      q/s      p50 ms     p99 ms    retries
+//
+// Emits BENCH_serve.json.
+
+#include <poll.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <atomic>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_common.h"
+#include "core/engine.h"
+#include "gen/corpus_generator.h"
+#include "net/client.h"
+#include "net/protocol.h"
+#include "net/server.h"
+#include "net/socket.h"
+#include "util/timer.h"
+
+namespace stabletext {
+namespace {
+
+using bench::Json;
+
+struct LoadConn {
+  int fd = -1;
+  net::FrameReader reader;
+  std::string out;           // Unsent request bytes.
+  size_t out_off = 0;
+  uint64_t next_request = 1;
+  WallTimer sent_at;         // Restarted when a request goes out.
+  bool awaiting = false;
+  bool resend = false;       // Shed by admission control; try again.
+};
+
+struct LoadResult {
+  size_t connections = 0;
+  double seconds = 0;
+  uint64_t completed = 0;
+  uint64_t retries = 0;
+  double qps = 0;
+  double p50_ms = 0;
+  double p99_ms = 0;
+};
+
+double Percentile(std::vector<double>& sorted_ms, double p) {
+  if (sorted_ms.empty()) return 0;
+  const size_t idx = std::min(
+      sorted_ms.size() - 1,
+      static_cast<size_t>(p * static_cast<double>(sorted_ms.size())));
+  return sorted_ms[idx];
+}
+
+// Drives `n` connections for `seconds`, one outstanding query each.
+LoadResult RunLoad(uint16_t port, size_t n, double seconds,
+                   const std::string& query_body) {
+  LoadResult out;
+  out.connections = n;
+  out.seconds = seconds;
+
+  std::vector<LoadConn> conns(n);
+  for (LoadConn& conn : conns) {
+    auto fd = net::ConnectTcp("127.0.0.1", port);
+    if (!fd.ok()) {
+      std::fprintf(stderr, "connect: %s\n",
+                   fd.status().ToString().c_str());
+      std::exit(1);
+    }
+    conn.fd = fd.value();
+    (void)net::SetNonBlocking(conn.fd);
+  }
+
+  auto send_query = [&](LoadConn& conn) {
+    conn.out += net::EncodeFrame(net::MsgType::kQuery, conn.next_request++,
+                                 query_body);
+    conn.sent_at.Restart();
+    conn.awaiting = true;
+    conn.resend = false;
+  };
+  for (LoadConn& conn : conns) send_query(conn);
+
+  std::vector<double> latencies_ms;
+  latencies_ms.reserve(4096);
+  std::vector<pollfd> fds(n);
+  WallTimer clock;
+  while (clock.ElapsedSeconds() < seconds) {
+    bool any_resend = false;
+    for (size_t i = 0; i < n; ++i) {
+      // A shed request is retried on the next tick, not in a tight loop.
+      if (conns[i].resend) {
+        send_query(conns[i]);
+      }
+      any_resend |= conns[i].resend;
+      fds[i].fd = conns[i].fd;
+      fds[i].events = POLLIN;
+      if (conns[i].out_off < conns[i].out.size()) fds[i].events |= POLLOUT;
+      fds[i].revents = 0;
+    }
+    const int rc =
+        ::poll(fds.data(), static_cast<nfds_t>(n), any_resend ? 1 : 20);
+    if (rc < 0) break;
+
+    for (size_t i = 0; i < n; ++i) {
+      LoadConn& conn = conns[i];
+      if (fds[i].revents & POLLOUT) {
+        while (conn.out_off < conn.out.size()) {
+          const net::IoOutcome io =
+              net::WriteSome(conn.fd, conn.out.data() + conn.out_off,
+                             conn.out.size() - conn.out_off);
+          if (!io.ok || io.would_block) break;
+          conn.out_off += static_cast<size_t>(io.n);
+        }
+        if (conn.out_off == conn.out.size()) {
+          conn.out.clear();
+          conn.out_off = 0;
+        }
+      }
+      if (fds[i].revents & (POLLIN | POLLHUP)) {
+        char buf[16 * 1024];
+        for (;;) {
+          const net::IoOutcome io = net::ReadSome(conn.fd, buf, sizeof(buf));
+          if (io.n > 0) conn.reader.Feed(buf, static_cast<size_t>(io.n));
+          if (io.would_block || io.n == 0 || !io.ok) break;
+        }
+        net::Frame frame;
+        while (conn.reader.Next(&frame).ok()) {
+          if (frame.type == net::MsgType::kResult) {
+            latencies_ms.push_back(conn.sent_at.ElapsedMillis());
+            ++out.completed;
+            conn.awaiting = false;
+            send_query(conn);
+          } else if (frame.type == net::MsgType::kRetry) {
+            ++out.retries;
+            conn.awaiting = false;
+            conn.resend = true;  // Next tick.
+          }
+        }
+      }
+    }
+  }
+  for (LoadConn& conn : conns) ::close(conn.fd);
+
+  std::sort(latencies_ms.begin(), latencies_ms.end());
+  out.qps = out.completed / seconds;
+  out.p50_ms = Percentile(latencies_ms, 0.50);
+  out.p99_ms = Percentile(latencies_ms, 0.99);
+  return out;
+}
+
+}  // namespace
+}  // namespace stabletext
+
+int main(int argc, char** argv) {
+  using namespace stabletext;
+  bench::BenchArgs args = bench::ParseArgs(argc, argv, "BENCH_serve.json");
+  bench::Header(
+      "network serving under live ingest",
+      "serving-layer companion to Table 3 (concurrent query cost)",
+      "poll-multiplexed clients, one outstanding query each, writer "
+      "committing intervals throughout");
+
+  const uint32_t days = bench::Pick<uint32_t>(6, 10);
+  const uint32_t posts = bench::Pick<uint32_t>(150, 2000);
+  const std::vector<size_t> sweep =
+      bench::FullScale() ? std::vector<size_t>{64, 256, 1024}
+                         : std::vector<size_t>{16, 64, 256};
+  const double load_seconds = bench::Pick(1.5, 5.0);
+  const uint32_t max_ticks = bench::Pick<uint32_t>(60, 200);
+
+  CorpusGenOptions gen_options;
+  gen_options.days = days;
+  gen_options.posts_per_day = posts;
+  gen_options.vocabulary = 800;
+  gen_options.min_words_per_post = 12;
+  gen_options.max_words_per_post = 24;
+  gen_options.micro_events = 15;
+  gen_options.seed = 13;
+  gen_options.script = EventScript::PaperWeek();
+  CorpusGenerator generator(gen_options);
+  std::vector<std::vector<std::string>> corpus;
+  for (uint32_t day = 0; day < days; ++day) {
+    corpus.push_back(generator.GenerateDay(day));
+  }
+
+  EngineOptions options;
+  options.gap = 0;
+  options.threads = 1;
+  options.clustering.pruning.rho_threshold = 0.2;
+  options.clustering.pruning.min_pair_support = 5;
+  options.affinity.theta = 0.1;
+  Engine engine(options);
+
+  net::ServerOptions server_options;
+  server_options.workers = args.threads;
+  server_options.max_inflight = 64;
+  server_options.queue_depth = 128;
+  net::Server server(&engine, server_options);
+  Status started = server.Start();
+  if (!started.ok()) {
+    std::fprintf(stderr, "server: %s\n", started.ToString().c_str());
+    return 1;
+  }
+
+  // Live ingest for the whole measurement: cycle the generated days
+  // (bounded so a slow box still terminates).
+  std::atomic<bool> stop_ingest{false};
+  std::thread writer([&] {
+    for (uint32_t tick = 0;
+         tick < max_ticks && !stop_ingest.load(std::memory_order_acquire);
+         ++tick) {
+      auto ingested = engine.IngestText(corpus[tick % corpus.size()]);
+      if (!ingested.ok()) break;
+    }
+  });
+
+  // A couple of standing subscriptions receiving per-epoch deltas while
+  // the one-shot load runs.
+  Query standing;
+  standing.algorithm = FinderAlgorithm::kBfs;
+  standing.k = 3;
+  standing.l = 2;
+  net::Client subscriber_a;
+  net::Client subscriber_b;
+  if (subscriber_a.Connect("127.0.0.1", server.port(), 5).ok()) {
+    (void)subscriber_a.Subscribe(standing, /*render=*/false);
+  }
+  if (subscriber_b.Connect("127.0.0.1", server.port(), 5).ok()) {
+    (void)subscriber_b.Subscribe(standing, /*render=*/false);
+  }
+
+  const std::string query_body = net::EncodeQueryBody(standing, 0);
+  std::printf("%12s %10s %10s %10s %10s\n", "connections", "q/s",
+              "p50 ms", "p99 ms", "retries");
+  std::vector<std::string> rows;
+  for (const size_t connections : sweep) {
+    LoadResult best;
+    for (int rep = 0; rep < args.repetitions; ++rep) {
+      LoadResult r =
+          RunLoad(server.port(), connections, load_seconds, query_body);
+      if (r.completed >= best.completed) best = r;
+    }
+    std::printf("%12zu %10.0f %10.2f %10.2f %10llu\n", best.connections,
+                best.qps, best.p50_ms, best.p99_ms,
+                static_cast<unsigned long long>(best.retries));
+    Json row;
+    row.Put("connections", best.connections)
+        .Put("seconds", best.seconds)
+        .Put("queries", best.completed)
+        .Put("qps", best.qps)
+        .Put("p50_ms", best.p50_ms)
+        .Put("p99_ms", best.p99_ms)
+        .Put("retries", best.retries);
+    rows.push_back(row.ToString());
+  }
+
+  stop_ingest.store(true, std::memory_order_release);
+  writer.join();
+  const uint64_t epochs = engine.snapshot()->epoch;
+  subscriber_a.Close();
+  subscriber_b.Close();
+  server.Shutdown();
+
+  EngineStats stats = engine.stats();
+  server.FillServingStats(&stats);
+  std::printf(
+      "\ningested %llu epoch(s) during the run; %llu delta push(es) to "
+      "%llu subscription(s), %llu shed\n",
+      static_cast<unsigned long long>(epochs),
+      static_cast<unsigned long long>(stats.pushes_sent),
+      static_cast<unsigned long long>(stats.subscriptions_active),
+      static_cast<unsigned long long>(stats.queries_rejected));
+
+  Json json;
+  json.Put("bench", "serve")
+      .Put("full_scale", bench::FullScale() ? 1 : 0)
+      .Put("threads", args.threads)
+      .Put("days", days)
+      .Put("posts_per_day", posts)
+      .Put("epochs_published", epochs)
+      .Raw("results", Json::Array(rows))
+      .Raw("serving", bench::ServingStatsJson(stats))
+      .Raw("ingest_io", bench::IoStatsJson(stats.io));
+  bench::WriteJsonFile(args.json_path, json.ToString());
+  return 0;
+}

@@ -21,10 +21,25 @@
 //       after every ingested interval (the Section 4.6 monitor).
 //   serve <corpus> [--readers N] [--algo ...] [--mode ...] [--k N]
 //         [--l N] [--gap N] [--threads N]
+//         [--listen HOST:PORT [--max-inflight N] [--tick-ms MS]]
 //       Concurrent serving: streams the corpus tick by tick while
 //       --readers threads query the engine the whole time (snapshot
 //       isolation — every answer is a committed epoch). Reports reader
 //       throughput and query-cache hit rate at the end.
+//       With --listen the readers are network clients instead: a
+//       net::Server accepts connections on HOST:PORT (--readers worker
+//       threads, --max-inflight admission cap), ingest is paced by
+//       --tick-ms per interval so clients overlap live publishes, and
+//       the process keeps serving after ingest until SIGTERM/SIGINT
+//       triggers a graceful drain (exit 0).
+//   client <ping|query|stats|subscribe> --listen HOST:PORT
+//          [--algo ...] [--mode ...] [--k N] [--l N] [--render]
+//          [--deltas N]
+//       Talk to a running `serve --listen` server. `query` runs one
+//       admission-controlled query (RETRY handled with backoff);
+//       `subscribe` registers a standing query and prints pushed
+//       per-epoch deltas until --deltas N frames arrived (or the
+//       server said BYE).
 //   stats <corpus> [--gap N] [--threads N]
 //       Engine stats after ingesting the corpus.
 //   cluster <corpus> <out_prefix>
@@ -39,17 +54,23 @@
 
 #include <algorithm>
 #include <atomic>
+#include <chrono>
+#include <csignal>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <memory>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "cluster/cluster_io.h"
 #include "core/engine.h"
 #include "core/query_refiner.h"
 #include "gen/corpus_generator.h"
+#include "net/client.h"
+#include "net/server.h"
+#include "net/socket.h"
 #include "stable/cluster_graph_io.h"
 #include "util/thread_pool.h"
 #include "util/timer.h"
@@ -85,6 +106,12 @@ struct CliArgs {
   bool durable = false;
   std::string data_dir;
   std::string save_path;
+  // Network serving / client flags.
+  std::string listen;       // host:port for serve --listen / client.
+  size_t max_inflight = 64; // Admission cap (serve --listen).
+  long tick_ms = 0;         // Ingest pacing per interval (serve --listen).
+  long deltas = 3;          // Pushes to print before client subscribe exits.
+  bool render = false;      // Ask the server to render chain text.
   Status status;
 };
 
@@ -177,6 +204,24 @@ CliArgs ParseCliArgs(int argc, char** argv) {
     } else if (a == "--readers") {
       if (!numeric(&n)) return args;
       args.readers = static_cast<size_t>(std::max(1L, n));
+    } else if (a == "--listen") {
+      args.listen = value();
+      if (args.listen.empty()) {
+        args.status =
+            Status::InvalidArgument("--listen needs a HOST:PORT value");
+        return args;
+      }
+    } else if (a == "--max-inflight") {
+      if (!numeric(&n)) return args;
+      args.max_inflight = static_cast<size_t>(std::max(1L, n));
+    } else if (a == "--tick-ms") {
+      if (!numeric(&n)) return args;
+      args.tick_ms = std::max(0L, n);
+    } else if (a == "--deltas") {
+      if (!numeric(&n)) return args;
+      args.deltas = std::max(1L, n);
+    } else if (a == "--render") {
+      args.render = true;
     } else if (a == "--per-tick") {
       args.per_tick = true;
     } else if (a == "--durable") {
@@ -204,11 +249,21 @@ void PrintChains(const Engine& engine, const QueryResult& result) {
 
 int CmdGen(int argc, char** argv) {
   if (argc < 1) return 2;
+  // The optional operands are all strict decimals; a garbled one is a
+  // usage error, not a silent zero.
+  long nums[4] = {7, 2000, 200, 7};
+  for (int i = 1; i < argc && i <= 4; ++i) {
+    if (!ParseNum(argv[i], &nums[i - 1]) || nums[i - 1] < 0) {
+      std::fprintf(stderr, "gen: operand %d must be a number, got \"%s\"\n",
+                   i, argv[i]);
+      return 2;
+    }
+  }
   CorpusGenOptions options;
-  options.days = argc > 1 ? std::atoi(argv[1]) : 7;
-  options.posts_per_day = argc > 2 ? std::atoi(argv[2]) : 2000;
-  options.micro_events = argc > 3 ? std::atoi(argv[3]) : 200;
-  options.seed = argc > 4 ? std::atoll(argv[4]) : 7;
+  options.days = static_cast<uint32_t>(nums[0]);
+  options.posts_per_day = static_cast<uint32_t>(nums[1]);
+  options.micro_events = static_cast<uint32_t>(nums[2]);
+  options.seed = static_cast<uint64_t>(nums[3]);
   options.min_words_per_post = 12;
   options.max_words_per_post = 28;
   options.script = EventScript::PaperWeek();
@@ -304,6 +359,78 @@ int CmdQuery(int argc, char** argv) {
   return 0;
 }
 
+// SIGTERM/SIGINT request a graceful serve shutdown (drain in-flight
+// queries, flush subscription deltas, BYE every connection).
+volatile std::sig_atomic_t g_stop = 0;
+void OnStopSignal(int) { g_stop = 1; }
+
+// serve --listen: the engine behind a net::Server. Ingest is paced by
+// --tick-ms so network clients overlap live epoch publishes; after the
+// corpus ends the process keeps serving until SIGTERM/SIGINT, then
+// drains gracefully.
+int ServeNetwork(Engine& engine, const CliArgs& args) {
+  auto hostport = net::ParseHostPort(args.listen);
+  if (!hostport.ok()) return Fail(hostport.status());
+
+  net::ServerOptions options;
+  options.host = hostport.value().first;
+  options.port = hostport.value().second;
+  options.workers = args.readers;
+  options.max_inflight = args.max_inflight;
+  options.queue_depth = 2 * args.max_inflight;
+  net::Server server(&engine, options);
+  Status started = server.Start();
+  if (!started.ok()) return Fail(started);
+
+  g_stop = 0;
+  std::signal(SIGTERM, OnStopSignal);
+  std::signal(SIGINT, OnStopSignal);
+  std::printf("serving on %s:%u (%zu workers, max in-flight %zu)\n",
+              options.host.c_str(), server.port(), options.workers,
+              options.max_inflight);
+  std::fflush(stdout);
+
+  bool interrupted = false;
+  auto ingested = engine.IngestCorpusFile(
+      args.positional[0],
+      [&](uint32_t tick, const std::vector<std::string>& posts) {
+        std::printf("tick %2u committed: %4zu posts (epoch %u live)\n",
+                    tick, posts.size(), tick + 1);
+        std::fflush(stdout);
+        if (args.tick_ms > 0) {
+          std::this_thread::sleep_for(
+              std::chrono::milliseconds(args.tick_ms));
+        }
+        if (g_stop) {
+          interrupted = true;
+          return Status::IOError("interrupted");
+        }
+        return Status::OK();
+      });
+  if (!ingested.ok() && !interrupted) {
+    server.Shutdown();
+    return Fail(ingested.status());
+  }
+
+  while (!g_stop) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  }
+  std::printf("shutting down: draining queries and subscriptions...\n");
+  std::fflush(stdout);
+  server.Shutdown();
+
+  EngineStats stats = engine.stats();
+  server.FillServingStats(&stats);
+  std::printf(
+      "served %llu queries (%llu shed), pushed %llu deltas to %llu "
+      "subscriptions\n",
+      static_cast<unsigned long long>(server.queries_served()),
+      static_cast<unsigned long long>(stats.queries_rejected),
+      static_cast<unsigned long long>(stats.pushes_sent),
+      static_cast<unsigned long long>(stats.subscriptions_active));
+  return 0;
+}
+
 // Concurrent serving: the writer streams the corpus tick by tick while a
 // fleet of reader threads queries nonstop. Readers are snapshot-isolated
 // — each answer comes from one committed epoch — so nothing here locks
@@ -315,6 +442,7 @@ int CmdServe(int argc, char** argv) {
   auto made = MakeEngine(args);
   if (!made.ok()) return Fail(made.status());
   Engine& engine = *made.value();
+  if (!args.listen.empty()) return ServeNetwork(engine, args);
 
   std::atomic<bool> done{false};
   std::atomic<uint64_t> queries{0};
@@ -379,6 +507,113 @@ int CmdServe(int argc, char** argv) {
   return 0;
 }
 
+// client <ping|query|stats|subscribe> --listen HOST:PORT [...]
+// Thin wrapper over net::Client against a running `serve --listen`.
+int CmdClient(int argc, char** argv) {
+  if (argc < 1) return 2;
+  const std::string action = argv[0];
+  CliArgs args = ParseCliArgs(argc - 1, argv + 1);
+  if (!args.status.ok()) return Fail(args.status);
+  if (args.listen.empty()) return 2;
+  auto hostport = net::ParseHostPort(args.listen);
+  if (!hostport.ok()) return Fail(hostport.status());
+
+  net::Client client;
+  Status connected = client.Connect(hostport.value().first,
+                                    hostport.value().second,
+                                    /*attempts=*/20);
+  if (!connected.ok()) return Fail(connected);
+
+  if (action == "ping") {
+    auto epoch = client.Ping();
+    if (!epoch.ok()) return Fail(epoch.status());
+    std::printf("pong: epoch %llu\n",
+                static_cast<unsigned long long>(epoch.value()));
+    return 0;
+  }
+
+  if (action == "stats") {
+    auto stats = client.Stats();
+    if (!stats.ok()) return Fail(stats.status());
+    const net::WireStats& s = stats.value();
+    std::printf("epoch:                %llu\n",
+                static_cast<unsigned long long>(s.epoch));
+    std::printf("clusters:             %llu\n",
+                static_cast<unsigned long long>(s.clusters));
+    std::printf("edges:                %llu\n",
+                static_cast<unsigned long long>(s.edges));
+    std::printf("keywords:             %llu\n",
+                static_cast<unsigned long long>(s.keywords));
+    std::printf("resident bytes:       %llu\n",
+                static_cast<unsigned long long>(s.resident_bytes));
+    std::printf("cache hits/misses:    %llu / %llu\n",
+                static_cast<unsigned long long>(s.query_cache_hits),
+                static_cast<unsigned long long>(s.query_cache_misses));
+    std::printf("queries served:       %llu\n",
+                static_cast<unsigned long long>(s.queries_served));
+    std::printf("queries rejected:     %llu\n",
+                static_cast<unsigned long long>(s.queries_rejected));
+    std::printf("subscriptions active: %llu\n",
+                static_cast<unsigned long long>(s.subscriptions_active));
+    std::printf("pushes sent:          %llu\n",
+                static_cast<unsigned long long>(s.pushes_sent));
+    return 0;
+  }
+
+  if (action == "query") {
+    auto result = client.QueryWithRetry(args.query, args.render);
+    if (!result.ok()) return Fail(result.status());
+    std::printf("epoch %llu%s:\n",
+                static_cast<unsigned long long>(result.value().epoch),
+                result.value().warm_online ? " (warm online)" : "");
+    for (const net::WireChain& chain : result.value().chains) {
+      std::printf("  weight %.4f length %u\n", chain.weight, chain.length);
+      if (!chain.rendered.empty()) {
+        std::printf("%s\n", chain.rendered.c_str());
+      }
+    }
+    return 0;
+  }
+
+  if (action == "subscribe") {
+    auto sub = client.Subscribe(args.query, args.render);
+    if (!sub.ok()) return Fail(sub.status());
+    std::printf("subscribed: id %llu, waiting for %ld delta(s)\n",
+                static_cast<unsigned long long>(sub.value()), args.deltas);
+    std::fflush(stdout);
+    for (long received = 0; received < args.deltas;) {
+      bool is_bye = false;
+      auto push = client.NextPush(/*timeout_ms=*/60000, &is_bye);
+      if (!push.ok()) return Fail(push.status());
+      if (is_bye) {
+        std::printf("server closing (BYE) after %ld delta(s)\n", received);
+        return 0;
+      }
+      const net::WireDelta& delta = push.value();
+      std::printf("epoch %llu: top-%llu, %zu change(s)\n",
+                  static_cast<unsigned long long>(delta.epoch),
+                  static_cast<unsigned long long>(delta.new_size),
+                  delta.changes.size());
+      for (const auto& change : delta.changes) {
+        std::printf("  rank %u: weight %.4f length %u\n", change.first,
+                    change.second.weight, change.second.length);
+        if (!change.second.rendered.empty()) {
+          std::printf("%s\n", change.second.rendered.c_str());
+        }
+      }
+      std::fflush(stdout);
+      ++received;
+    }
+    Status unsub = client.Unsubscribe(sub.value());
+    if (!unsub.ok()) return Fail(unsub);
+    std::printf("unsubscribed\n");
+    return 0;
+  }
+
+  std::fprintf(stderr, "unknown client action: %s\n", action.c_str());
+  return 2;
+}
+
 int CmdStats(int argc, char** argv) {
   CliArgs args = ParseCliArgs(argc, argv);
   if (!args.status.ok()) return Fail(args.status);
@@ -400,6 +635,11 @@ int CmdStats(int argc, char** argv) {
               stats.publish_ns / 1e3, stats.shared_chunk_count,
               stats.copied_chunk_count);
   std::printf("ingest io:      %s\n", stats.io.ToString().c_str());
+  std::printf("serving:        %llu subscription(s), %llu push(es), "
+              "%llu rejected\n",
+              static_cast<unsigned long long>(stats.subscriptions_active),
+              static_cast<unsigned long long>(stats.pushes_sent),
+              static_cast<unsigned long long>(stats.queries_rejected));
   return 0;
 }
 
@@ -453,11 +693,17 @@ int CmdCluster(int argc, char** argv) {
 
 int CmdRefine(int argc, char** argv) {
   if (argc < 3) return 2;
+  long day_num = 0;
+  if (!ParseNum(argv[2], &day_num) || day_num < 0) {
+    std::fprintf(stderr, "refine: <day> must be a number, got \"%s\"\n",
+                 argv[2]);
+    return 2;
+  }
   Engine engine(DefaultEngineOptions(0));
   auto ingested = engine.IngestCorpusFile(argv[0]);
   if (!ingested.ok()) return Fail(ingested.status());
   QueryRefiner refiner(&engine);
-  const uint32_t day = std::atoi(argv[2]);
+  const uint32_t day = static_cast<uint32_t>(day_num);
   auto suggestions = refiner.Suggest(argv[1], day);
   if (suggestions.empty()) {
     std::printf("no refinements for \"%s\" on day %u\n", argv[1], day);
@@ -484,6 +730,34 @@ int CmdTopK(int argc, char** argv) {
   return 0;
 }
 
+// Per-command usage line, printed to stderr on missing/garbled operands.
+const char* UsageFor(const std::string& cmd) {
+  if (cmd == "gen")
+    return "gen <out.corpus> [days] [posts_per_day] [micro_events] [seed]";
+  if (cmd == "ingest")
+    return "ingest <corpus> [--gap N] [--threads N] [--save out.graph] "
+           "[--data-dir DIR [--durable]]";
+  if (cmd == "recover")
+    return "recover <data-dir> [--gap N] [--threads N] [--algo A] [--k N] "
+           "[--l N]";
+  if (cmd == "query")
+    return "query <corpus> [--algo A] [--mode M] [--k N] [--l N] [--gap N] "
+           "[--threads N] [--diversify P,S] [--per-tick]";
+  if (cmd == "serve")
+    return "serve <corpus> [--readers N] [--algo A] [--mode M] [--k N] "
+           "[--l N] [--gap N] [--threads N] [--listen HOST:PORT "
+           "[--max-inflight N] [--tick-ms MS]]";
+  if (cmd == "client")
+    return "client <ping|query|stats|subscribe> --listen HOST:PORT "
+           "[--algo A] [--mode M] [--k N] [--l N] [--render] [--deltas N]";
+  if (cmd == "stats") return "stats <corpus> [--gap N] [--threads N]";
+  if (cmd == "cluster") return "cluster <corpus> <out_prefix>";
+  if (cmd == "refine") return "refine <corpus> <keyword> <day>";
+  if (cmd == "topk")
+    return "topk <in.graph> [--algo A] [--mode M] [--k N] [--l N]";
+  return nullptr;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -491,7 +765,7 @@ int main(int argc, char** argv) {
     std::fprintf(
         stderr,
         "usage: %s "
-        "<gen|ingest|recover|query|serve|stats|cluster|refine|topk> "
+        "<gen|ingest|recover|query|serve|client|stats|cluster|refine|topk> "
         "...\n"
         "(see the header comment of stabletext_cli.cpp)\n",
         argv[0]);
@@ -504,11 +778,17 @@ int main(int argc, char** argv) {
   else if (cmd == "recover") rc = CmdRecover(argc - 2, argv + 2);
   else if (cmd == "query") rc = CmdQuery(argc - 2, argv + 2);
   else if (cmd == "serve") rc = CmdServe(argc - 2, argv + 2);
+  else if (cmd == "client") rc = CmdClient(argc - 2, argv + 2);
   else if (cmd == "stats") rc = CmdStats(argc - 2, argv + 2);
   else if (cmd == "cluster") rc = CmdCluster(argc - 2, argv + 2);
   else if (cmd == "refine") rc = CmdRefine(argc - 2, argv + 2);
   else if (cmd == "topk") rc = CmdTopK(argc - 2, argv + 2);
   else std::fprintf(stderr, "unknown command: %s\n", cmd.c_str());
-  if (rc == 2) std::fprintf(stderr, "bad arguments for %s\n", cmd.c_str());
+  if (rc == 2) {
+    const char* usage = UsageFor(cmd);
+    if (usage != nullptr) {
+      std::fprintf(stderr, "usage: %s %s\n", argv[0], usage);
+    }
+  }
   return rc;
 }

@@ -843,10 +843,10 @@ void Engine::Publish() {
   cache_->EvictBefore(snap->epoch);
   snap->stats.publish_ns =
       static_cast<uint64_t>(publish_timer.ElapsedNanos());
-  std::atomic_store_explicit(
-      &snapshot_,
-      std::shared_ptr<const GraphSnapshot>(std::move(snap)),
-      std::memory_order_release);
+  std::shared_ptr<const GraphSnapshot> published = std::move(snap);
+  std::atomic_store_explicit(&snapshot_, published,
+                             std::memory_order_release);
+  if (on_publish_) on_publish_(published);
 }
 
 std::shared_ptr<const GraphSnapshot> Engine::snapshot() const {

@@ -193,6 +193,19 @@ class Engine {
   /// every structure the epoch references.
   std::shared_ptr<const GraphSnapshot> snapshot() const;
 
+  /// Invoked on the writer thread right after every epoch publish
+  /// (constructor, Ingest*, Recover, Compact), with the snapshot just
+  /// made visible. The callback runs inside the ingest path, so it must
+  /// be O(1) — hand the pointer to another thread, don't query on it.
+  using PublishCallback =
+      std::function<void(const std::shared_ptr<const GraphSnapshot>&)>;
+
+  /// Installs (or, with nullptr, clears) the publish callback. Writer-
+  /// side: must not race Ingest*/Compact — install before ingest starts,
+  /// clear after it stops. The serving layer (net::Server) uses this to
+  /// learn about new epochs for subscription pushes.
+  void SetPublishCallback(PublishCallback cb) { on_publish_ = std::move(cb); }
+
   /// Freezes the writer's cluster graph into immutable CSR adjacency and
   /// publishes a final snapshot. Idempotent; Ingest* fails afterwards.
   ///
@@ -313,6 +326,10 @@ class Engine {
   // The published read view; swapped with std::atomic_store at every
   // commit. Readers pin it with std::atomic_load (Engine::snapshot()).
   std::shared_ptr<const GraphSnapshot> snapshot_;
+
+  // Writer-side epoch-publish hook (SetPublishCallback); invoked after
+  // every atomic snapshot swap.
+  PublishCallback on_publish_;
 
   // Repeated-query absorber; internally synchronized (sharded).
   mutable std::unique_ptr<QueryCache> cache_;

@@ -85,6 +85,12 @@ struct EngineStats {
   uint64_t wal_bytes = 0;       ///< WAL record bytes appended (live).
   uint64_t checkpoint_ns = 0;   ///< Wall clock of the latest checkpoint.
   uint64_t recovered_epoch = 0; ///< Epoch Engine::Recover restored.
+  // Serving-layer counters, filled by net::Server::FillServingStats when
+  // the engine sits behind the network server (zero otherwise — the
+  // engine itself has no connections to count).
+  uint64_t subscriptions_active = 0;  ///< Standing queries registered.
+  uint64_t pushes_sent = 0;           ///< Per-epoch DELTA frames pushed.
+  uint64_t queries_rejected = 0;      ///< Admission-control RETRYs.
 };
 
 /// One committed interval's immutable outputs, shared between the writer

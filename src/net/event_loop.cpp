@@ -1,0 +1,115 @@
+#include "net/event_loop.h"
+
+#include <cerrno>
+#include <cstring>
+#include <fcntl.h>
+#include <poll.h>
+#include <unistd.h>
+
+#include "net/socket.h"
+
+namespace stabletext {
+namespace net {
+
+EventLoop::~EventLoop() {
+  if (wake_read_ >= 0) ::close(wake_read_);
+  if (wake_write_ >= 0) ::close(wake_write_);
+}
+
+Status EventLoop::Init() {
+  int fds[2];
+  if (::pipe(fds) != 0) {
+    return Status::IOError(std::string("pipe: ") + std::strerror(errno));
+  }
+  wake_read_ = fds[0];
+  wake_write_ = fds[1];
+  Status s = SetNonBlocking(wake_read_);
+  if (s.ok()) s = SetNonBlocking(wake_write_);
+  return s;
+}
+
+void EventLoop::Add(int fd, uint32_t interest, Handler handler) {
+  Entry& entry = entries_[fd];
+  entry.interest = interest;
+  entry.token = next_token_++;
+  entry.handler = std::move(handler);
+}
+
+void EventLoop::SetInterest(int fd, uint32_t interest) {
+  auto it = entries_.find(fd);
+  if (it != entries_.end()) it->second.interest = interest;
+}
+
+void EventLoop::Remove(int fd) { entries_.erase(fd); }
+
+void EventLoop::Wakeup() {
+  const char byte = 1;
+  // A full pipe already guarantees a pending wakeup; EAGAIN is success.
+  ssize_t rc;
+  do {
+    rc = ::write(wake_write_, &byte, 1);
+  } while (rc < 0 && errno == EINTR);
+}
+
+Result<int> EventLoop::PollOnce(int timeout_ms) {
+  struct Pending {
+    int fd;
+    uint64_t token;
+    uint32_t events;
+  };
+  std::vector<pollfd> pfds;
+  pfds.reserve(entries_.size() + 1);
+  pfds.push_back({wake_read_, POLLIN, 0});
+  for (const auto& [fd, entry] : entries_) {
+    short events = 0;
+    if (entry.interest & kReadable) events |= POLLIN;
+    if (entry.interest & kWritable) events |= POLLOUT;
+    pfds.push_back({fd, events, 0});
+  }
+  int rc;
+  do {
+    rc = ::poll(pfds.data(), pfds.size(), timeout_ms);
+  } while (rc < 0 && errno == EINTR);
+  if (rc < 0) {
+    return Status::IOError(std::string("poll: ") + std::strerror(errno));
+  }
+
+  bool woken = false;
+  if (pfds[0].revents & POLLIN) {
+    char drain[256];
+    while (::read(wake_read_, drain, sizeof(drain)) > 0) {
+    }
+    woken = true;
+  }
+
+  // Snapshot ready fds with their registration tokens, then dispatch:
+  // a handler may remove (or close-and-recycle) any fd, and the token
+  // check drops events aimed at a registration that no longer exists.
+  std::vector<Pending> ready;
+  for (size_t i = 1; i < pfds.size(); ++i) {
+    if (pfds[i].revents == 0) continue;
+    uint32_t events = 0;
+    if (pfds[i].revents & POLLIN) events |= kReadable;
+    if (pfds[i].revents & POLLOUT) events |= kWritable;
+    if (pfds[i].revents & (POLLERR | POLLHUP | POLLNVAL)) {
+      events |= kError;
+    }
+    auto it = entries_.find(pfds[i].fd);
+    if (it == entries_.end()) continue;
+    ready.push_back({pfds[i].fd, it->second.token, events});
+  }
+  int dispatched = 0;
+  for (const Pending& p : ready) {
+    auto it = entries_.find(p.fd);
+    if (it == entries_.end() || it->second.token != p.token) continue;
+    // Copy the handler: Remove(fd) inside the call destroys the entry.
+    Handler handler = it->second.handler;
+    handler(p.events);
+    ++dispatched;
+  }
+  if (woken && wake_handler_) wake_handler_();
+  return dispatched;
+}
+
+}  // namespace net
+}  // namespace stabletext

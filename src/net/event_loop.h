@@ -1,0 +1,91 @@
+// Single-threaded poll(2) event loop: non-blocking fds registered with a
+// read/write interest mask and a per-fd handler, plus a self-pipe wakeup
+// so worker and notifier threads can hand results back to the loop
+// thread without touching connection state themselves. poll keeps the
+// loop portable; the fd counts the serving layer targets (hundreds to a
+// few thousand connections) are well inside poll's comfortable range,
+// and the registration API would back onto epoll unchanged.
+//
+// Threading: every method except Wakeup() must be called from the loop
+// thread (the thread running PollOnce). Handlers may Add/SetInterest/
+// Remove any fd, including their own, during dispatch — a generation
+// token per registration keeps a recycled fd number from receiving a
+// stale event.
+
+#ifndef STABLETEXT_NET_EVENT_LOOP_H_
+#define STABLETEXT_NET_EVENT_LOOP_H_
+
+#include <cstdint>
+#include <functional>
+#include <unordered_map>
+#include <vector>
+
+#include "util/status.h"
+
+namespace stabletext {
+namespace net {
+
+class EventLoop {
+ public:
+  enum : uint32_t {
+    kReadable = 1u << 0,
+    kWritable = 1u << 1,
+    kError = 1u << 2,  ///< POLLERR/POLLHUP/POLLNVAL; always delivered.
+  };
+
+  /// Receives the ready-event bitmask for one registered fd.
+  using Handler = std::function<void(uint32_t events)>;
+
+  EventLoop() = default;
+  ~EventLoop();
+
+  EventLoop(const EventLoop&) = delete;
+  EventLoop& operator=(const EventLoop&) = delete;
+
+  /// Creates the wakeup self-pipe. Must run before PollOnce/Wakeup.
+  Status Init();
+
+  /// Registers `fd` (non-blocking) with an interest mask and handler.
+  void Add(int fd, uint32_t interest, Handler handler);
+
+  /// Updates the interest mask of a registered fd.
+  void SetInterest(int fd, uint32_t interest);
+
+  /// Deregisters `fd` (does not close it).
+  void Remove(int fd);
+
+  bool Contains(int fd) const { return entries_.count(fd) > 0; }
+
+  /// Thread-safe: makes a concurrent/next PollOnce return promptly and
+  /// run the wake handler.
+  void Wakeup();
+
+  /// Runs after every poll round that consumed a wakeup (and at least
+  /// once per PollOnce that was woken).
+  void set_wake_handler(std::function<void()> handler) {
+    wake_handler_ = std::move(handler);
+  }
+
+  /// One poll round: waits up to `timeout_ms` (-1 = indefinitely),
+  /// dispatches ready handlers. Returns the number of fds dispatched,
+  /// or a status error on a poll(2) failure.
+  Result<int> PollOnce(int timeout_ms);
+
+ private:
+  struct Entry {
+    uint32_t interest = 0;
+    uint64_t token = 0;
+    Handler handler;
+  };
+
+  std::unordered_map<int, Entry> entries_;
+  uint64_t next_token_ = 1;
+  int wake_read_ = -1;
+  int wake_write_ = -1;
+  std::function<void()> wake_handler_;
+};
+
+}  // namespace net
+}  // namespace stabletext
+
+#endif  // STABLETEXT_NET_EVENT_LOOP_H_

@@ -1,0 +1,196 @@
+// TCP serving layer in front of an Engine: a poll-based event loop on
+// one thread (non-blocking sockets, no thread-per-connection), a worker
+// pool built on ReaderFleet executing admitted QUERY requests against
+// pinned epochs, and a notifier thread that turns every published epoch
+// into per-subscription DELTA pushes (net/subscription.h).
+//
+// Admission control: QUERY frames pass a bounded admission gate —
+// at most `max_inflight` admitted-but-unanswered queries plus a
+// `queue_depth` cap on the waiting queue. Past either bound the loop
+// replies RETRY immediately instead of stalling; the event loop never
+// blocks on query execution, so PING/STATS/SUBSCRIBE stay responsive
+// under overload. Frames arriving in one socket read are decoded and
+// admitted as a batch within a single event-loop turn.
+//
+// Lifecycle: Start() must run before the engine begins ingesting (it
+// registers the engine's publish callback, a writer-side operation) and
+// Shutdown() must not race Ingest* for the same reason. Shutdown is
+// graceful: stop accepting, shed new queries with RETRY, drain every
+// admitted query, let the notifier flush the deltas of every already
+// published epoch, send each connection a BYE frame, flush, close.
+//
+// The query path keeps the engine's lock-freedom intact: workers and the
+// notifier go through Engine::QueryAt on pinned snapshots exactly like
+// in-process readers; the serving layer adds no lock on that path (its
+// queues synchronize only admission and response hand-off).
+
+#ifndef STABLETEXT_NET_SERVER_H_
+#define STABLETEXT_NET_SERVER_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+
+#include "core/engine.h"
+#include "net/event_loop.h"
+#include "net/protocol.h"
+#include "net/subscription.h"
+#include "util/status.h"
+#include "util/thread_pool.h"
+
+namespace stabletext {
+namespace net {
+
+struct ServerOptions {
+  std::string host = "127.0.0.1";
+  uint16_t port = 0;        ///< 0 = ephemeral; read back via port().
+  size_t workers = 2;       ///< Query worker threads (ReaderFleet).
+  /// Admitted-but-unanswered QUERY cap (queued + executing + responses
+  /// not yet handed to the connection). Past it: RETRY.
+  size_t max_inflight = 64;
+  /// Waiting-queue cap (jobs admitted but not yet picked up). Past it:
+  /// RETRY even below max_inflight.
+  size_t queue_depth = 128;
+  /// Graceful-shutdown budget: drain in-flight queries and pending
+  /// subscription pushes for at most this long before force-closing.
+  int drain_timeout_ms = 5000;
+  /// Test-only: runs on a worker thread before each admitted query
+  /// executes (lets tests hold workers to force deterministic overload).
+  std::function<void()> worker_test_hook;
+};
+
+class Server {
+ public:
+  /// `engine` must outlive the server and must not be ingesting yet
+  /// when Start() runs (see the lifecycle note above).
+  Server(Engine* engine, ServerOptions options);
+  ~Server();
+
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  /// Binds, registers the engine publish hook, spawns the loop, worker
+  /// and notifier threads. Returns the bound state via port().
+  Status Start();
+
+  /// Graceful shutdown (see header comment). Idempotent; must not race
+  /// Engine::Ingest*.
+  void Shutdown();
+
+  bool running() const { return running_.load(std::memory_order_acquire); }
+  uint16_t port() const { return port_; }
+
+  // Serving-layer counters (live).
+  uint64_t pushes_sent() const { return pushes_sent_.load(); }
+  uint64_t queries_rejected() const { return queries_rejected_.load(); }
+  uint64_t queries_served() const { return queries_served_.load(); }
+  size_t subscriptions_active() const { return registry_.size(); }
+
+  /// Folds the serving-layer counters into an EngineStats (the fields
+  /// engine-side code leaves zero). Used by the STATS handler, the CLI
+  /// and bench_serve.
+  void FillServingStats(EngineStats* stats) const;
+
+ private:
+  struct Connection {
+    uint64_t id = 0;
+    int fd = -1;
+    FrameReader reader;
+    std::string out;
+    size_t out_off = 0;
+  };
+
+  // Admitted query awaiting a worker.
+  struct Job {
+    uint64_t connection_id = 0;
+    uint64_t request_id = 0;
+    FinderQuery query;
+    uint8_t flags = 0;
+  };
+
+  // Response/push bytes headed for a connection, handed to the loop.
+  struct Outbound {
+    uint64_t connection_id = 0;
+    std::string bytes;
+    bool completes_query = false;  ///< Decrements the admission gate.
+  };
+
+  void RunLoop();
+  void WorkerLoop();
+  void NotifierLoop();
+  void OnPublish(const std::shared_ptr<const GraphSnapshot>& snapshot);
+
+  void OnAccept();
+  void OnConnEvent(uint64_t connection_id, uint32_t events);
+  void HandleFrame(Connection* conn, const Frame& frame);
+  void HandleQuery(Connection* conn, const Frame& frame);
+  void Reply(Connection* conn, MsgType type, uint64_t request_id,
+             const std::string& body);
+  void AppendOut(Connection* conn, const std::string& bytes);
+  void TryFlush(Connection* conn);  // May close the connection.
+  void CloseConnection(uint64_t connection_id);
+  void EnqueueOutbound(uint64_t connection_id, std::string bytes,
+                       bool completes_query);
+  void DrainOutbound();
+  bool DrainComplete();
+  bool AnyPendingOutput() const;
+
+  Engine* const engine_;
+  const ServerOptions options_;
+
+  EventLoop loop_;
+  int listen_fd_ = -1;
+  uint16_t port_ = 0;
+  std::thread loop_thread_;
+  std::unique_ptr<ReaderFleet> workers_;
+  std::unique_ptr<ReaderFleet> notifier_;
+
+  // Loop-thread state.
+  std::map<uint64_t, std::unique_ptr<Connection>> connections_;
+  uint64_t next_connection_id_ = 1;
+
+  // Admission gate and work queue.
+  std::atomic<size_t> admitted_{0};
+  std::mutex work_mu_;
+  std::condition_variable work_cv_;
+  std::deque<Job> work_;
+  bool stop_workers_ = false;
+
+  // Completed responses / pushes headed back to the loop thread.
+  std::mutex out_mu_;
+  std::deque<Outbound> outbound_;
+
+  // Published epochs awaiting notifier processing.
+  std::mutex snap_mu_;
+  std::condition_variable snap_cv_;
+  std::deque<std::shared_ptr<const GraphSnapshot>> snapshots_;
+  bool notifier_busy_ = false;
+  bool stop_notifier_ = false;
+
+  SubscriptionRegistry registry_;
+
+  std::atomic<bool> running_{false};
+  std::atomic<bool> draining_{false};
+  std::atomic<bool> shutdown_started_{false};
+  std::atomic<uint64_t> pushes_sent_{0};
+  std::atomic<uint64_t> queries_rejected_{0};
+  std::atomic<uint64_t> queries_served_{0};
+};
+
+/// Renders a QueryResult for the wire: paths, weights, lengths, plus
+/// snapshot-rendered chain text when `flags` has kFlagRender.
+std::vector<WireChain> ToWireChains(const GraphSnapshot& snapshot,
+                                    const QueryResult& result,
+                                    uint8_t flags);
+
+}  // namespace net
+}  // namespace stabletext
+
+#endif  // STABLETEXT_NET_SERVER_H_

@@ -1,0 +1,57 @@
+#include "net/subscription.h"
+
+namespace stabletext {
+namespace net {
+
+uint64_t SubscriptionRegistry::Add(uint64_t connection_id,
+                                   const FinderQuery& query,
+                                   uint8_t flags) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const uint64_t id = next_id_++;
+  auto sub = std::make_shared<Subscription>();
+  sub->id = id;
+  sub->connection_id = connection_id;
+  sub->query = query;
+  sub->flags = flags;
+  subscriptions_.emplace(id, std::move(sub));
+  return id;
+}
+
+bool SubscriptionRegistry::Remove(uint64_t connection_id, uint64_t id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = subscriptions_.find(id);
+  if (it == subscriptions_.end() ||
+      it->second->connection_id != connection_id) {
+    return false;
+  }
+  subscriptions_.erase(it);
+  return true;
+}
+
+void SubscriptionRegistry::RemoveConnection(uint64_t connection_id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto it = subscriptions_.begin(); it != subscriptions_.end();) {
+    if (it->second->connection_id == connection_id) {
+      it = subscriptions_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+std::vector<std::shared_ptr<Subscription>> SubscriptionRegistry::Snapshot()
+    const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::shared_ptr<Subscription>> out;
+  out.reserve(subscriptions_.size());
+  for (const auto& [id, sub] : subscriptions_) out.push_back(sub);
+  return out;
+}
+
+size_t SubscriptionRegistry::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return subscriptions_.size();
+}
+
+}  // namespace net
+}  // namespace stabletext

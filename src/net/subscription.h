@@ -1,0 +1,68 @@
+// Standing-query registry for the serving layer. A SUBSCRIBE frame
+// registers an (algorithm, mode, k, l) query for its connection; after
+// every epoch publish the server's notifier thread runs each standing
+// query against the freshly pinned snapshot, diffs the answer against the
+// subscription's last pushed top-k, and pushes one DELTA frame per epoch
+// — server-push instead of client re-poll, riding the same per-epoch
+// snapshot swap the readers use.
+//
+// Threading: Add/Remove/RemoveConnection run on the event-loop thread;
+// Snapshot() and size() may run from any thread. A Subscription's
+// `last` answer is owned by the notifier thread exclusively (the loop
+// never reads it), so the registry's lock only guards the table.
+
+#ifndef STABLETEXT_NET_SUBSCRIPTION_H_
+#define STABLETEXT_NET_SUBSCRIPTION_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "net/protocol.h"
+#include "stable/finder.h"
+
+namespace stabletext {
+namespace net {
+
+/// One standing query. `last` is the top-k most recently pushed to the
+/// client, notifier-owned (see header comment).
+struct Subscription {
+  uint64_t id = 0;
+  uint64_t connection_id = 0;
+  FinderQuery query;
+  uint8_t flags = 0;  ///< kFlagRender et al.
+  std::vector<WireChain> last;
+};
+
+class SubscriptionRegistry {
+ public:
+  /// Registers a standing query; returns its id (never 0).
+  uint64_t Add(uint64_t connection_id, const FinderQuery& query,
+               uint8_t flags);
+
+  /// Removes subscription `id` if it belongs to `connection_id`.
+  /// Returns false when no such subscription exists.
+  bool Remove(uint64_t connection_id, uint64_t id);
+
+  /// Drops every subscription of a closing connection.
+  void RemoveConnection(uint64_t connection_id);
+
+  /// Stable view for one notifier pass. Entries removed concurrently
+  /// stay alive through the shared_ptr; their pushes target a dead
+  /// connection id and are dropped at enqueue.
+  std::vector<std::shared_ptr<Subscription>> Snapshot() const;
+
+  size_t size() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::map<uint64_t, std::shared_ptr<Subscription>> subscriptions_;
+  uint64_t next_id_ = 1;
+};
+
+}  // namespace net
+}  // namespace stabletext
+
+#endif  // STABLETEXT_NET_SUBSCRIPTION_H_

@@ -66,7 +66,16 @@ void ThreadPool::WaitAll(std::vector<std::future<void>>& futures) {
 ReaderFleet::ReaderFleet(size_t n, std::function<void(size_t)> fn) {
   threads_.reserve(n);
   for (size_t i = 0; i < n; ++i) {
-    threads_.emplace_back([fn, i] { fn(i); });
+    threads_.emplace_back([this, fn, i] {
+      try {
+        fn(i);
+      } catch (...) {
+        // A throwing reader ends itself, not the process: an uncaught
+        // exception on a std::thread would std::terminate. Count it so
+        // Join() callers can notice the early exit.
+        failed_.fetch_add(1, std::memory_order_release);
+      }
+    });
   }
 }
 

@@ -7,6 +7,7 @@
 #ifndef STABLETEXT_UTIL_THREAD_POOL_H_
 #define STABLETEXT_UTIL_THREAD_POOL_H_
 
+#include <atomic>
 #include <condition_variable>
 #include <deque>
 #include <functional>
@@ -71,11 +72,17 @@ class ReaderFleet {
 
   size_t size() const { return threads_.size(); }
 
+  /// Readers whose fn exited by throwing. A throw ends that reader only
+  /// (the exception is swallowed here instead of std::terminate-ing the
+  /// process); callers that care check this after Join().
+  size_t failed() const { return failed_.load(std::memory_order_acquire); }
+
   /// Blocks until every reader returns. Idempotent.
   void Join();
 
  private:
   std::vector<std::thread> threads_;
+  std::atomic<size_t> failed_{0};
 };
 
 }  // namespace stabletext

@@ -1,0 +1,634 @@
+// Network serving layer: protocol codec round-trips, byte-identical
+// answers through the TCP path, exact per-epoch subscription deltas
+// against a serial replay, deterministic admission-control shedding, and
+// graceful-shutdown flushing. Built to run under ThreadSanitizer (the CI
+// tsan job): the server's loop/worker/notifier threads, the engine's
+// writer and the test's client threads all overlap here.
+
+#include <gtest/gtest.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <condition_variable>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/engine.h"
+#include "gen/corpus_generator.h"
+#include "net/client.h"
+#include "net/protocol.h"
+#include "net/server.h"
+#include "net/socket.h"
+
+namespace stabletext {
+namespace net {
+namespace {
+
+constexpr uint32_t kDays = 5;
+
+CorpusGenOptions TestCorpus() {
+  CorpusGenOptions opt;
+  opt.days = kDays;
+  opt.posts_per_day = 100;
+  opt.vocabulary = 800;
+  opt.min_words_per_post = 12;
+  opt.max_words_per_post = 24;
+  opt.micro_events = 15;
+  opt.seed = 13;
+  opt.script = EventScript::PaperWeek();
+  return opt;
+}
+
+EngineOptions TestOptions() {
+  EngineOptions opt;
+  opt.gap = 0;  // TA answers full-path queries only on gap-0 graphs.
+  opt.threads = 1;
+  opt.clustering.pruning.rho_threshold = 0.2;
+  opt.clustering.pruning.min_pair_support = 5;
+  opt.affinity.theta = 0.1;
+  return opt;
+}
+
+// One generation for the whole suite; every test ingests the same days.
+const std::vector<std::vector<std::string>>& Days() {
+  static const std::vector<std::vector<std::string>>* days = [] {
+    CorpusGenerator gen(TestCorpus());
+    auto* d = new std::vector<std::vector<std::string>>();
+    for (uint32_t day = 0; day < kDays; ++day) {
+      d->push_back(gen.GenerateDay(day));
+    }
+    return d;
+  }();
+  return *days;
+}
+
+Query MakeQuery(FinderAlgorithm algorithm, size_t k, uint32_t l) {
+  Query q;
+  q.algorithm = algorithm;
+  q.k = k;
+  q.l = l;
+  return q;
+}
+
+// The server's own wire rendering of a direct Engine::QueryAt answer —
+// the reference the TCP path must match byte for byte.
+WireResult DirectAnswer(const Engine& engine,
+                        const std::shared_ptr<const GraphSnapshot>& snap,
+                        const Query& query, uint8_t flags) {
+  auto result = engine.QueryAt(snap, query);
+  EXPECT_TRUE(result.ok()) << result.status().ToString();
+  WireResult wire;
+  wire.epoch = result.value().epoch;
+  wire.warm_online = result.value().warm_online;
+  wire.chains = ToWireChains(*snap, result.value(), flags);
+  return wire;
+}
+
+bool SameChains(const std::vector<WireChain>& a,
+                const std::vector<WireChain>& b) {
+  if (a.size() != b.size()) return false;
+  for (size_t i = 0; i < a.size(); ++i) {
+    if (a[i] != b[i]) return false;
+  }
+  return true;
+}
+
+// --------------------------------------------------------------- codec
+
+TEST(NetProtocolTest, FrameRoundTripsOneByteAtATime) {
+  const std::string stream =
+      EncodeFrame(MsgType::kPing, 7, "") +
+      EncodeFrame(MsgType::kQuery, 8, std::string("abc\0def", 7)) +
+      EncodeFrame(MsgType::kBye, 0, "tail");
+
+  FrameReader reader;
+  std::vector<Frame> frames;
+  Frame frame;
+  for (char byte : stream) {
+    reader.Feed(&byte, 1);  // Worst-case partial reads.
+    for (;;) {
+      Status s = reader.Next(&frame);
+      if (s.code() == StatusCode::kNotFound) break;
+      ASSERT_TRUE(s.ok()) << s.ToString();
+      frames.push_back(frame);
+    }
+  }
+  ASSERT_EQ(frames.size(), 3u);
+  EXPECT_EQ(frames[0].type, MsgType::kPing);
+  EXPECT_EQ(frames[0].request_id, 7u);
+  EXPECT_EQ(frames[1].type, MsgType::kQuery);
+  EXPECT_EQ(frames[1].body, std::string("abc\0def", 7));
+  EXPECT_EQ(frames[2].type, MsgType::kBye);
+  EXPECT_EQ(frames[2].body, "tail");
+  EXPECT_EQ(reader.buffered(), 0u);
+}
+
+TEST(NetProtocolTest, CorruptChecksumTearsTheStream) {
+  std::string stream = EncodeFrame(MsgType::kQuery, 1, "payload");
+  stream[kFrameHeaderBytes + 3] ^= 0x40;  // Flip one payload bit.
+  FrameReader reader;
+  reader.Feed(stream.data(), stream.size());
+  Frame frame;
+  EXPECT_EQ(reader.Next(&frame).code(), StatusCode::kCorruption);
+}
+
+TEST(NetProtocolTest, OversizedLengthIsCorruption) {
+  const uint32_t huge = kMaxFramePayload + 1;
+  std::string stream(reinterpret_cast<const char*>(&huge), sizeof(huge));
+  stream.resize(kFrameHeaderBytes, '\0');
+  FrameReader reader;
+  reader.Feed(stream.data(), stream.size());
+  Frame frame;
+  EXPECT_EQ(reader.Next(&frame).code(), StatusCode::kCorruption);
+}
+
+TEST(NetProtocolTest, BodyCodecsRoundTrip) {
+  Query query = MakeQuery(FinderAlgorithm::kTa, 7, 0);
+  query.mode = FinderMode::kNormalized;
+  query.diversify_prefix = 2;
+  query.diversify_suffix = 3;
+  std::string body = EncodeQueryBody(query, kFlagRender);
+  Query decoded_query;
+  uint8_t flags = 0;
+  ASSERT_TRUE(DecodeQueryBody(body, &decoded_query, &flags).ok());
+  EXPECT_TRUE(decoded_query == query);
+  EXPECT_EQ(flags, kFlagRender);
+
+  WireResult result;
+  result.epoch = 42;
+  result.warm_online = true;
+  WireChain chain;
+  chain.nodes = {3, 1, 4};
+  chain.weight = 0.25;
+  chain.length = 2;
+  chain.rendered = "interval 0: {a}";
+  result.chains = {chain, WireChain{}};
+  WireResult decoded_result;
+  ASSERT_TRUE(
+      DecodeResultBody(EncodeResultBody(result), &decoded_result).ok());
+  EXPECT_EQ(decoded_result.epoch, 42u);
+  EXPECT_TRUE(decoded_result.warm_online);
+  EXPECT_TRUE(SameChains(decoded_result.chains, result.chains));
+
+  WireStats stats;
+  stats.epoch = 9;
+  stats.intervals = 9;
+  stats.clusters = 100;
+  stats.edges = 200;
+  stats.keywords = 300;
+  stats.resident_bytes = 4096;
+  stats.query_cache_hits = 5;
+  stats.query_cache_misses = 6;
+  stats.subscriptions_active = 1;
+  stats.pushes_sent = 2;
+  stats.queries_rejected = 3;
+  stats.queries_served = 4;
+  WireStats decoded_stats;
+  ASSERT_TRUE(
+      DecodeStatsBody(EncodeStatsBody(stats), &decoded_stats).ok());
+  EXPECT_EQ(decoded_stats.pushes_sent, 2u);
+  EXPECT_EQ(decoded_stats.queries_rejected, 3u);
+  EXPECT_EQ(decoded_stats.subscriptions_active, 1u);
+  EXPECT_EQ(decoded_stats.resident_bytes, 4096u);
+
+  WireRetry retry{17, 5};
+  WireRetry decoded_retry;
+  ASSERT_TRUE(
+      DecodeRetryBody(EncodeRetryBody(retry), &decoded_retry).ok());
+  EXPECT_EQ(decoded_retry.inflight, 17u);
+  EXPECT_EQ(decoded_retry.queued, 5u);
+
+  Status remote = Status::NotFound("no such subscription");
+  Status decoded_status = Status::OK();
+  ASSERT_TRUE(
+      DecodeErrorBody(EncodeErrorBody(remote), &decoded_status).ok());
+  EXPECT_EQ(decoded_status, remote);
+
+  uint64_t value = 0;
+  ASSERT_TRUE(DecodeU64Body(EncodeU64Body(77), &value).ok());
+  EXPECT_EQ(value, 77u);
+
+  // A truncated body must be corruption, not a garbage decode.
+  EXPECT_EQ(DecodeResultBody(body.substr(0, 3), &decoded_result).code(),
+            StatusCode::kCorruption);
+}
+
+TEST(NetProtocolTest, DiffTopKThenApplyDeltaReproducesTarget) {
+  auto entry = [](NodeId a, NodeId b, double w) {
+    WireChain c;
+    c.nodes = {a, b};
+    c.weight = w;
+    c.length = 1;
+    return c;
+  };
+  const std::vector<WireChain> empty;
+  const std::vector<WireChain> first = {entry(1, 2, 0.5), entry(3, 4, 0.4)};
+  // Rank 0 unchanged, rank 1 replaced, rank 2 appended.
+  const std::vector<WireChain> second = {entry(1, 2, 0.5), entry(5, 6, 0.45),
+                                         entry(3, 4, 0.4)};
+  // Shrink: ranks beyond new_size drop without explicit changes.
+  const std::vector<WireChain> third = {entry(5, 6, 0.45)};
+
+  WireDelta d1 = DiffTopK(empty, first);
+  EXPECT_EQ(d1.changes.size(), 2u);  // Everything is new.
+  WireDelta d2 = DiffTopK(first, second);
+  EXPECT_EQ(d2.changes.size(), 2u);  // Ranks 1 and 2 only.
+  EXPECT_EQ(d2.changes[0].first, 1u);
+  WireDelta d3 = DiffTopK(second, third);
+  EXPECT_EQ(d3.new_size, 1u);
+  EXPECT_EQ(d3.changes.size(), 1u);  // Rank 0; 1 and 2 die by resize.
+
+  // Deltas survive the wire and replay to the exact target states.
+  const std::vector<std::pair<const WireDelta*, const std::vector<WireChain>*>>
+      steps = {{&d1, &first}, {&d2, &second}, {&d3, &third}};
+  std::vector<WireChain> replayed;
+  for (const auto& step : steps) {
+    WireDelta wired;
+    ASSERT_TRUE(
+        DecodeDeltaBody(EncodeDeltaBody(*step.first), &wired).ok());
+    ASSERT_TRUE(ApplyDelta(&replayed, wired).ok());
+    EXPECT_TRUE(SameChains(replayed, *step.second));
+  }
+
+  // A rank past new_size is corruption.
+  WireDelta bad;
+  bad.new_size = 1;
+  bad.changes = {{5, entry(1, 2, 0.1)}};
+  std::vector<WireChain> state;
+  EXPECT_EQ(ApplyDelta(&state, bad).code(), StatusCode::kCorruption);
+}
+
+// ------------------------------------------------------- query serving
+
+// (a) Answers through the TCP path are byte-identical to direct
+// Engine::QueryAt at the same epoch — static graph, several concurrent
+// clients, every algorithm family.
+TEST(NetServerTest, ConcurrentClientsMatchDirectQueries) {
+  Engine engine(TestOptions());
+  net::Server server(&engine, ServerOptions{});
+  ASSERT_TRUE(server.Start().ok());
+  for (const auto& day : Days()) {
+    ASSERT_TRUE(engine.IngestText(day).ok());
+  }
+
+  const std::vector<Query> mix = {
+      MakeQuery(FinderAlgorithm::kBfs, 3, 2),
+      MakeQuery(FinderAlgorithm::kTa, 3, 0),
+      MakeQuery(FinderAlgorithm::kOnline, 3, 2),
+  };
+  const auto snap = engine.snapshot();
+
+  std::atomic<int> mismatches{0};
+  std::vector<std::thread> clients;
+  for (size_t t = 0; t < 3; ++t) {
+    clients.emplace_back([&, t] {
+      Client client;
+      ASSERT_TRUE(
+          client.Connect("127.0.0.1", server.port(), /*attempts=*/5).ok());
+      for (int round = 0; round < 4; ++round) {
+        const Query& query = mix[(t + round) % mix.size()];
+        const bool render = (round % 2) == 0;
+        auto got = client.QueryWithRetry(query, render);
+        ASSERT_TRUE(got.ok()) << got.status().ToString();
+        const WireResult expect = DirectAnswer(
+            engine, snap, query, render ? kFlagRender : uint8_t{0});
+        if (got.value().epoch != expect.epoch ||
+            got.value().warm_online != expect.warm_online ||
+            !SameChains(got.value().chains, expect.chains)) {
+          mismatches.fetch_add(1);
+        }
+      }
+    });
+  }
+  for (auto& c : clients) c.join();
+  EXPECT_EQ(mismatches.load(), 0);
+  EXPECT_GE(server.queries_served(), 12u);
+  server.Shutdown();
+}
+
+// Same property while ingest publishes live: every concurrently observed
+// answer equals the direct answer at that answer's epoch, replayed after
+// the run from the pinned snapshots.
+TEST(NetServerTest, LiveIngestAnswersAreEpochConsistent) {
+  Engine engine(TestOptions());
+  net::Server server(&engine, ServerOptions{});
+  ASSERT_TRUE(server.Start().ok());
+
+  // Pin every published epoch so the replay can re-ask at exactly the
+  // epoch a client observed.
+  std::mutex mu;
+  std::map<uint64_t, std::shared_ptr<const GraphSnapshot>> epochs;
+  {
+    std::lock_guard<std::mutex> lock(mu);
+    auto snap = engine.snapshot();
+    epochs[snap->epoch] = snap;
+  }
+
+  const Query query = MakeQuery(FinderAlgorithm::kBfs, 3, 2);
+  std::atomic<bool> done{false};
+  std::vector<std::pair<uint64_t, WireResult>> observed;
+  std::mutex observed_mu;
+  std::thread reader([&] {
+    Client client;
+    ASSERT_TRUE(
+        client.Connect("127.0.0.1", server.port(), /*attempts=*/5).ok());
+    while (!done.load(std::memory_order_acquire)) {
+      auto got = client.QueryWithRetry(query, /*render=*/false);
+      ASSERT_TRUE(got.ok()) << got.status().ToString();
+      std::lock_guard<std::mutex> lock(observed_mu);
+      observed.emplace_back(got.value().epoch, std::move(got).value());
+    }
+  });
+
+  for (const auto& day : Days()) {
+    ASSERT_TRUE(engine.IngestText(day).ok());
+    std::lock_guard<std::mutex> lock(mu);
+    auto snap = engine.snapshot();
+    epochs[snap->epoch] = snap;
+  }
+  done.store(true, std::memory_order_release);
+  reader.join();
+
+  ASSERT_FALSE(observed.empty());
+  for (const auto& [epoch, wire] : observed) {
+    auto it = epochs.find(epoch);
+    ASSERT_NE(it, epochs.end()) << "answer at never-published epoch "
+                                << epoch;
+    const WireResult expect = DirectAnswer(engine, it->second, query, 0);
+    EXPECT_EQ(wire.epoch, expect.epoch);
+    EXPECT_TRUE(SameChains(wire.chains, expect.chains))
+        << "epoch " << epoch << " answer diverged from direct query";
+  }
+  server.Shutdown();
+}
+
+// --------------------------------------------------------- subscriptions
+
+// (b) A subscriber observing epochs e..e+n receives exactly the
+// per-epoch top-k deltas a serial replay of the same snapshots computes.
+TEST(NetServerTest, SubscriptionDeltasMatchSerialReplay) {
+  Engine engine(TestOptions());
+  net::Server server(&engine, ServerOptions{});
+  ASSERT_TRUE(server.Start().ok());
+
+  const Query query = MakeQuery(FinderAlgorithm::kBfs, 3, 2);
+  Client client;
+  ASSERT_TRUE(
+      client.Connect("127.0.0.1", server.port(), /*attempts=*/5).ok());
+  auto sub = client.Subscribe(query, /*render=*/false);
+  ASSERT_TRUE(sub.ok()) << sub.status().ToString();
+  EXPECT_EQ(server.subscriptions_active(), 1u);
+
+  std::vector<std::shared_ptr<const GraphSnapshot>> published;
+  for (const auto& day : Days()) {
+    ASSERT_TRUE(engine.IngestText(day).ok());
+    published.push_back(engine.snapshot());
+  }
+
+  // One frame per published epoch, in order, never coalesced.
+  std::vector<WireDelta> received;
+  for (uint32_t i = 0; i < kDays; ++i) {
+    bool is_bye = false;
+    auto push = client.NextPush(/*timeout_ms=*/30000, &is_bye);
+    ASSERT_TRUE(push.ok()) << push.status().ToString();
+    ASSERT_FALSE(is_bye);
+    received.push_back(std::move(push).value());
+  }
+
+  std::vector<WireChain> last;
+  std::vector<WireChain> applied;
+  for (uint32_t i = 0; i < kDays; ++i) {
+    const auto& snap = published[i];
+    auto direct = engine.QueryAt(snap, query);
+    ASSERT_TRUE(direct.ok());
+    const std::vector<WireChain> now =
+        ToWireChains(*snap, direct.value(), 0);
+    const WireDelta expect = DiffTopK(last, now);
+
+    EXPECT_EQ(received[i].subscription_id, sub.value());
+    EXPECT_EQ(received[i].epoch, snap->epoch) << "delta " << i;
+    EXPECT_EQ(received[i].new_size, expect.new_size);
+    ASSERT_EQ(received[i].changes.size(), expect.changes.size())
+        << "delta " << i << " is not the serial-replay delta";
+    for (size_t c = 0; c < expect.changes.size(); ++c) {
+      EXPECT_EQ(received[i].changes[c].first, expect.changes[c].first);
+      EXPECT_TRUE(
+          received[i].changes[c].second == expect.changes[c].second);
+    }
+
+    // Applying the received stream reproduces each epoch's exact top-k.
+    ASSERT_TRUE(ApplyDelta(&applied, received[i]).ok());
+    EXPECT_TRUE(SameChains(applied, now)) << "replay diverged at " << i;
+    last = now;
+  }
+
+  ASSERT_TRUE(client.Unsubscribe(sub.value()).ok());
+  EXPECT_EQ(server.subscriptions_active(), 0u);
+  EXPECT_GE(server.pushes_sent(), kDays);
+  server.Shutdown();
+}
+
+TEST(NetServerTest, SubscribeValidatesAndUnsubscribeUnknownFails) {
+  Engine engine(TestOptions());
+  net::Server server(&engine, ServerOptions{});
+  ASSERT_TRUE(server.Start().ok());
+  Client client;
+  ASSERT_TRUE(
+      client.Connect("127.0.0.1", server.port(), /*attempts=*/5).ok());
+
+  auto bad = client.Subscribe(MakeQuery(FinderAlgorithm::kBfs, 0, 2),
+                              /*render=*/false);
+  EXPECT_FALSE(bad.ok());  // k = 0 is not a standing query.
+
+  Status unsub = client.Unsubscribe(12345);
+  EXPECT_EQ(unsub.code(), StatusCode::kNotFound);
+  server.Shutdown();
+}
+
+// ----------------------------------------------------- admission control
+
+// (c) Overload past max_inflight yields RETRY frames — never a hung
+// connection or a torn frame. Workers are parked on a latch, so the
+// outcome is deterministic: exactly max_inflight RESULTs, the rest RETRY.
+TEST(NetServerTest, OverloadShedsDeterministically) {
+  Engine engine(TestOptions());
+  ASSERT_TRUE(engine.IngestText(Days()[0]).ok());
+
+  std::mutex latch_mu;
+  std::condition_variable latch_cv;
+  bool released = false;
+  ServerOptions options;
+  options.workers = 2;
+  options.max_inflight = 4;
+  options.queue_depth = 64;
+  options.worker_test_hook = [&] {
+    std::unique_lock<std::mutex> lock(latch_mu);
+    latch_cv.wait(lock, [&] { return released; });
+  };
+  net::Server server(&engine, options);
+  ASSERT_TRUE(server.Start().ok());
+
+  auto fd = ConnectTcp("127.0.0.1", server.port());
+  ASSERT_TRUE(fd.ok());
+
+  // Pipeline 20 queries before reading anything. The loop admits 4
+  // (2 executing + 2 queued) and must shed the other 16 immediately.
+  constexpr int kTotal = 20;
+  const std::string body =
+      EncodeQueryBody(MakeQuery(FinderAlgorithm::kBfs, 3, 2), 0);
+  std::string burst;
+  for (int i = 0; i < kTotal; ++i) {
+    burst += EncodeFrame(MsgType::kQuery, 100 + i, body);
+  }
+  size_t off = 0;
+  while (off < burst.size()) {
+    const IoOutcome io =
+        WriteSome(fd.value(), burst.data() + off, burst.size() - off);
+    ASSERT_TRUE(io.ok);
+    off += static_cast<size_t>(io.n);
+  }
+
+  // Collect the 16 RETRYs while the workers are still parked, then
+  // release them for the 4 RESULTs.
+  FrameReader reader;
+  int results = 0;
+  int retries = 0;
+  std::map<uint64_t, int> seen_ids;
+  for (int received = 0; received < kTotal;) {
+    Frame frame;
+    Status s = reader.Next(&frame);
+    if (s.code() == StatusCode::kNotFound) {
+      ASSERT_TRUE(WaitReadable(fd.value(), 30000).ok());
+      char buf[4096];
+      const IoOutcome io = ReadSome(fd.value(), buf, sizeof(buf));
+      ASSERT_TRUE(io.ok);
+      ASSERT_NE(io.n, 0) << "server hung up mid-burst";
+      reader.Feed(buf, static_cast<size_t>(io.n));
+      continue;
+    }
+    ASSERT_TRUE(s.ok()) << "torn frame: " << s.ToString();
+    ++received;
+    ++seen_ids[frame.request_id];
+    if (frame.type == MsgType::kResult) {
+      ++results;
+    } else if (frame.type == MsgType::kRetry) {
+      WireRetry retry;
+      ASSERT_TRUE(DecodeRetryBody(frame.body, &retry).ok());
+      EXPECT_GE(retry.inflight + retry.queued, options.max_inflight);
+      ++retries;
+    } else {
+      FAIL() << "unexpected frame type";
+    }
+    if (retries == kTotal - static_cast<int>(options.max_inflight) &&
+        !released) {
+      std::lock_guard<std::mutex> lock(latch_mu);
+      released = true;
+      latch_cv.notify_all();
+    }
+  }
+  EXPECT_EQ(results, static_cast<int>(options.max_inflight));
+  EXPECT_EQ(retries, kTotal - static_cast<int>(options.max_inflight));
+  // Every request id answered exactly once — nothing dropped or doubled.
+  EXPECT_EQ(seen_ids.size(), static_cast<size_t>(kTotal));
+  for (const auto& [id, count] : seen_ids) EXPECT_EQ(count, 1) << id;
+
+  EXPECT_EQ(server.queries_rejected(),
+            static_cast<uint64_t>(kTotal) - options.max_inflight);
+  EXPECT_EQ(server.queries_served(), options.max_inflight);
+
+  ::close(fd.value());
+  server.Shutdown();
+}
+
+// ------------------------------------------------------------- shutdown
+
+// Graceful shutdown flushes the final subscription deltas, says BYE on
+// every connection, and only then closes.
+TEST(NetServerTest, GracefulShutdownFlushesDeltasThenByes) {
+  Engine engine(TestOptions());
+  net::Server server(&engine, ServerOptions{});
+  ASSERT_TRUE(server.Start().ok());
+
+  const Query query = MakeQuery(FinderAlgorithm::kBfs, 3, 2);
+  Client client;
+  ASSERT_TRUE(
+      client.Connect("127.0.0.1", server.port(), /*attempts=*/5).ok());
+  auto sub = client.Subscribe(query, /*render=*/false);
+  ASSERT_TRUE(sub.ok());
+
+  constexpr uint32_t kTicks = 3;
+  for (uint32_t i = 0; i < kTicks; ++i) {
+    ASSERT_TRUE(engine.IngestText(Days()[i]).ok());
+  }
+
+  // Shut down concurrently with the client still reading: the deltas of
+  // every published epoch must land before the BYE.
+  std::thread closer([&] { server.Shutdown(); });
+  std::vector<uint64_t> epochs;
+  for (;;) {
+    bool is_bye = false;
+    auto push = client.NextPush(/*timeout_ms=*/30000, &is_bye);
+    ASSERT_TRUE(push.ok()) << push.status().ToString();
+    if (is_bye) break;
+    epochs.push_back(push.value().epoch);
+  }
+  closer.join();
+
+  ASSERT_EQ(epochs.size(), kTicks);
+  for (uint32_t i = 0; i < kTicks; ++i) {
+    EXPECT_EQ(epochs[i], i + 1) << "delta order broken at " << i;
+  }
+  // After BYE the server closes; the next read is a clean EOF error,
+  // not a hang or a torn frame.
+  bool is_bye = false;
+  auto after = client.NextPush(/*timeout_ms=*/5000, &is_bye);
+  EXPECT_FALSE(after.ok());
+  EXPECT_FALSE(is_bye);
+}
+
+// PING and STATS stay responsive and consistent through the serving
+// layer (the counters net::Server folds into EngineStats).
+TEST(NetServerTest, PingAndStatsRoundTrip) {
+  Engine engine(TestOptions());
+  ASSERT_TRUE(engine.IngestText(Days()[0]).ok());
+  net::Server server(&engine, ServerOptions{});
+  ASSERT_TRUE(server.Start().ok());
+
+  Client client;
+  ASSERT_TRUE(
+      client.Connect("127.0.0.1", server.port(), /*attempts=*/5).ok());
+  auto epoch = client.Ping();
+  ASSERT_TRUE(epoch.ok());
+  EXPECT_EQ(epoch.value(), 1u);
+
+  auto sub = client.Subscribe(MakeQuery(FinderAlgorithm::kBfs, 3, 2),
+                              /*render=*/false);
+  ASSERT_TRUE(sub.ok());
+  auto got =
+      client.QueryWithRetry(MakeQuery(FinderAlgorithm::kBfs, 3, 2), false);
+  ASSERT_TRUE(got.ok());
+
+  auto stats = client.Stats();
+  ASSERT_TRUE(stats.ok());
+  EXPECT_EQ(stats.value().epoch, 1u);
+  EXPECT_EQ(stats.value().intervals, 1u);
+  EXPECT_EQ(stats.value().subscriptions_active, 1u);
+  EXPECT_GE(stats.value().queries_served, 1u);
+  EXPECT_GT(stats.value().clusters, 0u);
+
+  // The same counters surface through EngineStats for in-process
+  // monitoring (CLI stats, bench_serve).
+  EngineStats merged = engine.stats();
+  server.FillServingStats(&merged);
+  EXPECT_EQ(merged.subscriptions_active, 1u);
+  EXPECT_GE(merged.queries_rejected, 0u);
+  server.Shutdown();
+}
+
+}  // namespace
+}  // namespace net
+}  // namespace stabletext

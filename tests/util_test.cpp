@@ -1,9 +1,11 @@
 // Unit tests for util/: Status, Result, Rng, ZipfDistribution,
-// MemoryTracker, string helpers.
+// MemoryTracker, string helpers, ReaderFleet lifecycle.
 
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <set>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
@@ -11,6 +13,7 @@
 #include "util/random.h"
 #include "util/status.h"
 #include "util/strings.h"
+#include "util/thread_pool.h"
 #include "util/timer.h"
 
 namespace stabletext {
@@ -250,6 +253,38 @@ TEST(TimerTest, MeasuresElapsedTime) {
   EXPECT_GT(t.ElapsedMicros(), 0);
   t.Restart();
   EXPECT_LT(t.ElapsedSeconds(), 1.0);
+}
+
+TEST(ReaderFleetTest, RunsEveryReaderAndJoinIsIdempotent) {
+  std::atomic<size_t> ran{0};
+  ReaderFleet fleet(3, [&](size_t) { ran.fetch_add(1); });
+  fleet.Join();
+  fleet.Join();  // Idempotent: a second Join is a no-op, not a crash.
+  EXPECT_EQ(ran.load(), 3u);
+  EXPECT_EQ(fleet.failed(), 0u);
+}
+
+TEST(ReaderFleetTest, ThrowingReaderEndsItselfNotTheProcess) {
+  std::atomic<size_t> completed{0};
+  ReaderFleet fleet(4, [&](size_t reader) {
+    if (reader % 2 == 0) throw std::runtime_error("reader died");
+    completed.fetch_add(1);
+  });
+  fleet.Join();
+  // The two throwing readers are counted; the two healthy ones finished
+  // normally despite their siblings dying.
+  EXPECT_EQ(fleet.failed(), 2u);
+  EXPECT_EQ(completed.load(), 2u);
+}
+
+TEST(ReaderFleetTest, DestructorJoinsThrowingReaders) {
+  // A fleet whose every reader throws immediately must be destroyable:
+  // the destructor joins and the swallowed exceptions never reach
+  // std::terminate.
+  {
+    ReaderFleet fleet(2, [](size_t) { throw 42; });
+  }
+  SUCCEED();
 }
 
 }  // namespace
