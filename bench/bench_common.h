@@ -39,20 +39,43 @@ struct BenchArgs {
   std::string json_path;
 };
 
+/// Strict decimal parse (same contract as stabletext_cli's ParseNum):
+/// the whole string must be a number — "10abc" or "" is a usage error,
+/// not a silent zero the way atoi/atol would report it.
+inline bool ParseBenchNum(const char* s, long* out) {
+  if (s == nullptr || *s == '\0') return false;
+  char* end = nullptr;
+  *out = std::strtol(s, &end, 10);
+  return *end == '\0';
+}
+
 inline BenchArgs ParseArgs(int argc, char** argv,
                            const char* default_json = "") {
   BenchArgs args;
   args.json_path = default_json;
+  const auto usage_exit = [&](const char* flag, const char* got) {
+    std::fprintf(stderr,
+                 "flag %s needs a non-negative numeric value, got \"%s\"\n"
+                 "usage: %s [--threads N] [--repetitions N] [--json PATH]\n",
+                 flag, got, argv[0]);
+    std::exit(2);
+  };
   for (int i = 1; i < argc; ++i) {
     const char* a = argv[i];
     auto value = [&]() -> const char* {
       return i + 1 < argc ? argv[++i] : "";
     };
+    long n = 0;
     if (std::strcmp(a, "--threads") == 0) {
-      args.threads = static_cast<size_t>(std::atol(value()));
-      if (args.threads == 0) args.threads = 1;
+      // Garbled values ("10abc", "") are usage errors — no atoi
+      // silent-zero; an explicit 0 keeps its historical clamp-to-1.
+      const char* v = value();
+      if (!ParseBenchNum(v, &n) || n < 0) usage_exit(a, v);
+      args.threads = n == 0 ? 1 : static_cast<size_t>(n);
     } else if (std::strcmp(a, "--repetitions") == 0) {
-      args.repetitions = std::max(1, std::atoi(value()));
+      const char* v = value();
+      if (!ParseBenchNum(v, &n) || n < 0) usage_exit(a, v);
+      args.repetitions = n == 0 ? 1 : static_cast<int>(n);
     } else if (std::strcmp(a, "--json") == 0) {
       args.json_path = value();
     } else {

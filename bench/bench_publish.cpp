@@ -13,6 +13,11 @@
 // (clustering of tick t+1 overlapping the serial commit of tick t)
 // against the strictly serial loop.
 //
+// A fourth pass re-streams with the set-intersection kernel pinned to
+// scalar (setops::ForceKernel) against the auto-dispatched tier, so the
+// JSON carries the per-tick ingest-ms delta the SIMD kernels buy on the
+// CommitInterval join path.
+//
 //   bench_publish [--threads N] [--repetitions N] [--json PATH]
 //
 // Emits BENCH_publish.json.
@@ -22,6 +27,7 @@
 #include "bench_common.h"
 #include "core/engine.h"
 #include "gen/corpus_generator.h"
+#include "util/setops.h"
 
 namespace stabletext {
 namespace bench {
@@ -76,6 +82,12 @@ double MeanPublishUs(const std::vector<TickSample>& samples, size_t begin,
   double sum = 0;
   for (size_t i = begin; i < end; ++i) sum += samples[i].publish_ns / 1e3;
   return end > begin ? sum / (end - begin) : 0;
+}
+
+double MeanTickMs(const std::vector<TickSample>& samples) {
+  double sum = 0;
+  for (const TickSample& s : samples) sum += s.tick_ms;
+  return samples.empty() ? 0 : sum / samples.size();
 }
 
 }  // namespace
@@ -178,6 +190,33 @@ int main(int argc, char** argv) {
       ticks_total, args.threads, serial_ms, pipelined_ms,
       args.threads > 1 ? "" : " (pipeline needs --threads > 1)");
 
+  // Intersection-kernel delta: same stream with the setops kernel pinned
+  // to scalar vs auto dispatch. The affinity join dominates the commit
+  // path, so the per-tick ingest delta is the SIMD kernels' end-to-end
+  // payoff (on CPUs without SSE/AVX2 both passes run scalar and the
+  // delta reads ~0).
+  std::vector<TickSample> kern_scalar;
+  std::vector<TickSample> kern_auto;
+  for (int rep = 0; rep < args.repetitions; ++rep) {
+    setops::ForceKernel(setops::Kernel::kScalar);
+    auto s = RunStream(ticks, args.threads, /*cow_publish=*/true);
+    setops::ForceKernel(setops::Kernel::kAuto);
+    auto a = RunStream(ticks, args.threads, /*cow_publish=*/true);
+    if (rep == 0 || MeanTickMs(s) < MeanTickMs(kern_scalar)) {
+      kern_scalar = std::move(s);
+    }
+    if (rep == 0 || MeanTickMs(a) < MeanTickMs(kern_auto)) {
+      kern_auto = std::move(a);
+    }
+  }
+  const double scalar_tick_ms = MeanTickMs(kern_scalar);
+  const double auto_tick_ms = MeanTickMs(kern_auto);
+  std::printf(
+      "intersection kernel (per-tick ingest mean): scalar %.3f ms, %s "
+      "%.3f ms (x%.2f)\n",
+      scalar_tick_ms, setops::KernelName(setops::ActiveKernel()),
+      auto_tick_ms, auto_tick_ms > 0 ? scalar_tick_ms / auto_tick_ms : 0);
+
   std::vector<std::string> per_tick;
   for (size_t i = 0; i < chunked.size(); ++i) {
     Json row;
@@ -186,6 +225,8 @@ int main(int argc, char** argv) {
         .Put("publish_ns_full", full[i].publish_ns)
         .Put("tick_ms_cow", chunked[i].tick_ms)
         .Put("tick_ms_full", full[i].tick_ms)
+        .Put("tick_ms_setops_scalar", kern_scalar[i].tick_ms)
+        .Put("tick_ms_setops_auto", kern_auto[i].tick_ms)
         .Put("shared_chunks", chunked[i].shared_chunks)
         .Put("copied_chunks", chunked[i].copied_chunks);
     per_tick.push_back(row.ToString());
@@ -201,6 +242,11 @@ int main(int argc, char** argv) {
       .Put("publish_us_full_last_quartile", full_tail)
       .Put("serial_ingest_ms", serial_ms)
       .Put("pipelined_ingest_ms", pipelined_ms)
+      .Put("setops_kernel", setops::KernelName(setops::ActiveKernel()))
+      .Put("tick_ms_mean_setops_scalar", scalar_tick_ms)
+      .Put("tick_ms_mean_setops_auto", auto_tick_ms)
+      .Put("setops_tick_speedup",
+           auto_tick_ms > 0 ? scalar_tick_ms / auto_tick_ms : 0.0)
       .Raw("per_tick", Json::Array(per_tick));
   WriteJsonFile(args.json_path, json.ToString());
   return 0;

@@ -1,0 +1,143 @@
+// bench_setops: throughput of the sorted-set intersection kernels
+// (util/setops.h) that the per-tick similarity join and affinity
+// computations sit on. Sweeps balanced set sizes and one skewed shape
+// per size, timing IntersectionSize and IntersectInto for every kernel
+// tier available on this machine, and reports each tier's speedup over
+// the scalar two-pointer reference.
+//
+//   bench_setops [--threads N] [--repetitions N] [--json PATH]
+//
+// (--threads is accepted for interface uniformity; the kernels are
+// single-threaded.) Emits BENCH_setops.json; the `speedup_vs_scalar`
+// field of the best vectorized tier at sizes >= 1024 is the number the
+// CI smoke checks is > 1.
+
+#include <cstdint>
+#include <vector>
+
+#include "bench_common.h"
+#include "util/random.h"
+#include "util/setops.h"
+
+namespace stabletext {
+namespace bench {
+namespace {
+
+using setops::Kernel;
+
+// Strictly-ascending set of n values, roughly 50% overlap between two
+// sets drawn from the same universe.
+std::vector<uint32_t> MakeSet(Rng* rng, size_t n, uint32_t universe) {
+  std::vector<uint32_t> v;
+  v.reserve(n);
+  for (size_t idx : rng->SampleWithoutReplacement(universe, n)) {
+    v.push_back(static_cast<uint32_t>(idx));
+  }
+  std::sort(v.begin(), v.end());
+  return v;
+}
+
+struct Shape {
+  const char* name;
+  std::vector<uint32_t> a, b;
+};
+
+// Times fn until it has run for ~20ms, returns ns per call. The checksum
+// accumulation keeps the calls from being optimized away.
+template <typename Fn>
+double NsPerCall(Fn&& fn) {
+  volatile size_t sink = 0;
+  size_t calls = 1;
+  for (;;) {
+    WallTimer timer;
+    for (size_t c = 0; c < calls; ++c) sink += fn();
+    const double ns = timer.ElapsedSeconds() * 1e9;
+    if (ns >= 20e6 || calls >= (size_t{1} << 24)) return ns / calls;
+    calls *= 4;
+  }
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace stabletext
+
+int main(int argc, char** argv) {
+  using namespace stabletext;
+  using namespace stabletext::bench;
+  using namespace stabletext::setops;
+
+  BenchArgs args = ParseArgs(argc, argv, "BENCH_setops.json");
+  Header("set-intersection kernels: scalar vs galloping vs SIMD",
+         "hot-path microbench (similarity-join candidate verification)",
+         "sorted uint32 sets, ~50% overlap; skewed = 1:64 size ratio");
+
+  const Kernel tiers[] = {Kernel::kScalar, Kernel::kGalloping, Kernel::kSse,
+                          Kernel::kAvx2};
+  std::printf("active dispatch tier: %s\n\n", KernelName(ActiveKernel()));
+
+  Rng rng(4242);
+  std::vector<Shape> shapes;
+  for (size_t n : {64u, 256u, 1024u, 4096u, 16384u}) {
+    Shape balanced;
+    balanced.name = "balanced";
+    balanced.a = MakeSet(&rng, n, static_cast<uint32_t>(2 * n));
+    balanced.b = MakeSet(&rng, n, static_cast<uint32_t>(2 * n));
+    shapes.push_back(std::move(balanced));
+    Shape skewed;  // |b| / |a| = 64 >= kGallopRatio: galloping territory.
+    skewed.name = "skewed";
+    skewed.a = MakeSet(&rng, std::max<size_t>(n / 64, 1),
+                       static_cast<uint32_t>(2 * n));
+    skewed.b = MakeSet(&rng, n, static_cast<uint32_t>(2 * n));
+    shapes.push_back(std::move(skewed));
+  }
+
+  std::printf("%6s %9s %10s %14s %14s %9s\n", "size", "shape", "kernel",
+              "size_ns", "into_ns", "speedup");
+  std::vector<std::string> rows;
+  for (const Shape& shape : shapes) {
+    const size_t na = shape.a.size(), nb = shape.b.size();
+    std::vector<uint32_t> out(std::min(na, nb) + kIntersectIntoPad);
+    double scalar_size_ns = 0;
+    int reps = std::max(1, args.repetitions);
+    for (const Kernel k : tiers) {
+      if (!KernelAvailable(k)) continue;
+      ForceKernel(k);
+      double size_ns = 0, into_ns = 0;
+      for (int rep = 0; rep < reps; ++rep) {
+        const double s = NsPerCall([&] {
+          return IntersectionSize(shape.a.data(), na, shape.b.data(), nb);
+        });
+        const double t = NsPerCall([&] {
+          return IntersectInto(shape.a.data(), na, shape.b.data(), nb,
+                               out.data());
+        });
+        size_ns = rep == 0 ? s : std::min(size_ns, s);
+        into_ns = rep == 0 ? t : std::min(into_ns, t);
+      }
+      if (k == Kernel::kScalar) scalar_size_ns = size_ns;
+      const double speedup =
+          size_ns > 0 ? scalar_size_ns / size_ns : 0;
+      std::printf("%6zu %9s %10s %14.1f %14.1f %8.2fx\n", nb, shape.name,
+                  KernelName(k), size_ns, into_ns, speedup);
+      Json row;
+      row.Put("size", nb)
+          .Put("small_size", na)
+          .Put("shape", shape.name)
+          .Put("kernel", KernelName(k))
+          .Put("intersection_size_ns", size_ns)
+          .Put("intersect_into_ns", into_ns)
+          .Put("speedup_vs_scalar", speedup);
+      rows.push_back(row.ToString());
+    }
+  }
+  ForceKernel(Kernel::kAuto);
+
+  Json json;
+  json.Put("bench", "setops")
+      .Put("active_kernel", KernelName(ActiveKernel()))
+      .Put("sse_available", KernelAvailable(Kernel::kSse) ? 1 : 0)
+      .Put("avx2_available", KernelAvailable(Kernel::kAvx2) ? 1 : 0)
+      .Raw("rows", Json::Array(rows));
+  WriteJsonFile(args.json_path, json.ToString());
+  return 0;
+}

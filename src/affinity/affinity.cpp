@@ -2,24 +2,29 @@
 
 #include <algorithm>
 
+#include "util/setops.h"
+
 namespace stabletext {
 
 size_t KeywordIntersectionSize(const Cluster& a, const Cluster& b) {
-  size_t count = 0;
-  auto ia = a.keywords.begin();
-  auto ib = b.keywords.begin();
-  while (ia != a.keywords.end() && ib != b.keywords.end()) {
-    if (*ia < *ib) {
-      ++ia;
-    } else if (*ib < *ia) {
-      ++ib;
-    } else {
-      ++count;
-      ++ia;
-      ++ib;
-    }
-  }
-  return count;
+  // Dispatched kernel (util/setops.h): galloping for skewed sizes,
+  // SSE/AVX2 block compares otherwise, scalar fallback — all variants
+  // return identical counts (setops_test property sweep).
+  return setops::IntersectionSize(a.keywords.data(), a.keywords.size(),
+                                  b.keywords.data(), b.keywords.size());
+}
+
+std::vector<KeywordId> KeywordIntersection(const Cluster& a,
+                                           const Cluster& b) {
+  std::vector<KeywordId> out(
+      std::min(a.keywords.size(), b.keywords.size()) +
+      setops::kIntersectIntoPad);
+  const size_t n =
+      setops::IntersectInto(a.keywords.data(), a.keywords.size(),
+                            b.keywords.data(), b.keywords.size(),
+                            out.data());
+  out.resize(n);
+  return out;
 }
 
 namespace {

@@ -9,6 +9,7 @@
 #define STABLETEXT_AFFINITY_AFFINITY_H_
 
 #include <cstddef>
+#include <vector>
 
 #include "cluster/cluster.h"
 
@@ -31,8 +32,15 @@ struct AffinityOptions {
   double theta = 0.1;
 };
 
-/// Number of shared keywords (both keyword lists are sorted).
+/// Number of shared keywords (both keyword lists are sorted). Routed
+/// through the dispatched set-intersection kernels in util/setops.h.
 size_t KeywordIntersectionSize(const Cluster& a, const Cluster& b);
+
+/// The shared keywords themselves, ascending (dispatched intersect-into
+/// kernel). For callers that need the overlap contents, e.g. rendering
+/// why two clusters chain.
+std::vector<KeywordId> KeywordIntersection(const Cluster& a,
+                                           const Cluster& b);
 
 /// Computes the chosen affinity between two clusters. Intersection is
 /// returned raw (callers normalize, see NormalizeIntersectionWeights).

@@ -2,8 +2,6 @@
 
 #include <algorithm>
 #include <cmath>
-#include <unordered_map>
-#include <unordered_set>
 
 namespace stabletext {
 
@@ -11,7 +9,10 @@ namespace {
 
 // Prefix length under the standard prefix-filtering principle: two sets
 // with Jaccard >= theta must share a token among the first
-// |c| - ceil(theta * |c|) + 1 tokens in any global token order.
+// |c| - ceil(theta * |c|) + 1 tokens in any global token order. Derived
+// for >= theta on purpose: the join predicate is strictly > theta, so
+// the filter admits a superset (including exact-theta pairs, which the
+// verification below then rejects) and can never drop a result pair.
 size_t JaccardPrefixLength(size_t size, double theta) {
   const size_t required =
       static_cast<size_t>(std::ceil(theta * static_cast<double>(size)));
@@ -23,39 +24,85 @@ size_t JaccardPrefixLength(size_t size, double theta) {
 
 std::vector<AffinityMatch> SimilarityJoin::Join(
     const std::vector<Cluster>& left, const std::vector<Cluster>& right,
-    SimilarityJoinStats* stats) const {
+    SimilarityJoinStats* stats, JoinScratch* scratch) const {
   const bool jaccard = options_.measure == AffinityMeasure::kJaccard;
   SimilarityJoinStats local;
+  JoinScratch local_scratch;
+  JoinScratch& s = scratch != nullptr ? *scratch : local_scratch;
+
+  const auto prefix_of = [&](const Cluster& c) {
+    return jaccard ? JaccardPrefixLength(c.keywords.size(), options_.theta)
+                   : c.keywords.size();
+  };
 
   // Inverted index over the right side. For Jaccard only the filtering
   // prefix of each cluster is indexed; any measure with affinity > theta
   // >= 0 requires at least one shared keyword, so the index is a complete
   // candidate generator in all cases.
-  std::unordered_map<KeywordId, std::vector<uint32_t>> index;
+  //
+  // The index is flat and rebuilt in place: postings grouped by keyword
+  // in one contiguous pool, addressed through epoch-stamped counts —
+  // clearing between ticks is O(1) and the steady state allocates
+  // nothing once the scratch has grown to the stream's high-water mark.
+  // Keywords are sorted within a cluster, so a prefix's largest id is
+  // its last element; one pass bounds the keyword-id space the stamped
+  // arrays must cover (left probes index the same arrays).
+  KeywordId max_kw = 0;
+  for (const Cluster& c : right) {
+    const size_t prefix = prefix_of(c);
+    if (prefix > 0) max_kw = std::max(max_kw, c.keywords[prefix - 1]);
+  }
+  for (const Cluster& c : left) {
+    const size_t prefix = prefix_of(c);
+    if (prefix > 0) max_kw = std::max(max_kw, c.keywords[prefix - 1]);
+  }
+  const size_t id_space = static_cast<size_t>(max_kw) + 1;
+  s.counts.Clear(id_space);
+  if (s.offsets.size() < id_space) {
+    s.offsets.resize(id_space);
+    s.fill.resize(id_space);
+  }
+  s.touched.clear();
   for (uint32_t r = 0; r < right.size(); ++r) {
     const auto& kws = right[r].keywords;
-    const size_t prefix =
-        jaccard ? JaccardPrefixLength(kws.size(), options_.theta)
-                : kws.size();
-    for (size_t i = 0; i < prefix; ++i) index[kws[i]].push_back(r);
+    const size_t prefix = prefix_of(right[r]);
+    for (size_t i = 0; i < prefix; ++i) {
+      const KeywordId kw = kws[i];
+      if (!s.counts.IsSet(kw)) s.touched.push_back(kw);
+      s.counts.Set(kw, s.counts.Get(kw) + 1);
+    }
+  }
+  uint32_t total = 0;
+  for (const KeywordId kw : s.touched) {
+    s.offsets[kw] = total;
+    s.fill[kw] = total;
+    total += s.counts.Get(kw);
+  }
+  if (s.postings.size() < total) s.postings.resize(total);
+  for (uint32_t r = 0; r < right.size(); ++r) {
+    const auto& kws = right[r].keywords;
+    const size_t prefix = prefix_of(right[r]);
+    for (size_t i = 0; i < prefix; ++i) s.postings[s.fill[kws[i]]++] = r;
   }
 
   std::vector<AffinityMatch> out;
-  std::unordered_set<uint32_t> seen;
   for (uint32_t lidx = 0; lidx < left.size(); ++lidx) {
     const auto& kws = left[lidx].keywords;
-    const size_t prefix =
-        jaccard ? JaccardPrefixLength(kws.size(), options_.theta)
-                : kws.size();
-    seen.clear();
+    const size_t prefix = prefix_of(left[lidx]);
+    s.seen.Clear(right.size());
     for (size_t i = 0; i < prefix; ++i) {
-      auto it = index.find(kws[i]);
-      if (it == index.end()) continue;
-      for (uint32_t r : it->second) {
-        if (!seen.insert(r).second) continue;
+      const KeywordId kw = kws[i];
+      if (!s.counts.IsSet(kw)) continue;
+      const uint32_t begin = s.offsets[kw];
+      const uint32_t end = begin + s.counts.Get(kw);
+      for (uint32_t p = begin; p < end; ++p) {
+        const uint32_t r = s.postings[p];
+        if (!s.seen.Insert(r)) continue;
         ++local.candidate_pairs;
         const double affinity =
             ClusterAffinity(left[lidx], right[r], options_.measure);
+        // Strictly greater than theta — the pinned join predicate; an
+        // exact-theta pair passed the prefix filter and dies here.
         if (affinity > options_.theta) {
           out.push_back(AffinityMatch{lidx, r, affinity});
         }

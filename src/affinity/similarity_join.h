@@ -7,6 +7,14 @@
 // prefix filtering for Jaccard (clusters sharing no indexed keyword cannot
 // reach the threshold), falling back to a full inverted index for the
 // other measures.
+//
+// Threshold semantics (pinned — kernel rewrites must not shift them):
+// the join keeps pairs with affinity STRICTLY GREATER than theta. The
+// Jaccard filtering prefix is derived for the weaker predicate
+// "affinity >= theta", so the candidate set is a superset of the result
+// set; a pair at exactly theta survives the filter and is rejected by
+// the verification step. affinity_test's ThetaBoundary case enforces
+// this for Join and JoinBruteForce alike.
 
 #ifndef STABLETEXT_AFFINITY_SIMILARITY_JOIN_H_
 #define STABLETEXT_AFFINITY_SIMILARITY_JOIN_H_
@@ -15,6 +23,7 @@
 #include <vector>
 
 #include "affinity/affinity.h"
+#include "util/arena.h"
 
 namespace stabletext {
 
@@ -31,21 +40,40 @@ struct SimilarityJoinStats {
   uint64_t result_pairs = 0;     ///< Pairs above theta.
 };
 
+/// \brief Reusable per-tick scratch for SimilarityJoin::Join.
+///
+/// Holds the flat inverted index (rebuilt in place every call; postings
+/// grouped by keyword behind epoch-stamped counts, so resetting costs
+/// O(1) instead of an unordered_map teardown) and the epoch-stamped
+/// candidate-dedup set. Arena lifetime rules (util/arena.h): owned by
+/// one writer-side join slot, not thread-safe, reusable indefinitely —
+/// Engine keeps one per gap-window position and reuses it every tick.
+struct JoinScratch {
+  EpochStampedArray<uint32_t> counts;  ///< Postings count per keyword.
+  std::vector<uint32_t> offsets;       ///< Postings start per keyword.
+  std::vector<uint32_t> fill;          ///< Build cursors.
+  std::vector<uint32_t> postings;      ///< Right-cluster ids, grouped.
+  std::vector<uint32_t> touched;       ///< Keywords indexed this call.
+  EpochStampedSet seen;                ///< Candidate dedup per probe.
+};
+
 /// \brief Threshold similarity join between two cluster sets.
 class SimilarityJoin {
  public:
   explicit SimilarityJoin(AffinityOptions options = {})
       : options_(options) {}
 
-  /// Returns all pairs with affinity > theta, sorted by (left, right).
-  /// `stats` may be null.
+  /// Returns all pairs with affinity strictly greater than theta, sorted
+  /// by (left, right). `stats` may be null. `scratch` may be null (a
+  /// call-local scratch is used); pass a persistent one to make the
+  /// steady-state call allocation-free.
   std::vector<AffinityMatch> Join(const std::vector<Cluster>& left,
                                   const std::vector<Cluster>& right,
-                                  SimilarityJoinStats* stats = nullptr)
-      const;
+                                  SimilarityJoinStats* stats = nullptr,
+                                  JoinScratch* scratch = nullptr) const;
 
-  /// Reference implementation: evaluates every pair. O(|L||R|); the test
-  /// oracle for Join().
+  /// Reference implementation: evaluates every pair (same strict
+  /// > theta predicate). O(|L||R|); the test oracle for Join().
   std::vector<AffinityMatch> JoinBruteForce(
       const std::vector<Cluster>& left,
       const std::vector<Cluster>& right) const;

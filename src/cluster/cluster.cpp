@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "util/setops.h"
+
 namespace stabletext {
 
 double Cluster::TotalEdgeWeight() const {
@@ -11,7 +13,7 @@ double Cluster::TotalEdgeWeight() const {
 }
 
 bool Cluster::Contains(KeywordId id) const {
-  return std::binary_search(keywords.begin(), keywords.end(), id);
+  return setops::ContainsSorted(keywords.data(), keywords.size(), id);
 }
 
 std::string Cluster::ToString(const KeywordDict& dict,

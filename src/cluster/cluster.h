@@ -10,14 +10,20 @@
 
 #include "cooccur/keyword_dict.h"
 #include "graph/keyword_graph.h"
+#include "util/arena.h"
 
 namespace stabletext {
+
+/// Flat sorted keyword storage: cache-line aligned and padded to whole
+/// lines, so the SIMD intersection kernels (util/setops.h) stream it
+/// without splitting blocks across unnecessary line boundaries.
+using KeywordArray = std::vector<KeywordId, CacheAlignedAllocator<KeywordId>>;
 
 /// \brief One keyword cluster: vertices plus their member edges.
 struct Cluster {
   uint32_t interval = 0;               ///< Temporal interval the cluster
                                        ///< belongs to.
-  std::vector<KeywordId> keywords;     ///< Distinct, sorted ascending.
+  KeywordArray keywords;               ///< Distinct, sorted ascending.
   std::vector<WeightedEdge> edges;     ///< Member edges (u < v).
 
   size_t size() const { return keywords.size(); }

@@ -635,21 +635,30 @@ Status Engine::ExtendGraph(uint32_t interval) {
   for (uint32_t iv = window_begin; iv < interval; ++iv) {
     jobs.push_back(JoinJob{iv, {}});
   }
+  // Per-window-slot scratch, reused tick over tick (allocation-free once
+  // warm); slot i is touched only by job i, so pool workers never share.
+  while (join_scratch_.size() < jobs.size()) {
+    join_scratch_.push_back(std::make_unique<JoinScratch>());
+  }
   if (pool_ != nullptr && jobs.size() > 1) {
     std::vector<std::future<void>> futures;
     futures.reserve(jobs.size());
-    for (JoinJob& job : jobs) {
-      futures.push_back(pool_->Submit([this, &job, &clusters] {
+    for (size_t jidx = 0; jidx < jobs.size(); ++jidx) {
+      JoinJob* job = &jobs[jidx];
+      JoinScratch* scratch = join_scratch_[jidx].get();
+      futures.push_back(pool_->Submit([this, job, scratch, &clusters] {
         SimilarityJoin join(options_.affinity);
-        job.matches =
-            join.Join(slots_[job.iv]->result.clusters, clusters);
+        job->matches = join.Join(slots_[job->iv]->result.clusters,
+                                 clusters, nullptr, scratch);
       }));
     }
     pool_->WaitAll(futures);
   } else {
     SimilarityJoin join(options_.affinity);
-    for (JoinJob& job : jobs) {
-      job.matches = join.Join(slots_[job.iv]->result.clusters, clusters);
+    for (size_t jidx = 0; jidx < jobs.size(); ++jidx) {
+      JoinJob& job = jobs[jidx];
+      job.matches = join.Join(slots_[job.iv]->result.clusters, clusters,
+                              nullptr, join_scratch_[jidx].get());
     }
   }
 

@@ -303,6 +303,13 @@ class Engine {
   // dense and contiguous in cluster order — see
   // GraphSnapshot::NodeCluster.)
   std::vector<std::vector<NodeId>> node_of_;
+  // Arena discipline for the per-tick gap-window joins (the CommitInterval
+  // hot path): one JoinScratch per window position, created on first use
+  // and reused every tick, so the flat inverted index and the seen set
+  // stop allocating once they reach the stream's high-water mark. Slot i
+  // is owned by window job i for the duration of ExtendGraph (jobs may
+  // run on pool workers; the per-slot ownership keeps them disjoint).
+  std::vector<std::unique_ptr<JoinScratch>> join_scratch_;
   // Completed immutable chunks of the keyword table, shared by every
   // snapshot that includes them (see SnapshotWords), plus the last
   // published partial tail chunk (reused when the vocabulary did not

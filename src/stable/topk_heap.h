@@ -6,7 +6,9 @@
 #define STABLETEXT_STABLE_TOPK_HEAP_H_
 
 #include <algorithm>
+#include <cassert>
 #include <cstddef>
+#include <limits>
 #include <vector>
 
 #include "stable/path.h"
@@ -49,9 +51,18 @@ class TopKHeap {
   size_t capacity() const { return k_; }
 
   /// Weight of the worst retained path; the "min-k" of Algorithm 3.
-  /// Meaningful only when full(); callers treat a non-full heap as
-  /// min-k = -infinity.
-  double MinWeight() const { return paths_.back().weight; }
+  /// For a non-full heap (including empty, and any k = 0 heap) there is
+  /// no k-th path yet, so the pruning bound is the documented sentinel
+  /// -infinity — reading paths_.back() here was UB before. Current
+  /// finders call this only under full(); the sentinel keeps future
+  /// call sites from silently reading garbage.
+  double MinWeight() const {
+    assert(k_ > 0 && "MinWeight on a k=0 heap is always -infinity");
+    if (paths_.size() < k_ || paths_.empty()) {
+      return -std::numeric_limits<double>::infinity();
+    }
+    return paths_.back().weight;
+  }
 
   /// Best-first view.
   const std::vector<StablePath>& paths() const { return paths_; }

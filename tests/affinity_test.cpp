@@ -15,7 +15,7 @@ namespace {
 Cluster MakeCluster(std::vector<KeywordId> keywords, uint32_t interval = 0) {
   Cluster c;
   c.interval = interval;
-  c.keywords = std::move(keywords);
+  c.keywords.assign(keywords.begin(), keywords.end());
   std::sort(c.keywords.begin(), c.keywords.end());
   return c;
 }
@@ -68,6 +68,45 @@ TEST(AffinityTest, WeightedJaccardValues) {
       ClusterAffinity(a, b, AffinityMeasure::kWeightedJaccard), expected);
   EXPECT_DOUBLE_EQ(
       ClusterAffinity(a, a, AffinityMeasure::kWeightedJaccard), 1.0);
+}
+
+// Cluster sizes at the SIMD register boundaries (16 and 32 elements, ±1):
+// the affinity values must not depend on whether the intersection kernel
+// takes the vector path, the scalar tail, or both. Compares the dispatched
+// result against a hand-maintained merge count.
+TEST(AffinityTest, SimdRegisterBoundarySizes) {
+  Rng rng(160032);
+  for (size_t na : {15u, 16u, 17u, 31u, 32u, 33u}) {
+    for (size_t nb : {15u, 16u, 17u, 31u, 32u, 33u}) {
+      std::vector<KeywordId> ka, kb;
+      for (size_t idx : rng.SampleWithoutReplacement(96, na)) {
+        ka.push_back(static_cast<KeywordId>(idx));
+      }
+      for (size_t idx : rng.SampleWithoutReplacement(96, nb)) {
+        kb.push_back(static_cast<KeywordId>(idx));
+      }
+      Cluster a = MakeCluster(ka), b = MakeCluster(kb);
+      size_t expected = 0, i = 0, j = 0;
+      while (i < a.keywords.size() && j < b.keywords.size()) {
+        if (a.keywords[i] < b.keywords[j]) {
+          ++i;
+        } else if (b.keywords[j] < a.keywords[i]) {
+          ++j;
+        } else {
+          ++expected, ++i, ++j;
+        }
+      }
+      ASSERT_EQ(KeywordIntersectionSize(a, b), expected)
+          << "na=" << na << " nb=" << nb;
+      const auto inter = KeywordIntersection(a, b);
+      ASSERT_EQ(inter.size(), expected);
+      EXPECT_TRUE(std::is_sorted(inter.begin(), inter.end()));
+      const double denom = static_cast<double>(
+          a.keywords.size() + b.keywords.size() - expected);
+      EXPECT_DOUBLE_EQ(ClusterAffinity(a, b, AffinityMeasure::kJaccard),
+                       denom == 0 ? 0.0 : expected / denom);
+    }
+  }
 }
 
 TEST(AffinityTest, SymmetryAndRange) {
@@ -173,6 +212,43 @@ TEST(SimilarityJoinTest, PrefixFilterPrunesCandidates) {
   EXPECT_LT(stats.candidate_pairs, 100ull * 100ull);
   // Exactness regardless.
   EXPECT_EQ(result.size(), join.JoinBruteForce(left, right).size());
+}
+
+// Pins the threshold boundary documented in similarity_join.h: the join
+// keeps affinity STRICTLY GREATER than theta, while the Jaccard prefix
+// filter is derived for ">= theta". A pair at exactly theta must survive
+// the filter (it is a candidate) and be rejected by verification — in
+// both Join and JoinBruteForce.
+TEST(SimilarityJoinTest, ThetaBoundary) {
+  // J(a, b) = |{2,3}| / |{1,2,3,4}| = 0.5 exactly.
+  Cluster a = MakeCluster({1, 2, 3});
+  Cluster b = MakeCluster({2, 3, 4});
+  // J(a, c) = 3/4 = 0.75: strictly above, must stay.
+  Cluster c = MakeCluster({1, 2, 3, 4});
+  AffinityOptions opt;
+  opt.theta = 0.5;
+  opt.measure = AffinityMeasure::kJaccard;
+  SimilarityJoin join(opt);
+
+  SimilarityJoinStats stats;
+  auto result = join.Join({a}, {b, c}, &stats);
+  ASSERT_EQ(result.size(), 1u);
+  EXPECT_EQ(result[0].right, 1u);  // c, not the exact-theta pair with b.
+  EXPECT_DOUBLE_EQ(result[0].affinity, 0.75);
+  // The exact-theta pair passed the prefix filter — it was evaluated.
+  EXPECT_EQ(stats.candidate_pairs, 2u);
+  EXPECT_EQ(stats.result_pairs, 1u);
+
+  auto brute = join.JoinBruteForce({a}, {b, c});
+  ASSERT_EQ(brute.size(), 1u);
+  EXPECT_EQ(brute[0].right, 1u);
+
+  // Nudge theta just below 0.5: the boundary pair is now strictly above
+  // and must appear in both implementations.
+  opt.theta = 0.5 - 1e-9;
+  SimilarityJoin loose(opt);
+  EXPECT_EQ(loose.Join({a}, {b, c}).size(), 2u);
+  EXPECT_EQ(loose.JoinBruteForce({a}, {b, c}).size(), 2u);
 }
 
 TEST(SimilarityJoinTest, EmptyInputs) {

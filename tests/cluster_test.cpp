@@ -204,7 +204,7 @@ TEST(ClusterTest, NormalizeAndAccessors) {
   c.edges = {{3, 1, 0.5}, {2, 1, 0.25}};
   c.keywords = {3, 1, 2, 1};
   NormalizeCluster(&c);
-  EXPECT_EQ(c.keywords, (std::vector<KeywordId>{1, 2, 3}));
+  EXPECT_EQ(c.keywords, (KeywordArray{1, 2, 3}));
   EXPECT_EQ(c.edges[0].u, 1u);  // Canonical orientation and order.
   EXPECT_EQ(c.edges[0].v, 2u);
   EXPECT_EQ(c.edges[1].v, 3u);

@@ -1,0 +1,238 @@
+// Property tests for the set-intersection kernels (util/setops.h): every
+// kernel tier must agree with the scalar reference byte-for-byte on both
+// IntersectionSize and IntersectInto, across set sizes 0–4096, skewed
+// size ratios, SIMD register-boundary sizes, and misaligned base
+// pointers. Also pins dispatch behavior: ForceKernel round-trips,
+// unavailable tiers degrade, and IntersectInto honors its documented
+// output-pad contract (canary words past size + pad stay untouched).
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "util/random.h"
+#include "util/setops.h"
+
+namespace stabletext {
+namespace setops {
+namespace {
+
+using SizeFn = size_t (*)(const uint32_t*, size_t, const uint32_t*, size_t);
+using IntoFn = size_t (*)(const uint32_t*, size_t, const uint32_t*, size_t,
+                          uint32_t*);
+
+struct KernelEntry {
+  Kernel kernel;
+  SizeFn size_fn;
+  IntoFn into_fn;
+};
+
+// Every non-auto tier. The SSE/AVX2 entry points fall back to scalar when
+// the tier is unavailable, so calling them is always safe — they just
+// stop being an independent implementation to compare against.
+const KernelEntry kKernels[] = {
+    {Kernel::kScalar, IntersectionSizeScalar, IntersectIntoScalar},
+    {Kernel::kGalloping, IntersectionSizeGalloping, IntersectIntoGalloping},
+    {Kernel::kSse, IntersectionSizeSse, IntersectIntoSse},
+    {Kernel::kAvx2, IntersectionSizeAvx2, IntersectIntoAvx2},
+};
+
+// Strictly-ascending sorted set of `n` values drawn from [0, universe).
+std::vector<uint32_t> MakeSet(Rng* rng, size_t n, uint32_t universe) {
+  std::vector<uint32_t> v;
+  if (n == 0) return v;
+  if (universe < n) universe = static_cast<uint32_t>(n);
+  for (size_t idx : rng->SampleWithoutReplacement(universe, n)) {
+    v.push_back(static_cast<uint32_t>(idx));
+  }
+  std::sort(v.begin(), v.end());
+  return v;
+}
+
+std::vector<uint32_t> ReferenceIntersection(const std::vector<uint32_t>& a,
+                                            const std::vector<uint32_t>& b) {
+  std::vector<uint32_t> out;
+  std::set_intersection(a.begin(), a.end(), b.begin(), b.end(),
+                        std::back_inserter(out));
+  return out;
+}
+
+constexpr uint32_t kCanary = 0xDEADBEEFu;
+
+// Runs every kernel on (a, b) and (b, a) and checks the full contract
+// against std::set_intersection: size, contents, order, and no writes
+// past size + kIntersectIntoPad.
+void CheckAllKernels(const std::vector<uint32_t>& a,
+                     const std::vector<uint32_t>& b,
+                     const std::string& label) {
+  const std::vector<uint32_t> expected = ReferenceIntersection(a, b);
+  const size_t cap = std::min(a.size(), b.size()) + kIntersectIntoPad;
+  for (const KernelEntry& entry : kKernels) {
+    SCOPED_TRACE(label + " kernel=" + KernelName(entry.kernel));
+    for (int swap = 0; swap < 2; ++swap) {
+      const std::vector<uint32_t>& x = swap ? b : a;
+      const std::vector<uint32_t>& y = swap ? a : b;
+      EXPECT_EQ(entry.size_fn(x.data(), x.size(), y.data(), y.size()),
+                expected.size());
+
+      std::vector<uint32_t> out(cap + 4, kCanary);
+      const size_t n =
+          entry.into_fn(x.data(), x.size(), y.data(), y.size(), out.data());
+      ASSERT_EQ(n, expected.size());
+      EXPECT_TRUE(std::equal(expected.begin(), expected.end(), out.begin()));
+      // Past the documented pad the buffer must be untouched.
+      for (size_t i = cap; i < out.size(); ++i) {
+        EXPECT_EQ(out[i], kCanary) << "overwrite at offset " << i;
+      }
+    }
+  }
+  // The dispatched entry points must agree too, whatever tier is active.
+  EXPECT_EQ(IntersectionSize(a.data(), a.size(), b.data(), b.size()),
+            expected.size());
+  for (const uint32_t probe : expected) {
+    EXPECT_TRUE(ContainsSorted(a.data(), a.size(), probe));
+    EXPECT_TRUE(ContainsSorted(b.data(), b.size(), probe));
+  }
+}
+
+TEST(SetOpsTest, EmptyAndTrivialSets) {
+  CheckAllKernels({}, {}, "both empty");
+  CheckAllKernels({}, {1, 2, 3}, "one empty");
+  CheckAllKernels({7}, {7}, "singleton equal");
+  CheckAllKernels({7}, {8}, "singleton disjoint");
+}
+
+// Sizes straddling the SSE (4-wide) and AVX2 (8-wide) block widths and
+// the 16/32-element boundaries the affinity tests also exercise: the
+// scalar tail handoff must not drop or duplicate matches.
+TEST(SetOpsTest, RegisterBoundarySizes) {
+  Rng rng(2026);
+  for (size_t n : {3u, 4u, 5u, 7u, 8u, 9u, 15u, 16u, 17u, 31u, 32u, 33u}) {
+    for (int rep = 0; rep < 8; ++rep) {
+      const auto a = MakeSet(&rng, n, static_cast<uint32_t>(2 * n + 4));
+      const auto b = MakeSet(&rng, n, static_cast<uint32_t>(2 * n + 4));
+      CheckAllKernels(a, b, "boundary n=" + std::to_string(n));
+    }
+  }
+}
+
+// Randomized sweep over sizes 0..4096 with varying densities: dense
+// (most elements shared), sparse (few shared), and disjoint ranges.
+TEST(SetOpsTest, RandomizedSizeSweep) {
+  Rng rng(777);
+  const size_t sizes[] = {0, 1, 2, 3, 5, 8, 13, 21, 64, 100,
+                          255, 256, 257, 1000, 1024, 2048, 4096};
+  for (size_t na : sizes) {
+    for (int density = 0; density < 3; ++density) {
+      const size_t nb = sizes[rng.Uniform(sizeof(sizes) / sizeof(*sizes))];
+      const uint32_t universe = static_cast<uint32_t>(
+          density == 0 ? (na + nb + 1)            // dense overlap
+          : density == 1 ? 8 * (na + nb + 1)      // sparse overlap
+                         : 1u << 30);             // nearly disjoint
+      const auto a = MakeSet(&rng, na, universe);
+      const auto b = MakeSet(&rng, nb, universe);
+      CheckAllKernels(a, b,
+                      "sweep na=" + std::to_string(na) +
+                          " nb=" + std::to_string(nb) +
+                          " density=" + std::to_string(density));
+    }
+  }
+}
+
+// Skew ratios at and around kGallopRatio, the kAuto galloping cutover.
+TEST(SetOpsTest, SkewedRatios) {
+  Rng rng(31337);
+  for (size_t small : {1u, 2u, 7u, 33u}) {
+    for (size_t factor : {kGallopRatio - 1, kGallopRatio,
+                          kGallopRatio * 4}) {
+      const size_t large = small * factor;
+      const auto a = MakeSet(&rng, small, static_cast<uint32_t>(4 * large));
+      const auto b = MakeSet(&rng, large, static_cast<uint32_t>(4 * large));
+      CheckAllKernels(a, b,
+                      "skew " + std::to_string(small) + "x" +
+                          std::to_string(large));
+    }
+  }
+}
+
+// Unaligned base pointers: the kernels use unaligned loads, so results
+// must not depend on the arrays' address modulo the register width.
+TEST(SetOpsTest, MisalignedBasePointers) {
+  Rng rng(99);
+  const auto a = MakeSet(&rng, 513, 2048);
+  const auto b = MakeSet(&rng, 511, 2048);
+  const std::vector<uint32_t> expected = ReferenceIntersection(a, b);
+  for (size_t offa = 0; offa < 8; ++offa) {
+    for (size_t offb = 0; offb < 8; offb += 3) {
+      std::vector<uint32_t> bufa(offa + a.size() + 8);
+      std::vector<uint32_t> bufb(offb + b.size() + 8);
+      std::copy(a.begin(), a.end(), bufa.begin() + offa);
+      std::copy(b.begin(), b.end(), bufb.begin() + offb);
+      for (const KernelEntry& entry : kKernels) {
+        SCOPED_TRACE(std::string("offsets ") + std::to_string(offa) + "," +
+                     std::to_string(offb) + " kernel=" +
+                     KernelName(entry.kernel));
+        EXPECT_EQ(entry.size_fn(bufa.data() + offa, a.size(),
+                                bufb.data() + offb, b.size()),
+                  expected.size());
+      }
+    }
+  }
+}
+
+TEST(SetOpsTest, ContainsSortedMatchesLinearScan) {
+  Rng rng(5);
+  for (size_t n : {0u, 1u, 2u, 15u, 16u, 17u, 100u, 1024u}) {
+    const auto a = MakeSet(&rng, n, static_cast<uint32_t>(3 * n + 7));
+    for (uint32_t key = 0; key < 3 * n + 9; ++key) {
+      const bool expected =
+          std::find(a.begin(), a.end(), key) != a.end();
+      EXPECT_EQ(ContainsSorted(a.data(), a.size(), key), expected)
+          << "n=" << n << " key=" << key;
+    }
+  }
+}
+
+// ForceKernel round-trips through every tier; forcing an unavailable
+// tier degrades instead of crashing, and the dispatched results stay
+// identical under every forced tier.
+TEST(SetOpsTest, ForceKernelRoundTripAndDegradation) {
+  Rng rng(11);
+  const auto a = MakeSet(&rng, 300, 1000);
+  const auto b = MakeSet(&rng, 280, 1000);
+  const size_t expected =
+      IntersectionSizeScalar(a.data(), a.size(), b.data(), b.size());
+  for (const KernelEntry& entry : kKernels) {
+    ForceKernel(entry.kernel);
+    const Kernel active = ActiveKernel();
+    if (KernelAvailable(entry.kernel)) {
+      EXPECT_EQ(active, entry.kernel);
+    } else {
+      EXPECT_TRUE(KernelAvailable(active))
+          << "degraded to unavailable tier " << KernelName(active);
+    }
+    EXPECT_EQ(IntersectionSize(a.data(), a.size(), b.data(), b.size()),
+              expected)
+        << "forced=" << KernelName(entry.kernel);
+  }
+  ForceKernel(Kernel::kAuto);
+  EXPECT_TRUE(KernelAvailable(ActiveKernel()));
+}
+
+TEST(SetOpsTest, KernelNamesRoundTrip) {
+  for (const KernelEntry& entry : kKernels) {
+    EXPECT_EQ(ParseKernelName(KernelName(entry.kernel)), entry.kernel);
+  }
+  EXPECT_EQ(ParseKernelName("auto"), Kernel::kAuto);
+  EXPECT_EQ(ParseKernelName("bogus"), Kernel::kAuto);
+  // Scalar and galloping are portable: always available.
+  EXPECT_TRUE(KernelAvailable(Kernel::kScalar));
+  EXPECT_TRUE(KernelAvailable(Kernel::kGalloping));
+}
+
+}  // namespace
+}  // namespace setops
+}  // namespace stabletext

@@ -4,6 +4,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <limits>
 
 #include "stable/topk_heap.h"
 #include "util/random.h"
@@ -32,6 +33,25 @@ TEST(TopKHeapTest, KeepsBestKSorted) {
   EXPECT_DOUBLE_EQ(heap.paths()[1].weight, 0.7);
   EXPECT_DOUBLE_EQ(heap.paths()[2].weight, 0.5);
   EXPECT_DOUBLE_EQ(heap.MinWeight(), 0.5);
+}
+
+// MinWeight on a non-full heap used to read paths_.back() — UB when
+// empty. The pinned contract: while the heap is below capacity the
+// pruning bound is -infinity (no k-th path exists yet); once full it is
+// the weight of the worst retained path.
+TEST(TopKHeapTest, MinWeightSentinelBelowCapacity) {
+  TopKHeap<> heap(3);
+  EXPECT_EQ(heap.MinWeight(), -std::numeric_limits<double>::infinity());
+  heap.Offer(P({1, 2}, 0.9, 1));
+  heap.Offer(P({2, 3}, 0.4, 1));
+  // Still below capacity: nothing can be pruned yet.
+  EXPECT_FALSE(heap.full());
+  EXPECT_EQ(heap.MinWeight(), -std::numeric_limits<double>::infinity());
+  heap.Offer(P({3, 4}, 0.6, 1));
+  EXPECT_TRUE(heap.full());
+  EXPECT_DOUBLE_EQ(heap.MinWeight(), 0.4);
+  heap.Clear();
+  EXPECT_EQ(heap.MinWeight(), -std::numeric_limits<double>::infinity());
 }
 
 TEST(TopKHeapTest, RejectsExactDuplicates) {
