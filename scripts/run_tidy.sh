@@ -1,0 +1,66 @@
+#!/usr/bin/env bash
+# Static-analysis runner (the `tidy` CMake target, and the CI analysis
+# job). Two gates:
+#
+#   1. Grep gate (no toolchain needed): no raw std::mutex /
+#      std::shared_mutex / std::condition_variable / std lock guards in
+#      src/ outside util/annotated_mutex.h — every lock must go through
+#      the annotated wrappers or the thread-safety analysis is blind to
+#      it.
+#   2. clang-tidy at zero warnings over compile_commands.json (checks
+#      curated in .clang-tidy).
+#
+# Usage: scripts/run_tidy.sh [build_dir] [--grep-only]
+#   build_dir defaults to ./build. --grep-only skips clang-tidy (for
+#   environments without the clang toolchain); the default errors out if
+#   clang-tidy is missing so CI cannot silently skip the analysis.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BUILD_DIR="build"
+GREP_ONLY=0
+for arg in "$@"; do
+  case "$arg" in
+    --grep-only) GREP_ONLY=1 ;;
+    *) BUILD_DIR="$arg" ;;
+  esac
+done
+
+echo "== lock-wrapper grep gate =="
+# Matches declarations/usages of the raw std types, not comments that
+# merely mention them (require a non-word or line start before 'std::').
+pattern='(^|[^_[:alnum:]])std::(mutex|shared_mutex|condition_variable|lock_guard|unique_lock|shared_lock|scoped_lock)'
+offenders=$(grep -rnE "$pattern" src --include='*.h' --include='*.cpp' \
+  | grep -v '^src/util/annotated_mutex\.h:' \
+  | grep -vE '^\S+:[0-9]+: *//' || true)
+if [[ -n "$offenders" ]]; then
+  echo "error: raw std synchronization primitives outside" >&2
+  echo "src/util/annotated_mutex.h — use the annotated wrappers" >&2
+  echo "(Mutex/SharedMutex/CondVar/MutexLock/...):" >&2
+  echo "$offenders" >&2
+  exit 1
+fi
+echo "ok: all locks go through util/annotated_mutex.h"
+
+if [[ "$GREP_ONLY" == 1 ]]; then
+  echo "== clang-tidy skipped (--grep-only) =="
+  exit 0
+fi
+
+echo "== clang-tidy =="
+if ! command -v clang-tidy >/dev/null 2>&1; then
+  echo "error: clang-tidy not found on PATH (use --grep-only to run" >&2
+  echo "just the grep gate in clang-less environments)" >&2
+  exit 1
+fi
+if [[ ! -f "$BUILD_DIR/compile_commands.json" ]]; then
+  echo "error: $BUILD_DIR/compile_commands.json not found; configure" >&2
+  echo "with cmake first (CMAKE_EXPORT_COMPILE_COMMANDS is on by" >&2
+  echo "default in this repo)" >&2
+  exit 1
+fi
+
+# Zero-warning policy: -warnings-as-errors promotes every enabled check.
+mapfile -t files < <(find src -name '*.cpp' | sort)
+clang-tidy -p "$BUILD_DIR" -warnings-as-errors='*' "${files[@]}"
+echo "ok: clang-tidy clean"

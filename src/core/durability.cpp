@@ -138,7 +138,7 @@ Result<std::unique_ptr<Durability>> Durability::Open(
   }
   d->wal_epoch_ = newest_checkpoint;
   d->PruneBelow(newest_checkpoint);
-  return std::move(d);
+  return d;
 }
 
 Status Durability::LogCommit(const std::string& blob) {

@@ -16,6 +16,13 @@
 // At most one generation is live; older generations are pruned after a
 // checkpoint rename lands (leftovers are harmless — Open picks the
 // highest valid checkpoint).
+//
+// Threading: a Durability object is owned by the engine's writer side;
+// LogCommit/WriteCheckpoint run only under Engine's writer_role_
+// capability (every caller is a REQUIRES(writer_role_) method, checked
+// by Clang -Wthread-safety at the engine layer), so this class needs no
+// locks of its own. The io()/wal_bytes()/checkpoint_ns() counters are
+// atomics because reader-side stats() samples them concurrently.
 
 #ifndef STABLETEXT_CORE_DURABILITY_H_
 #define STABLETEXT_CORE_DURABILITY_H_

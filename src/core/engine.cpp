@@ -97,6 +97,8 @@ bool ReadIoStats(ByteReader* r, IoStats* io) {
 Engine::Engine(EngineOptions options)
     : options_(std::move(options)), graph_(0, options_.gap),
       cache_(std::make_unique<QueryCache>(options_.query_cache)) {
+  // The constructing thread is the writer until the engine is handed off.
+  AssumeRole role(writer_role_);
   if (options_.threads > 1) {
     pool_ = std::make_unique<ThreadPool>(options_.threads);
   }
@@ -158,11 +160,23 @@ std::vector<std::vector<KeywordId>> Engine::InternDocuments(
 }
 
 Result<uint32_t> Engine::IngestText(const std::vector<std::string>& posts) {
+  AssumeRole role(writer_role_);
+  return IngestTextLocked(posts);
+}
+
+Result<uint32_t> Engine::IngestTextLocked(
+    const std::vector<std::string>& posts) {
   const uint32_t interval = static_cast<uint32_t>(slots_.size());
-  return IngestDocuments(TokenizePosts(interval, posts));
+  return IngestDocumentsLocked(TokenizePosts(interval, posts));
 }
 
 Result<uint32_t> Engine::IngestDocuments(
+    const std::vector<Document>& documents) {
+  AssumeRole role(writer_role_);
+  return IngestDocumentsLocked(documents);
+}
+
+Result<uint32_t> Engine::IngestDocumentsLocked(
     const std::vector<Document>& documents) {
   if (graph_.frozen()) {
     return Status::InvalidArgument(
@@ -253,8 +267,13 @@ Result<uint32_t> Engine::CommitInterval(
   if (durability_ != nullptr &&
       durability_->ShouldCheckpoint(slots_.size())) {
     Status ck = durability_->WriteCheckpoint(
-        slots_.size(),
-        [this](uint32_t i) { return SerializeIntervalDelta(i); });
+        slots_.size(), [this](uint32_t i) {
+          // Runs synchronously on this (writer) thread inside
+          // WriteCheckpoint; the analysis sees the lambda as a separate
+          // function, so restate the role it inherits.
+          AssumeRole role(writer_role_);
+          return SerializeIntervalDelta(i);
+        });
     if (!ck.ok()) {
       // The interval itself is committed, published and WAL-durable;
       // only the checkpoint failed. The on-disk state is still the
@@ -281,12 +300,14 @@ Result<std::unique_ptr<Engine>> Engine::Recover(EngineOptions options) {
   auto durability = Durability::Open(engine->options_.durability, &state);
   if (!durability.ok()) return durability.status();
   engine->durability_ = std::move(durability).value();
+  // The recovering thread is the writer until the engine is handed off.
+  AssumeRole role(engine->writer_role_);
   for (const std::string& blob : state.blobs) {
     ST_RETURN_IF_ERROR(engine->ReplayInterval(blob));
   }
   engine->recovered_epoch_ = engine->slots_.size();
   engine->Publish();
-  return std::move(engine);
+  return engine;
 }
 
 std::string Engine::SerializeIntervalDelta(uint32_t interval) const {
@@ -491,6 +512,13 @@ Result<uint32_t> Engine::IngestInterned(
 Result<uint32_t> Engine::IngestTicks(
     const std::vector<std::vector<std::string>>& ticks,
     const TickCallback& on_tick) {
+  AssumeRole role(writer_role_);
+  return IngestTicksLocked(ticks, on_tick);
+}
+
+Result<uint32_t> Engine::IngestTicksLocked(
+    const std::vector<std::vector<std::string>>& ticks,
+    const TickCallback& on_tick) {
   if (graph_.frozen()) {
     return Status::InvalidArgument(
         "engine is compacted; create a new engine to ingest");
@@ -501,7 +529,7 @@ Result<uint32_t> Engine::IngestTicks(
   if (!pipelined) {
     uint32_t ingested = 0;
     for (const auto& posts : ticks) {
-      auto r = IngestText(posts);
+      auto r = IngestTextLocked(posts);
       if (!r.ok()) return r.status();
       ++ingested;
       if (on_tick != nullptr) {
@@ -535,19 +563,6 @@ Result<uint32_t> Engine::IngestTicks(
     return stage;
   };
 
-  // Abort path: a tick ahead of the failure may already have interned
-  // its words. Roll the dictionary back to the last committed interval's
-  // watermark so an aborted batch leaves keyword-id assignment exactly
-  // where a serial run would — a later ingest then stays byte-identical
-  // to the unpipelined engine. (A mid-commit failure keeps the words:
-  // the adopted slot's watermark covers them, and the engine is broken
-  // anyway.)
-  auto rollback_interning = [&] {
-    if (broken_.ok()) {
-      dict_.TruncateTo(slots_.empty() ? 0 : slots_.back()->vocab_size);
-    }
-  };
-
   const uint32_t base = static_cast<uint32_t>(slots_.size());
   uint32_t ingested = 0;
   std::unique_ptr<StageA> inflight = launch(base, ticks[0]);
@@ -555,7 +570,7 @@ Result<uint32_t> Engine::IngestTicks(
     std::unique_ptr<StageA> stage = std::move(inflight);
     pool_->Wait(stage->done);
     if (!stage->slot.ok()) {
-      rollback_interning();
+      RollbackInterning();
       return stage->slot.status();
     }
     if (t + 1 < ticks.size()) {
@@ -565,7 +580,7 @@ Result<uint32_t> Engine::IngestTicks(
     auto committed = CommitInterval(std::move(stage->slot).value());
     if (!committed.ok()) {
       if (inflight != nullptr) pool_->Wait(inflight->done);
-      rollback_interning();
+      RollbackInterning();
       return committed.status();
     }
     ++ingested;
@@ -573,7 +588,7 @@ Result<uint32_t> Engine::IngestTicks(
       Status s = on_tick(committed.value(), ticks[t]);
       if (!s.ok()) {
         if (inflight != nullptr) pool_->Wait(inflight->done);
-        rollback_interning();
+        RollbackInterning();
         return s;
       }
     }
@@ -583,6 +598,7 @@ Result<uint32_t> Engine::IngestTicks(
 
 Result<uint32_t> Engine::IngestCorpusFile(const std::filesystem::path& path,
                                           const TickCallback& on_tick) {
+  AssumeRole role(writer_role_);
   CorpusReader reader;
   ST_RETURN_IF_ERROR(reader.Open(path.string()));
   // Group posts by interval; intervals must be contiguous from the
@@ -606,7 +622,20 @@ Result<uint32_t> Engine::IngestCorpusFile(const std::filesystem::path& path,
     ++expected;
     ticks.push_back(std::move(posts));
   }
-  return IngestTicks(ticks, on_tick);
+  return IngestTicksLocked(ticks, on_tick);
+}
+
+// Abort path of a pipelined batch: a tick ahead of the failure may
+// already have interned its words. Roll the dictionary back to the last
+// committed interval's watermark so an aborted batch leaves keyword-id
+// assignment exactly where a serial run would — a later ingest then
+// stays byte-identical to the unpipelined engine. (A mid-commit failure
+// keeps the words: the adopted slot's watermark covers them, and the
+// engine is broken anyway.)
+void Engine::RollbackInterning() {
+  if (broken_.ok()) {
+    dict_.TruncateTo(slots_.empty() ? 0 : slots_.back()->vocab_size);
+  }
 }
 
 Status Engine::ExtendGraph(uint32_t interval) {
@@ -641,16 +670,23 @@ Status Engine::ExtendGraph(uint32_t interval) {
     join_scratch_.push_back(std::make_unique<JoinScratch>());
   }
   if (pool_ != nullptr && jobs.size() > 1) {
+    // Workers read only immutable slot payloads: alias the guarded
+    // vector once, under the role, and capture the alias — a captured
+    // `this` would put the reads outside the analysis's view of the
+    // held role.
+    const auto& slots = slots_;
+    const AffinityOptions& affinity = options_.affinity;
     std::vector<std::future<void>> futures;
     futures.reserve(jobs.size());
     for (size_t jidx = 0; jidx < jobs.size(); ++jidx) {
       JoinJob* job = &jobs[jidx];
       JoinScratch* scratch = join_scratch_[jidx].get();
-      futures.push_back(pool_->Submit([this, job, scratch, &clusters] {
-        SimilarityJoin join(options_.affinity);
-        job->matches = join.Join(slots_[job->iv]->result.clusters,
-                                 clusters, nullptr, scratch);
-      }));
+      futures.push_back(
+          pool_->Submit([job, scratch, &clusters, &slots, &affinity] {
+            SimilarityJoin join(affinity);
+            job->matches = join.Join(slots[job->iv]->result.clusters,
+                                     clusters, nullptr, scratch);
+          }));
     }
     pool_->WaitAll(futures);
   } else {
@@ -911,6 +947,7 @@ Result<QueryResult> Engine::QueryAt(
 }
 
 Status Engine::Compact() {
+  AssumeRole role(writer_role_);
   graph_.SortChildren();
   // Republish so readers serve the frozen CSR directly; warm online
   // state is carried over only if it is caught up with the final epoch

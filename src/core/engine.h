@@ -45,6 +45,7 @@
 #include "stable/cluster_graph.h"
 #include "stable/finder.h"
 #include "stable/online_finder.h"
+#include "util/annotated_mutex.h"
 #include "util/thread_pool.h"
 
 namespace stabletext {
@@ -118,6 +119,14 @@ using Query = FinderQuery;
 /// it, never a partial interval. The remaining introspection accessors
 /// (graph(), dict(), interval_result(), io()) read writer-side state
 /// and are only safe on the ingest thread, or when ingest is quiescent.
+///
+/// The writer side of this contract is machine-checked (Clang
+/// -Wthread-safety): `writer_role_` is a ThreadRole capability
+/// (util/annotated_mutex.h). Every writer-side field is
+/// GUARDED_BY(writer_role_) and every commit-path method REQUIRES it;
+/// public entry points assume the role and delegate to private *Locked
+/// implementations, so "CommitInterval runs on the writer thread only"
+/// is a compile-time statement, not a comment.
 class Engine {
  public:
   explicit Engine(EngineOptions options = {});
@@ -204,7 +213,10 @@ class Engine {
   /// side: must not race Ingest*/Compact — install before ingest starts,
   /// clear after it stops. The serving layer (net::Server) uses this to
   /// learn about new epochs for subscription pushes.
-  void SetPublishCallback(PublishCallback cb) { on_publish_ = std::move(cb); }
+  void SetPublishCallback(PublishCallback cb) {
+    AssumeRole role(writer_role_);
+    on_publish_ = std::move(cb);
+  }
 
   /// Freezes the writer's cluster graph into immutable CSR adjacency and
   /// publishes a final snapshot. Idempotent; Ingest* fails afterwards.
@@ -223,16 +235,22 @@ class Engine {
 
   // Introspection. interval_count/stats are reader-safe; the borrowed
   // references below are writer-side (see the thread contract above).
+  // They carry NO_THREAD_SAFETY_ANALYSIS as a *documented escape*: the
+  // caller, not the engine, guarantees quiescence, which the analysis
+  // cannot see.
   uint32_t interval_count() const {
     return static_cast<uint32_t>(snapshot()->epoch);
   }
-  const IntervalResult& interval_result(uint32_t i) const {
+  const IntervalResult& interval_result(uint32_t i) const
+      NO_THREAD_SAFETY_ANALYSIS {
     return slots_[i]->result;
   }
   const KeywordDict& dict() const { return dict_; }
-  const ClusterGraph& graph() const { return graph_; }
+  const ClusterGraph& graph() const NO_THREAD_SAFETY_ANALYSIS {
+    return graph_;
+  }
   /// Ingest-side I/O accounting (per-interval stats summed in order).
-  const IoStats& io() const { return io_; }
+  const IoStats& io() const NO_THREAD_SAFETY_ANALYSIS { return io_; }
   /// Point-in-time stats of the latest epoch plus live cache counters.
   EngineStats stats() const;
 
@@ -244,91 +262,124 @@ class Engine {
                           size_t max_keywords = 8) const;
 
  private:
+  // *Locked bodies of the public writer entry points: public methods
+  // assume writer_role_ once and delegate here, so writer methods can
+  // call each other without re-acquiring (the analysis rejects a
+  // double-assume).
+  Result<uint32_t> IngestTextLocked(const std::vector<std::string>& posts)
+      REQUIRES(writer_role_);
+  Result<uint32_t> IngestDocumentsLocked(
+      const std::vector<Document>& documents) REQUIRES(writer_role_);
+  Result<uint32_t> IngestTicksLocked(
+      const std::vector<std::vector<std::string>>& ticks,
+      const TickCallback& on_tick) REQUIRES(writer_role_);
   // Pool-parallel tokenization of raw posts (document order preserved).
+  // No REQUIRES: touches only unguarded state (options_, pool_), so the
+  // pipelined stage-A lambda may call it off the writer role.
   std::vector<Document> TokenizePosts(
       uint32_t interval, const std::vector<std::string>& posts);
   // Serial keyword interning in document order (dictionary ids must be
-  // assigned exactly as a sequential run would assign them).
+  // assigned exactly as a sequential run would assign them). dict_ is
+  // deliberately outside writer_role_ (see its comment below).
   std::vector<std::vector<KeywordId>> InternDocuments(
       const std::vector<Document>& documents);
   // Stage A of a tick: the Section 3 clustering of `interned` as interval
   // `interval`. Pure with respect to writer state (never touches the
   // dictionary or graph), so the pipeline may run it on the pool while
-  // the previous interval commits.
+  // the previous interval commits — hence no REQUIRES(writer_role_).
   Result<std::shared_ptr<SnapshotInterval>> ClusterInterval(
       uint32_t interval, const std::vector<std::vector<KeywordId>>& interned,
       size_t vocab_snapshot);
   // Stage B of a tick (serial): slot adoption, frontier joins, graph
   // extension, warm-online feed, snapshot publish.
-  Result<uint32_t> CommitInterval(std::shared_ptr<SnapshotInterval> slot);
+  Result<uint32_t> CommitInterval(std::shared_ptr<SnapshotInterval> slot)
+      REQUIRES(writer_role_);
   // ClusterInterval + CommitInterval (the unpipelined tick).
   Result<uint32_t> IngestInterned(
       const std::vector<std::vector<KeywordId>>& interned,
-      size_t vocab_snapshot);
+      size_t vocab_snapshot) REQUIRES(writer_role_);
   // Joins the new interval's clusters against the gap window and extends
   // the graph in place (the incremental half of the old BuildClusterGraph).
-  Status ExtendGraph(uint32_t interval);
+  Status ExtendGraph(uint32_t interval) REQUIRES(writer_role_);
   // Feeds interval `interval`'s nodes and parent edges into the warm
   // online finder. Writer-side.
-  Status FeedOnline(uint32_t interval);
+  Status FeedOnline(uint32_t interval) REQUIRES(writer_role_);
   // Replaces the warm online finder with a fresh (k, l) instance that
   // will be fed from interval 0.
-  void ResetOnlineFinder(size_t k, uint32_t l);
+  void ResetOnlineFinder(size_t k, uint32_t l) REQUIRES(writer_role_);
   // Creates/advances the warm online finder up to `interval` (consuming
   // any reader hint), writer-side.
-  Status AdvanceWarmOnline(uint32_t interval);
+  Status AdvanceWarmOnline(uint32_t interval) REQUIRES(writer_role_);
   // Builds and atomically publishes the snapshot for the current state.
-  void Publish();
+  void Publish() REQUIRES(writer_role_);
+  // Rolls the dictionary back to the last committed interval's vocab
+  // watermark after an aborted pipelined batch (IngestTicksLocked).
+  void RollbackInterning() REQUIRES(writer_role_);
   // Serializes committed interval `interval`'s delta — new keywords
   // since the previous watermark, clusters, per-tick I/O, and its
   // adjacency edges at stored weights — into the blob ReplayInterval
   // consumes. Used for both the per-commit WAL record and the
   // checkpoint payload (the adjacency is read back from the graph, so
   // nothing per-tick needs retaining).
-  std::string SerializeIntervalDelta(uint32_t interval) const;
+  std::string SerializeIntervalDelta(uint32_t interval) const
+      REQUIRES(writer_role_);
   // Replays one serialized delta: re-interns the words (validating id
   // assignment), adopts the slot, extends the graph with the logged
   // edges and re-derives the running-max scale. The write-side mirror
   // of CommitInterval minus durability, warm-online and publish.
-  Status ReplayInterval(const std::string& blob);
+  Status ReplayInterval(const std::string& blob) REQUIRES(writer_role_);
+
+  // The writer-thread capability: held (via AssumeRole) by whichever
+  // single thread is currently allowed to ingest. Zero-cost — it only
+  // exists so the annotations below are checkable.
+  ThreadRole writer_role_;
 
   EngineOptions options_;
+  // Deliberately NOT guarded by writer_role_: with pipelined ingest the
+  // stage-A lambda interns interval t+1's words on the caller thread
+  // while CommitInterval(t) runs, and ClusterInterval reads it from pool
+  // workers. Its own contract (append-only ids, single interning thread)
+  // is enforced by IngestTicks' structure, not by a capability.
   KeywordDict dict_;
-  IoStats io_;
-  std::vector<std::shared_ptr<const SnapshotInterval>> slots_;
+  IoStats io_ GUARDED_BY(writer_role_);
+  std::vector<std::shared_ptr<const SnapshotInterval>> slots_
+      GUARDED_BY(writer_role_);
   std::unique_ptr<ThreadPool> pool_;  // Null when threads <= 1.
-  ClusterGraph graph_;
+  ClusterGraph graph_ GUARDED_BY(writer_role_);
   // node_of_[i][j] = cluster graph node of cluster j in interval i.
   // (The reverse mapping needs no table: an interval's node ids are
   // dense and contiguous in cluster order — see
   // GraphSnapshot::NodeCluster.)
-  std::vector<std::vector<NodeId>> node_of_;
+  std::vector<std::vector<NodeId>> node_of_ GUARDED_BY(writer_role_);
   // Arena discipline for the per-tick gap-window joins (the CommitInterval
   // hot path): one JoinScratch per window position, created on first use
   // and reused every tick, so the flat inverted index and the seen set
   // stop allocating once they reach the stream's high-water mark. Slot i
   // is owned by window job i for the duration of ExtendGraph (jobs may
   // run on pool workers; the per-slot ownership keeps them disjoint).
-  std::vector<std::unique_ptr<JoinScratch>> join_scratch_;
+  std::vector<std::unique_ptr<JoinScratch>> join_scratch_
+      GUARDED_BY(writer_role_);
   // Completed immutable chunks of the keyword table, shared by every
   // snapshot that includes them (see SnapshotWords), plus the last
   // published partial tail chunk (reused when the vocabulary did not
   // change between publishes).
   std::vector<std::shared_ptr<const std::vector<std::string>>>
-      word_chunks_;
-  std::shared_ptr<const std::vector<std::string>> word_tail_;
-  size_t word_tail_base_ = 0;  // First keyword id covered by the tail.
+      word_chunks_ GUARDED_BY(writer_role_);
+  std::shared_ptr<const std::vector<std::string>> word_tail_
+      GUARDED_BY(writer_role_);
+  // First keyword id covered by the tail.
+  size_t word_tail_base_ GUARDED_BY(writer_role_) = 0;
   // Running maximum raw affinity, for measures without a (0, 1] range
   // (kIntersection): edges store the *raw* weight and reads apply the
   // scale 1/max (ClusterGraph::set_weight_scale), so a growing maximum is
   // an O(1) scale update instead of an O(E) rewrite. With
   // options_.lazy_renormalize=false, publishes additionally materialize
   // the scaled weights into the rebuilt chunks (eager baseline).
-  double running_max_affinity_ = 0;
+  double running_max_affinity_ GUARDED_BY(writer_role_) = 0;
   // Incremental byte accounting for EngineStats::resident_bytes:
   // completed word chunks and committed cluster payloads.
-  size_t words_bytes_ = 0;
-  size_t clusters_bytes_ = 0;
+  size_t words_bytes_ GUARDED_BY(writer_role_) = 0;
+  size_t clusters_bytes_ GUARDED_BY(writer_role_) = 0;
 
   // The published read view; swapped with std::atomic_store at every
   // commit. Readers pin it with std::atomic_load (Engine::snapshot()).
@@ -336,7 +387,7 @@ class Engine {
 
   // Writer-side epoch-publish hook (SetPublishCallback); invoked after
   // every atomic snapshot swap.
-  PublishCallback on_publish_;
+  PublishCallback on_publish_ GUARDED_BY(writer_role_);
 
   // Repeated-query absorber; internally synchronized (sharded).
   mutable std::unique_ptr<QueryCache> cache_;
@@ -347,23 +398,24 @@ class Engine {
   // then on every tick pays only the marginal Section 4.6 work while the
   // published snapshot carries the materialized top-k. 0 = no hint.
   mutable std::atomic<uint64_t> online_hint_{0};
-  std::unique_ptr<OnlineStableFinder> online_;
-  size_t online_k_ = 0;
-  uint32_t online_l_ = 0;
-  uint32_t online_fed_ = 0;  // Intervals already fed.
+  std::unique_ptr<OnlineStableFinder> online_ GUARDED_BY(writer_role_);
+  size_t online_k_ GUARDED_BY(writer_role_) = 0;
+  uint32_t online_l_ GUARDED_BY(writer_role_) = 0;
+  // Intervals already fed.
+  uint32_t online_fed_ GUARDED_BY(writer_role_) = 0;
   // Set when a weight rescale invalidated the warm finder's paths; the
   // next ingest rebuilds it from scratch at the new scale.
-  bool online_rescale_needed_ = false;
+  bool online_rescale_needed_ GUARDED_BY(writer_role_) = false;
   // Non-OK after an ingest failed mid-commit: the writer state holds a
   // half-committed interval that must never be published, so further
   // ingest is refused while queries keep serving the last epoch.
-  Status broken_;
+  Status broken_ GUARDED_BY(writer_role_);
 
   // Durability (null unless built by Engine::Recover with
   // options_.durability.enabled): WAL + checkpoint writer, plus the
   // epoch recovery restored (0 for a fresh directory).
   std::unique_ptr<Durability> durability_;
-  uint64_t recovered_epoch_ = 0;
+  uint64_t recovered_epoch_ GUARDED_BY(writer_role_) = 0;
 };
 
 }  // namespace stabletext

@@ -52,7 +52,7 @@ std::shared_ptr<const QueryResult> QueryCache::Lookup(
     const QueryCacheKey& key) {
   if (!enabled()) return nullptr;
   Shard& shard = ShardFor(key);
-  std::lock_guard<std::mutex> lock(shard.mu);
+  MutexLock lock(shard.mu);
   for (Entry& e : shard.entries) {
     if (e.key == key) {
       e.last_used = ++shard.tick;
@@ -68,7 +68,7 @@ void QueryCache::Insert(const QueryCacheKey& key,
                         std::shared_ptr<const QueryResult> value) {
   if (!enabled()) return;
   Shard& shard = ShardFor(key);
-  std::lock_guard<std::mutex> lock(shard.mu);
+  MutexLock lock(shard.mu);
   for (Entry& e : shard.entries) {
     if (e.key == key) {
       e.value = std::move(value);
@@ -95,7 +95,7 @@ void QueryCache::Insert(const QueryCacheKey& key,
 void QueryCache::EvictBefore(uint64_t epoch) {
   if (!enabled()) return;
   for (auto& shard : shards_) {
-    std::lock_guard<std::mutex> lock(shard->mu);
+    MutexLock lock(shard->mu);
     shard->entries.erase(
         std::remove_if(shard->entries.begin(), shard->entries.end(),
                        [epoch](const Entry& e) {

@@ -15,11 +15,11 @@
 #include <atomic>
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <vector>
 
 #include "core/snapshot.h"
 #include "stable/finder.h"
+#include "util/annotated_mutex.h"
 
 namespace stabletext {
 
@@ -73,9 +73,10 @@ class QueryCache {
     uint64_t last_used = 0;
   };
   struct Shard {
-    std::mutex mu;
-    std::vector<Entry> entries;  // Small: linear scan beats pointer soup.
-    uint64_t tick = 0;
+    Mutex mu;
+    // Small: linear scan beats pointer soup.
+    std::vector<Entry> entries GUARDED_BY(mu);
+    uint64_t tick GUARDED_BY(mu) = 0;
   };
 
   static uint64_t HashKey(const QueryCacheKey& key);

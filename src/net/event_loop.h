@@ -11,6 +11,14 @@
 // Remove any fd, including their own, during dispatch — a generation
 // token per registration keeps a recycled fd number from receiving a
 // stale event.
+//
+// The contract is machine-checked: `role` is the loop-thread capability
+// (util/annotated_mutex.h ThreadRole). Loop-affine methods REQUIRES(role)
+// and the registration table is GUARDED_BY(role); the thread that runs
+// the loop — and, before it starts, the thread setting it up — holds the
+// role via AssumeRole. Owners annotate their own loop-affine state
+// GUARDED_BY(loop.role), so one capability covers the whole loop-thread
+// island (see net::Server).
 
 #ifndef STABLETEXT_NET_EVENT_LOOP_H_
 #define STABLETEXT_NET_EVENT_LOOP_H_
@@ -20,6 +28,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "util/annotated_mutex.h"
 #include "util/status.h"
 
 namespace stabletext {
@@ -36,6 +45,12 @@ class EventLoop {
   /// Receives the ready-event bitmask for one registered fd.
   using Handler = std::function<void(uint32_t events)>;
 
+  /// The loop-thread capability: exactly one thread at a time may hold
+  /// it (the loop thread, or the owner before/after the loop runs).
+  /// Public so owners can hang their own loop-affine state off it with
+  /// GUARDED_BY(loop.role).
+  ThreadRole role;
+
   EventLoop() = default;
   ~EventLoop();
 
@@ -43,18 +58,20 @@ class EventLoop {
   EventLoop& operator=(const EventLoop&) = delete;
 
   /// Creates the wakeup self-pipe. Must run before PollOnce/Wakeup.
-  Status Init();
+  Status Init() REQUIRES(role);
 
   /// Registers `fd` (non-blocking) with an interest mask and handler.
-  void Add(int fd, uint32_t interest, Handler handler);
+  void Add(int fd, uint32_t interest, Handler handler) REQUIRES(role);
 
   /// Updates the interest mask of a registered fd.
-  void SetInterest(int fd, uint32_t interest);
+  void SetInterest(int fd, uint32_t interest) REQUIRES(role);
 
   /// Deregisters `fd` (does not close it).
-  void Remove(int fd);
+  void Remove(int fd) REQUIRES(role);
 
-  bool Contains(int fd) const { return entries_.count(fd) > 0; }
+  bool Contains(int fd) const REQUIRES(role) {
+    return entries_.count(fd) > 0;
+  }
 
   /// Thread-safe: makes a concurrent/next PollOnce return promptly and
   /// run the wake handler.
@@ -62,14 +79,14 @@ class EventLoop {
 
   /// Runs after every poll round that consumed a wakeup (and at least
   /// once per PollOnce that was woken).
-  void set_wake_handler(std::function<void()> handler) {
+  void set_wake_handler(std::function<void()> handler) REQUIRES(role) {
     wake_handler_ = std::move(handler);
   }
 
   /// One poll round: waits up to `timeout_ms` (-1 = indefinitely),
   /// dispatches ready handlers. Returns the number of fds dispatched,
   /// or a status error on a poll(2) failure.
-  Result<int> PollOnce(int timeout_ms);
+  Result<int> PollOnce(int timeout_ms) REQUIRES(role);
 
  private:
   struct Entry {
@@ -78,11 +95,13 @@ class EventLoop {
     Handler handler;
   };
 
-  std::unordered_map<int, Entry> entries_;
-  uint64_t next_token_ = 1;
+  std::unordered_map<int, Entry> entries_ GUARDED_BY(role);
+  uint64_t next_token_ GUARDED_BY(role) = 1;
+  // The self-pipe fds are set once by Init and then stable; Wakeup()
+  // writes wake_write_ from any thread, so they are not role-guarded.
   int wake_read_ = -1;
   int wake_write_ = -1;
-  std::function<void()> wake_handler_;
+  std::function<void()> wake_handler_ GUARDED_BY(role);
 };
 
 }  // namespace net

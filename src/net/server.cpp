@@ -38,6 +38,9 @@ Server::~Server() { Shutdown(); }
 
 Status Server::Start() {
   if (running_.load()) return Status::InvalidArgument("already started");
+  // The loop is not running yet: the starting thread is the loop thread
+  // for the duration of setup.
+  AssumeRole loop_role(loop_.role);
   auto listener = ListenTcp(options_.host, options_.port);
   if (!listener.ok()) return listener.status();
   listen_fd_ = listener.value();
@@ -54,9 +57,14 @@ Status Server::Start() {
     listen_fd_ = -1;
     return s;
   }
-  loop_.set_wake_handler([this] { DrainOutbound(); });
-  loop_.Add(listen_fd_, EventLoop::kReadable,
-            [this](uint32_t) { OnAccept(); });
+  loop_.set_wake_handler([this] {
+    AssumeRole role(loop_.role);  // Wake handlers run on the loop thread.
+    DrainOutbound();
+  });
+  loop_.Add(listen_fd_, EventLoop::kReadable, [this](uint32_t) {
+    AssumeRole role(loop_.role);  // Dispatched on the loop thread.
+    OnAccept();
+  });
   const size_t worker_count = std::max<size_t>(1, options_.workers);
   workers_ = std::make_unique<ReaderFleet>(
       worker_count, [this](size_t) { WorkerLoop(); });
@@ -82,16 +90,16 @@ void Server::Shutdown() {
   loop_.Wakeup();
   if (loop_thread_.joinable()) loop_thread_.join();
   {
-    std::lock_guard<std::mutex> lock(work_mu_);
+    MutexLock lock(work_mu_);
     stop_workers_ = true;
   }
-  work_cv_.notify_all();
+  work_cv_.NotifyAll();
   workers_->Join();
   {
-    std::lock_guard<std::mutex> lock(snap_mu_);
+    MutexLock lock(snap_mu_);
     stop_notifier_ = true;
   }
-  snap_cv_.notify_all();
+  snap_cv_.NotifyAll();
   notifier_->Join();
   // Writer-side deregistration: the caller guarantees ingest is
   // quiescent across Shutdown (see the lifecycle note in the header).
@@ -107,6 +115,7 @@ void Server::FillServingStats(EngineStats* stats) const {
 }
 
 void Server::RunLoop() {
+  AssumeRole role(loop_.role);  // This thread IS the loop thread.
   bool listener_closed = false;
   WallTimer drain_timer;
   bool drain_timing = false;
@@ -155,14 +164,14 @@ void Server::RunLoop() {
 bool Server::DrainComplete() {
   if (admitted_.load(std::memory_order_acquire) != 0) return false;
   {
-    std::lock_guard<std::mutex> lock(work_mu_);
+    MutexLock lock(work_mu_);
     if (!work_.empty()) return false;
   }
   {
-    std::lock_guard<std::mutex> lock(snap_mu_);
+    MutexLock lock(snap_mu_);
     if (!snapshots_.empty() || notifier_busy_) return false;
   }
-  std::lock_guard<std::mutex> lock(out_mu_);
+  MutexLock lock(out_mu_);
   return outbound_.empty();
 }
 
@@ -186,8 +195,10 @@ void Server::OnAccept() {
     conn->fd = fd;
     const uint64_t id = conn->id;
     connections_.emplace(id, std::move(conn));
-    loop_.Add(fd, EventLoop::kReadable,
-              [this, id](uint32_t events) { OnConnEvent(id, events); });
+    loop_.Add(fd, EventLoop::kReadable, [this, id](uint32_t events) {
+      AssumeRole role(loop_.role);  // Dispatched on the loop thread.
+      OnConnEvent(id, events);
+    });
   }
 }
 
@@ -327,7 +338,7 @@ void Server::HandleQuery(Connection* conn, const Frame& frame) {
   }
   size_t queued;
   {
-    std::lock_guard<std::mutex> lock(work_mu_);
+    MutexLock lock(work_mu_);
     queued = work_.size();
   }
   const size_t admitted = admitted_.load(std::memory_order_acquire);
@@ -343,19 +354,18 @@ void Server::HandleQuery(Connection* conn, const Frame& frame) {
   }
   admitted_.fetch_add(1, std::memory_order_acq_rel);
   {
-    std::lock_guard<std::mutex> lock(work_mu_);
+    MutexLock lock(work_mu_);
     work_.push_back(Job{conn->id, frame.request_id, query, flags});
   }
-  work_cv_.notify_one();
+  work_cv_.NotifyOne();
 }
 
 void Server::WorkerLoop() {
   for (;;) {
     Job job;
     {
-      std::unique_lock<std::mutex> lock(work_mu_);
-      work_cv_.wait(lock,
-                    [this] { return stop_workers_ || !work_.empty(); });
+      MutexLock lock(work_mu_);
+      while (!stop_workers_ && work_.empty()) work_cv_.Wait(lock);
       if (work_.empty()) return;  // stop_workers_ and drained.
       job = std::move(work_.front());
       work_.pop_front();
@@ -387,20 +397,18 @@ void Server::OnPublish(
     const std::shared_ptr<const GraphSnapshot>& snapshot) {
   if (draining_.load(std::memory_order_acquire)) return;
   {
-    std::lock_guard<std::mutex> lock(snap_mu_);
+    MutexLock lock(snap_mu_);
     snapshots_.push_back(snapshot);
   }
-  snap_cv_.notify_one();
+  snap_cv_.NotifyOne();
 }
 
 void Server::NotifierLoop() {
   for (;;) {
     std::shared_ptr<const GraphSnapshot> snap;
     {
-      std::unique_lock<std::mutex> lock(snap_mu_);
-      snap_cv_.wait(lock, [this] {
-        return stop_notifier_ || !snapshots_.empty();
-      });
+      MutexLock lock(snap_mu_);
+      while (!stop_notifier_ && snapshots_.empty()) snap_cv_.Wait(lock);
       if (snapshots_.empty()) return;  // stop_notifier_ and drained.
       snap = std::move(snapshots_.front());
       snapshots_.pop_front();
@@ -424,7 +432,7 @@ void Server::NotifierLoop() {
       pushes_sent_.fetch_add(1, std::memory_order_relaxed);
     }
     {
-      std::lock_guard<std::mutex> lock(snap_mu_);
+      MutexLock lock(snap_mu_);
       notifier_busy_ = false;
     }
     loop_.Wakeup();  // Re-evaluate drain progress.
@@ -434,7 +442,7 @@ void Server::NotifierLoop() {
 void Server::EnqueueOutbound(uint64_t connection_id, std::string bytes,
                              bool completes_query) {
   {
-    std::lock_guard<std::mutex> lock(out_mu_);
+    MutexLock lock(out_mu_);
     outbound_.push_back(
         Outbound{connection_id, std::move(bytes), completes_query});
   }
@@ -444,7 +452,7 @@ void Server::EnqueueOutbound(uint64_t connection_id, std::string bytes,
 void Server::DrainOutbound() {
   std::deque<Outbound> batch;
   {
-    std::lock_guard<std::mutex> lock(out_mu_);
+    MutexLock lock(out_mu_);
     batch.swap(outbound_);
   }
   for (Outbound& out : batch) {

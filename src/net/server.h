@@ -28,13 +28,11 @@
 #define STABLETEXT_NET_SERVER_H_
 
 #include <atomic>
-#include <condition_variable>
 #include <cstdint>
 #include <deque>
 #include <functional>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <thread>
 
@@ -42,6 +40,7 @@
 #include "net/event_loop.h"
 #include "net/protocol.h"
 #include "net/subscription.h"
+#include "util/annotated_mutex.h"
 #include "util/status.h"
 #include "util/thread_pool.h"
 
@@ -122,57 +121,69 @@ class Server {
     bool completes_query = false;  ///< Decrements the admission gate.
   };
 
+  // Thread entry points: each assumes the capabilities of the thread it
+  // runs on internally (RunLoop holds loop_.role for its whole life).
   void RunLoop();
   void WorkerLoop();
   void NotifierLoop();
   void OnPublish(const std::shared_ptr<const GraphSnapshot>& snapshot);
 
-  void OnAccept();
-  void OnConnEvent(uint64_t connection_id, uint32_t events);
-  void HandleFrame(Connection* conn, const Frame& frame);
-  void HandleQuery(Connection* conn, const Frame& frame);
+  // Loop-thread-affine handlers and helpers: REQUIRES(loop_.role) makes
+  // "only the loop thread touches connection state" compile-checked.
+  void OnAccept() REQUIRES(loop_.role);
+  void OnConnEvent(uint64_t connection_id, uint32_t events)
+      REQUIRES(loop_.role);
+  void HandleFrame(Connection* conn, const Frame& frame)
+      REQUIRES(loop_.role);
+  void HandleQuery(Connection* conn, const Frame& frame)
+      REQUIRES(loop_.role);
   void Reply(Connection* conn, MsgType type, uint64_t request_id,
-             const std::string& body);
-  void AppendOut(Connection* conn, const std::string& bytes);
-  void TryFlush(Connection* conn);  // May close the connection.
-  void CloseConnection(uint64_t connection_id);
+             const std::string& body) REQUIRES(loop_.role);
+  void AppendOut(Connection* conn, const std::string& bytes)
+      REQUIRES(loop_.role);
+  // May close the connection.
+  void TryFlush(Connection* conn) REQUIRES(loop_.role);
+  void CloseConnection(uint64_t connection_id) REQUIRES(loop_.role);
   void EnqueueOutbound(uint64_t connection_id, std::string bytes,
                        bool completes_query);
-  void DrainOutbound();
+  void DrainOutbound() REQUIRES(loop_.role);
   bool DrainComplete();
-  bool AnyPendingOutput() const;
+  bool AnyPendingOutput() const REQUIRES(loop_.role);
 
   Engine* const engine_;
   const ServerOptions options_;
 
   EventLoop loop_;
-  int listen_fd_ = -1;
-  uint16_t port_ = 0;
+  int listen_fd_ GUARDED_BY(loop_.role) = -1;
+  uint16_t port_ = 0;  // Set in Start() before any thread exists.
   std::thread loop_thread_;
   std::unique_ptr<ReaderFleet> workers_;
   std::unique_ptr<ReaderFleet> notifier_;
 
-  // Loop-thread state.
-  std::map<uint64_t, std::unique_ptr<Connection>> connections_;
-  uint64_t next_connection_id_ = 1;
+  // Loop-thread state: owned by whichever thread holds loop_.role (the
+  // setup thread during Start(), then the loop thread exclusively).
+  std::map<uint64_t, std::unique_ptr<Connection>> connections_
+      GUARDED_BY(loop_.role);
+  uint64_t next_connection_id_ GUARDED_BY(loop_.role) = 1;
 
   // Admission gate and work queue.
   std::atomic<size_t> admitted_{0};
-  std::mutex work_mu_;
-  std::condition_variable work_cv_;
-  std::deque<Job> work_;
-  bool stop_workers_ = false;
+  Mutex work_mu_;
+  CondVar work_cv_;
+  std::deque<Job> work_ GUARDED_BY(work_mu_);
+  bool stop_workers_ GUARDED_BY(work_mu_) = false;
 
   // Completed responses / pushes headed back to the loop thread.
-  std::mutex out_mu_;
-  std::deque<Outbound> outbound_;
+  Mutex out_mu_;
+  std::deque<Outbound> outbound_ GUARDED_BY(out_mu_);
 
   // Published epochs awaiting notifier processing.
-  std::mutex snap_mu_;
-  std::condition_variable snap_cv_;
-  std::deque<std::shared_ptr<const GraphSnapshot>> snapshots_;
-  bool notifier_busy_ = false;
-  bool stop_notifier_ = false;
+  Mutex snap_mu_;
+  CondVar snap_cv_;
+  std::deque<std::shared_ptr<const GraphSnapshot>> snapshots_
+      GUARDED_BY(snap_mu_);
+  bool notifier_busy_ GUARDED_BY(snap_mu_) = false;
+  bool stop_notifier_ GUARDED_BY(snap_mu_) = false;
 
   SubscriptionRegistry registry_;
 

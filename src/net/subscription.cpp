@@ -6,7 +6,7 @@ namespace net {
 uint64_t SubscriptionRegistry::Add(uint64_t connection_id,
                                    const FinderQuery& query,
                                    uint8_t flags) {
-  std::lock_guard<std::mutex> lock(mu_);
+  WriterMutexLock lock(mu_);
   const uint64_t id = next_id_++;
   auto sub = std::make_shared<Subscription>();
   sub->id = id;
@@ -18,7 +18,7 @@ uint64_t SubscriptionRegistry::Add(uint64_t connection_id,
 }
 
 bool SubscriptionRegistry::Remove(uint64_t connection_id, uint64_t id) {
-  std::lock_guard<std::mutex> lock(mu_);
+  WriterMutexLock lock(mu_);
   auto it = subscriptions_.find(id);
   if (it == subscriptions_.end() ||
       it->second->connection_id != connection_id) {
@@ -29,7 +29,7 @@ bool SubscriptionRegistry::Remove(uint64_t connection_id, uint64_t id) {
 }
 
 void SubscriptionRegistry::RemoveConnection(uint64_t connection_id) {
-  std::lock_guard<std::mutex> lock(mu_);
+  WriterMutexLock lock(mu_);
   for (auto it = subscriptions_.begin(); it != subscriptions_.end();) {
     if (it->second->connection_id == connection_id) {
       it = subscriptions_.erase(it);
@@ -41,7 +41,7 @@ void SubscriptionRegistry::RemoveConnection(uint64_t connection_id) {
 
 std::vector<std::shared_ptr<Subscription>> SubscriptionRegistry::Snapshot()
     const {
-  std::lock_guard<std::mutex> lock(mu_);
+  ReaderMutexLock lock(mu_);
   std::vector<std::shared_ptr<Subscription>> out;
   out.reserve(subscriptions_.size());
   for (const auto& [id, sub] : subscriptions_) out.push_back(sub);
@@ -49,7 +49,7 @@ std::vector<std::shared_ptr<Subscription>> SubscriptionRegistry::Snapshot()
 }
 
 size_t SubscriptionRegistry::size() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  ReaderMutexLock lock(mu_);
   return subscriptions_.size();
 }
 

@@ -17,11 +17,11 @@
 #include <cstdint>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <vector>
 
 #include "net/protocol.h"
 #include "stable/finder.h"
+#include "util/annotated_mutex.h"
 
 namespace stabletext {
 namespace net {
@@ -57,9 +57,14 @@ class SubscriptionRegistry {
   size_t size() const;
 
  private:
-  mutable std::mutex mu_;
-  std::map<uint64_t, std::shared_ptr<Subscription>> subscriptions_;
-  uint64_t next_id_ = 1;
+  // Reader-writer split: Add/Remove/RemoveConnection (loop thread) take
+  // the write side; Snapshot()/size() (notifier, stats, any thread) share
+  // the read side. The lock guards only the table — each Subscription's
+  // `last` is notifier-owned (see header comment).
+  mutable SharedMutex mu_;
+  std::map<uint64_t, std::shared_ptr<Subscription>> subscriptions_
+      GUARDED_BY(mu_);
+  uint64_t next_id_ GUARDED_BY(mu_) = 1;
 };
 
 }  // namespace net

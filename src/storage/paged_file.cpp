@@ -8,7 +8,9 @@
 
 namespace stabletext {
 
-PagedFile::~PagedFile() { Close().ok(); }
+// A destructor has nowhere to report a failed flush/close; owners that
+// care about the error call Close() themselves first.
+PagedFile::~PagedFile() { Close().IgnoreError(); }
 
 Status PagedFile::Open(const std::string& path,
                        const PagedFileOptions& options, IoStats* stats) {

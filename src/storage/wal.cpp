@@ -25,7 +25,9 @@ std::string Errno(const std::string& prefix) {
 
 }  // namespace
 
-WalWriter::~WalWriter() { Close().ok(); }
+// A destructor has nowhere to report a failed close; owners that care
+// about the error call Close() themselves first.
+WalWriter::~WalWriter() { Close().IgnoreError(); }
 
 Status WalWriter::Create(const std::string& path, FaultInjector* faults,
                          IoStats* stats) {

@@ -11,6 +11,11 @@
 //
 // All multi-byte fields are host-endian (the log is machine-local state,
 // like every other file this storage layer writes).
+//
+// Threading: single-owner, like the rest of the storage layer. In the
+// engine the owner is the durability layer, reached only from
+// REQUIRES(writer_role_) methods — the writer-thread affinity is
+// machine-checked one level up (core/engine.h), so no locking here.
 
 #ifndef STABLETEXT_STORAGE_WAL_H_
 #define STABLETEXT_STORAGE_WAL_H_

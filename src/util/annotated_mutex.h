@@ -1,0 +1,220 @@
+// Clang thread-safety-annotated synchronization primitives. Every lock in
+// the library goes through these wrappers instead of <mutex> directly, so
+// the locking conventions the engine's correctness rests on (snapshot-
+// isolated readers, a single serial writer, loop-thread-affine serving
+// state) are statements the compiler checks, not comments TSan hopes to
+// catch at runtime.
+//
+// Vocabulary (see README "Static analysis"):
+//   - Mutex / SharedMutex / CondVar: drop-in wrappers over the std types,
+//     carrying CAPABILITY annotations.
+//   - MutexLock / ReaderMutexLock / WriterMutexLock: RAII guards
+//     (SCOPED_CAPABILITY) replacing std::lock_guard / std::unique_lock.
+//   - GUARDED_BY(mu) on a field: every access must hold mu.
+//   - REQUIRES(mu) on a function: callers must already hold mu.
+//   - ThreadRole / AssumeRole: a zero-cost fake capability expressing
+//     thread-affinity contracts ("writer thread only", "loop thread
+//     only") in the same machine-checked language. Acquiring a role is
+//     an assertion about which thread is executing, not a lock.
+//
+// The attribute macros expand to nothing outside Clang, so GCC builds are
+// byte-identical; the CI `analysis` job builds with clang
+// -Wthread-safety -Werror and fails on any violation. Known-safe escapes
+// use NO_THREAD_SAFETY_ANALYSIS with a comment justifying each one.
+
+#ifndef STABLETEXT_UTIL_ANNOTATED_MUTEX_H_
+#define STABLETEXT_UTIL_ANNOTATED_MUTEX_H_
+
+#include <chrono>
+#include <condition_variable>
+#include <mutex>
+#include <shared_mutex>
+
+#if defined(__clang__)
+#define ST_THREAD_ANNOTATION(x) __attribute__((x))
+#else
+#define ST_THREAD_ANNOTATION(x)  // GCC et al.: annotations compile away.
+#endif
+
+#define CAPABILITY(x) ST_THREAD_ANNOTATION(capability(x))
+#define SCOPED_CAPABILITY ST_THREAD_ANNOTATION(scoped_lockable)
+#define GUARDED_BY(x) ST_THREAD_ANNOTATION(guarded_by(x))
+#define PT_GUARDED_BY(x) ST_THREAD_ANNOTATION(pt_guarded_by(x))
+#define ACQUIRED_BEFORE(...) \
+  ST_THREAD_ANNOTATION(acquired_before(__VA_ARGS__))
+#define ACQUIRED_AFTER(...) \
+  ST_THREAD_ANNOTATION(acquired_after(__VA_ARGS__))
+#define REQUIRES(...) \
+  ST_THREAD_ANNOTATION(requires_capability(__VA_ARGS__))
+#define REQUIRES_SHARED(...) \
+  ST_THREAD_ANNOTATION(requires_shared_capability(__VA_ARGS__))
+#define ACQUIRE(...) ST_THREAD_ANNOTATION(acquire_capability(__VA_ARGS__))
+#define ACQUIRE_SHARED(...) \
+  ST_THREAD_ANNOTATION(acquire_shared_capability(__VA_ARGS__))
+#define RELEASE(...) ST_THREAD_ANNOTATION(release_capability(__VA_ARGS__))
+#define RELEASE_SHARED(...) \
+  ST_THREAD_ANNOTATION(release_shared_capability(__VA_ARGS__))
+#define RELEASE_GENERIC(...) \
+  ST_THREAD_ANNOTATION(release_generic_capability(__VA_ARGS__))
+#define TRY_ACQUIRE(...) \
+  ST_THREAD_ANNOTATION(try_acquire_capability(__VA_ARGS__))
+#define TRY_ACQUIRE_SHARED(...) \
+  ST_THREAD_ANNOTATION(try_acquire_shared_capability(__VA_ARGS__))
+#define EXCLUDES(...) ST_THREAD_ANNOTATION(locks_excluded(__VA_ARGS__))
+#define ASSERT_CAPABILITY(x) ST_THREAD_ANNOTATION(assert_capability(x))
+#define ASSERT_SHARED_CAPABILITY(x) \
+  ST_THREAD_ANNOTATION(assert_shared_capability(x))
+#define RETURN_CAPABILITY(x) ST_THREAD_ANNOTATION(lock_returned(x))
+#define NO_THREAD_SAFETY_ANALYSIS \
+  ST_THREAD_ANNOTATION(no_thread_safety_analysis)
+
+namespace stabletext {
+
+/// \brief std::mutex with a thread-safety capability.
+class CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void Lock() ACQUIRE() { mu_.lock(); }
+  void Unlock() RELEASE() { mu_.unlock(); }
+  bool TryLock() TRY_ACQUIRE(true) { return mu_.try_lock(); }
+
+ private:
+  friend class CondVar;
+  friend class MutexLock;
+  std::mutex mu_;
+};
+
+/// \brief RAII exclusive lock over Mutex (replaces std::lock_guard /
+/// std::unique_lock). CondVar can wait on it.
+class SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex& mu) ACQUIRE(mu) : lock_(mu.mu_) {}
+  ~MutexLock() RELEASE() {}  // lock_'s destructor unlocks.
+
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+ private:
+  friend class CondVar;
+  std::unique_lock<std::mutex> lock_;
+};
+
+/// \brief std::shared_mutex with a thread-safety capability.
+class CAPABILITY("shared_mutex") SharedMutex {
+ public:
+  SharedMutex() = default;
+  SharedMutex(const SharedMutex&) = delete;
+  SharedMutex& operator=(const SharedMutex&) = delete;
+
+  void Lock() ACQUIRE() { mu_.lock(); }
+  void Unlock() RELEASE() { mu_.unlock(); }
+  void LockShared() ACQUIRE_SHARED() { mu_.lock_shared(); }
+  void UnlockShared() RELEASE_SHARED() { mu_.unlock_shared(); }
+
+ private:
+  std::shared_mutex mu_;
+};
+
+/// \brief RAII exclusive lock over SharedMutex.
+class SCOPED_CAPABILITY WriterMutexLock {
+ public:
+  explicit WriterMutexLock(SharedMutex& mu) ACQUIRE(mu) : mu_(mu) {
+    mu_.Lock();
+  }
+  ~WriterMutexLock() RELEASE_GENERIC() { mu_.Unlock(); }
+
+  WriterMutexLock(const WriterMutexLock&) = delete;
+  WriterMutexLock& operator=(const WriterMutexLock&) = delete;
+
+ private:
+  SharedMutex& mu_;
+};
+
+/// \brief RAII shared (read) lock over SharedMutex.
+class SCOPED_CAPABILITY ReaderMutexLock {
+ public:
+  explicit ReaderMutexLock(SharedMutex& mu) ACQUIRE_SHARED(mu) : mu_(mu) {
+    mu_.LockShared();
+  }
+  ~ReaderMutexLock() RELEASE_GENERIC() { mu_.UnlockShared(); }
+
+  ReaderMutexLock(const ReaderMutexLock&) = delete;
+  ReaderMutexLock& operator=(const ReaderMutexLock&) = delete;
+
+ private:
+  SharedMutex& mu_;
+};
+
+/// \brief Condition variable paired with Mutex/MutexLock.
+///
+/// Deliberately predicate-less: call sites spell the wait loop out
+/// (`while (!cond) cv.Wait(lock);`) so the guarded reads in the predicate
+/// are visible to the analysis in a scope that provably holds the lock —
+/// a predicate lambda would be analyzed as an unlocked function.
+class CondVar {
+ public:
+  CondVar() = default;
+  CondVar(const CondVar&) = delete;
+  CondVar& operator=(const CondVar&) = delete;
+
+  /// Atomically releases `lock`, sleeps, and reacquires before returning.
+  /// The caller's capability is held again on return, matching what the
+  /// analysis assumes across the call.
+  void Wait(MutexLock& lock) { cv_.wait(lock.lock_); }
+
+  template <typename Rep, typename Period>
+  std::cv_status WaitFor(MutexLock& lock,
+                         const std::chrono::duration<Rep, Period>& dur) {
+    return cv_.wait_for(lock.lock_, dur);
+  }
+
+  void NotifyOne() { cv_.notify_one(); }
+  void NotifyAll() { cv_.notify_all(); }
+
+ private:
+  std::condition_variable cv_;
+};
+
+/// \brief Zero-cost fake capability for thread-affinity contracts.
+///
+/// A ThreadRole models statements like "Engine's commit path runs on the
+/// single writer thread" or "connection state is loop-thread only" as a
+/// capability: affine fields are GUARDED_BY(role), affine methods
+/// REQUIRES(role), and each thread's entry point (or a callback known to
+/// run on that thread) holds the role via AssumeRole. Acquiring a role
+/// has no runtime effect — it is an assertion about which thread is
+/// executing, enforced by the caller's structure (externally-exclusive
+/// ingest, the event loop's single dispatch thread), not a lock. The
+/// payoff is that the compiler rejects any new code path that reaches
+/// role-guarded state from the wrong side.
+class CAPABILITY("role") ThreadRole {
+ public:
+  ThreadRole() = default;
+  ThreadRole(const ThreadRole&) = delete;
+  ThreadRole& operator=(const ThreadRole&) = delete;
+
+  void Acquire() ACQUIRE() {}
+  void Release() RELEASE() {}
+};
+
+/// \brief Scoped assertion that the current thread holds `role`.
+class SCOPED_CAPABILITY AssumeRole {
+ public:
+  explicit AssumeRole(ThreadRole& role) ACQUIRE(role) : role_(role) {
+    role_.Acquire();
+  }
+  ~AssumeRole() RELEASE() { role_.Release(); }
+
+  AssumeRole(const AssumeRole&) = delete;
+  AssumeRole& operator=(const AssumeRole&) = delete;
+
+ private:
+  ThreadRole& role_;
+};
+
+}  // namespace stabletext
+
+#endif  // STABLETEXT_UTIL_ANNOTATED_MUTEX_H_

@@ -29,7 +29,11 @@ enum class StatusCode {
 ///
 /// A default-constructed Status is OK. Error statuses carry a code and a
 /// human-readable message. Copying is cheap for OK (empty message).
-class Status {
+///
+/// [[nodiscard]]: silently dropping a Status is how a failed fsync turns
+/// into data loss — every call site must check, propagate, or explicitly
+/// discard with a justifying comment and a (void) cast.
+class [[nodiscard]] Status {
  public:
   Status() : code_(StatusCode::kOk) {}
 
@@ -63,6 +67,11 @@ class Status {
   StatusCode code() const { return code_; }
   const std::string& message() const { return message_; }
 
+  /// Explicit, greppable discard for the few places that genuinely have
+  /// nowhere to report (destructors). `Close().IgnoreError()` states the
+  /// intent; a bare `Close()` is a compile error.
+  void IgnoreError() const {}
+
   /// Renders "OK" or "<CodeName>: <message>".
   std::string ToString() const;
 
@@ -83,7 +92,7 @@ class Status {
 /// Accessing value() on an error (or status() never) is a programming error
 /// guarded by assert in debug builds.
 template <typename T>
-class Result {
+class [[nodiscard]] Result {
  public:
   Result(T value) : payload_(std::move(value)) {}  // NOLINT(implicit)
   Result(Status status) : payload_(std::move(status)) {  // NOLINT(implicit)

@@ -8,13 +8,13 @@
 #define STABLETEXT_UTIL_THREAD_POOL_H_
 
 #include <atomic>
-#include <condition_variable>
 #include <deque>
 #include <functional>
 #include <future>
-#include <mutex>
 #include <thread>
 #include <vector>
+
+#include "util/annotated_mutex.h"
 
 namespace stabletext {
 
@@ -47,11 +47,11 @@ class ThreadPool {
  private:
   void WorkerLoop();
 
-  std::mutex mu_;
-  std::condition_variable cv_;
-  std::deque<std::packaged_task<void()>> queue_;
+  Mutex mu_;
+  CondVar cv_;
+  std::deque<std::packaged_task<void()>> queue_ GUARDED_BY(mu_);
   std::vector<std::thread> workers_;
-  bool stop_ = false;
+  bool stop_ GUARDED_BY(mu_) = false;
 };
 
 /// \brief A fleet of dedicated reader threads for concurrent serving.

@@ -1,0 +1,46 @@
+// Positive control: correct use of the exact constructs the negative
+// cases violate, built through the same harness and flags. If this
+// stops compiling, the suite's "expected failures" prove nothing.
+#include "util/annotated_mutex.h"
+#include "util/status.h"
+
+namespace {
+class Counter {
+ public:
+  void Increment() {
+    stabletext::MutexLock lock(mu_);
+    ++value_;
+  }
+  int value() {
+    stabletext::MutexLock lock(mu_);
+    return value_;
+  }
+
+ private:
+  stabletext::Mutex mu_;
+  int value_ GUARDED_BY(mu_) = 0;
+};
+
+class Committer {
+ public:
+  stabletext::ThreadRole writer_role;
+  void Commit() REQUIRES(writer_role) { ++commits_; }
+
+ private:
+  int commits_ GUARDED_BY(writer_role) = 0;
+};
+
+stabletext::Status Flush() { return stabletext::Status::OK(); }
+}  // namespace
+
+int main() {
+  Counter c;
+  c.Increment();
+  Committer committer;
+  {
+    stabletext::AssumeRole role(committer.writer_role);
+    committer.Commit();
+  }
+  stabletext::Status s = Flush();
+  return (s.ok() && c.value() == 1) ? 0 : 1;
+}

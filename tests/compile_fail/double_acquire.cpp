@@ -1,0 +1,16 @@
+// Seeded violation: acquiring a mutex the scope already holds —
+// self-deadlock with std::mutex at runtime, a compile error here
+// ("already held").
+#include "util/annotated_mutex.h"
+
+namespace {
+stabletext::Mutex mu;
+int value GUARDED_BY(mu) = 0;
+}  // namespace
+
+int main() {
+  stabletext::MutexLock outer(mu);
+  stabletext::MutexLock inner(mu);  // BUG: mu is already held.
+  ++value;
+  return 0;
+}

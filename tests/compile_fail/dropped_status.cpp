@@ -1,0 +1,13 @@
+// Seeded violation: a Status silently dropped on the floor. Status is
+// [[nodiscard]], so under -Werror this must fail on every supported
+// compiler — a failed fsync that nobody checks is how data loss starts.
+#include "util/status.h"
+
+namespace {
+stabletext::Status Flush() { return stabletext::Status::OK(); }
+}  // namespace
+
+int main() {
+  Flush();  // BUG: result ignored.
+  return 0;
+}

@@ -1,0 +1,30 @@
+# Harness for the negative compile suite (see CMakeLists.txt here).
+# Inputs: COMPILER, FLAGS (cmake list), SOURCE, EXPECT_FAIL, EXPECT.
+#   EXPECT_FAIL=ON : compilation must fail AND the output must match the
+#                    EXPECT regex — failing for the wrong reason is a
+#                    suite failure, not a pass.
+#   EXPECT_FAIL=OFF: compilation must succeed (positive control proving
+#                    the harness and flags can build correct code).
+execute_process(
+    COMMAND ${COMPILER} ${FLAGS} ${SOURCE} -o /dev/null
+    RESULT_VARIABLE rc
+    OUTPUT_VARIABLE out
+    ERROR_VARIABLE err)
+set(all "${out}\n${err}")
+if(EXPECT_FAIL)
+  if(rc EQUAL 0)
+    message(FATAL_ERROR
+        "expected ${SOURCE} to fail to compile, but it succeeded — the "
+        "static gate this case seeds a violation of is not firing")
+  endif()
+  if(NOT all MATCHES "${EXPECT}")
+    message(FATAL_ERROR
+        "${SOURCE} failed to compile, but without the expected "
+        "diagnostic (regex: ${EXPECT}). Compiler output:\n${all}")
+  endif()
+else()
+  if(NOT rc EQUAL 0)
+    message(FATAL_ERROR
+        "positive control ${SOURCE} failed to compile:\n${all}")
+  endif()
+endif()

@@ -1,0 +1,18 @@
+// Seeded violation: calling a thread-affine (REQUIRES(role)) method
+// without holding the role — e.g. touching the engine's commit path
+// from a random thread. Must fail under Clang ("requires holding").
+#include "util/annotated_mutex.h"
+
+namespace {
+class Committer {
+ public:
+  stabletext::ThreadRole writer_role;
+  void Commit() REQUIRES(writer_role) {}
+};
+}  // namespace
+
+int main() {
+  Committer c;
+  c.Commit();  // BUG: writer_role not held.
+  return 0;
+}

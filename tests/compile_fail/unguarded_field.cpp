@@ -1,0 +1,20 @@
+// Seeded violation: writing a GUARDED_BY(mu_) field without holding
+// mu_. Clang -Wthread-safety must reject this ("requires holding").
+#include "util/annotated_mutex.h"
+
+namespace {
+class Counter {
+ public:
+  void Increment() { ++value_; }  // BUG: mu_ not held.
+
+ private:
+  stabletext::Mutex mu_;
+  int value_ GUARDED_BY(mu_) = 0;
+};
+}  // namespace
+
+int main() {
+  Counter c;
+  c.Increment();
+  return 0;
+}
