@@ -1,0 +1,235 @@
+// bench_sharded: multi-writer scale-out of the streaming engine. Streams
+// the bench_publish workload through a ShardedEngine at 1, 2 and 4
+// shards and records, per shard count:
+//
+//   ingest    — per-tick commit latency (route + fan-out + barrier +
+//               sharded publish), mean over the stream.
+//   query     — scatter-gather latency through the threshold merge,
+//               p50/p99 over a sweep of distinct queries (distinct so
+//               the per-shard query caches cannot answer everything).
+//   merge     — the measured early-termination counters: chains pulled
+//               vs chains available per shard stream, and how many
+//               streams the merge abandoned before draining them.
+//
+// On a single-CPU container the fan-out cannot beat the 1-shard
+// baseline in wall-clock (there is nothing to run the shard tasks on);
+// the JSON carries `cpus` and a `caveat` field making that explicit,
+// and the determinism machinery is covered by sharded_engine_test.
+//
+//   bench_sharded [--threads N] [--repetitions N] [--json PATH]
+//
+// Emits BENCH_sharded.json.
+
+#include <algorithm>
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+#include "bench_common.h"
+#include "core/sharded_engine.h"
+#include "gen/corpus_generator.h"
+
+namespace stabletext {
+namespace bench {
+namespace {
+
+EngineOptions StreamOptions(size_t threads) {
+  EngineOptions options;
+  options.gap = 1;
+  options.threads = threads;
+  options.clustering.pruning.rho_threshold = 0.2;
+  options.clustering.pruning.min_pair_support = 5;
+  options.affinity.theta = 0.1;
+  return options;
+}
+
+struct ShardRun {
+  uint32_t shards = 1;
+  double tick_ms_mean = 0;
+  double ingest_ms_total = 0;
+  double query_p50_us = 0;
+  double query_p99_us = 0;
+  uint64_t merge_pulled = 0;
+  uint64_t merge_available = 0;
+  uint64_t early_terminations = 0;
+  uint64_t queries = 0;
+  size_t clusters = 0;  ///< Fleet-aggregate graph nodes after ingest.
+  size_t edges = 0;     ///< Fleet-aggregate graph edges after ingest.
+};
+
+double Percentile(std::vector<double> v, double p) {
+  if (v.empty()) return 0;
+  std::sort(v.begin(), v.end());
+  const size_t i = static_cast<size_t>(p * (v.size() - 1) + 0.5);
+  return v[std::min(i, v.size() - 1)];
+}
+
+// Distinct queries defeat the per-shard query cache: every sample pays
+// the scatter-gather, not a cache probe. The sweep is BFS/kKlStable
+// only: the windowed BFS cost is stable across graph shapes, so the
+// numbers isolate the scatter-gather + merge overhead. (DFS's
+// branch-and-bound and normalized mode's unbounded path lengths both
+// explode on the dense shard-local graphs this non-partitioned corpus
+// produces — a finder characteristic, not a merge cost.)
+Query QueryVariant(uint64_t n) {
+  Query q;
+  q.algorithm = FinderAlgorithm::kBfs;
+  q.k = 1 + n % 8;
+  q.l = 2 + (n / 8) % 2;
+  // Cache-buster: max_probes is in the cache key but only binds for TA
+  // (never here), so every sample is a distinct uncached query doing
+  // identical work.
+  q.max_probes = (1ull << 32) + n;
+  return q;
+}
+
+ShardRun RunShards(const std::vector<std::vector<std::string>>& ticks,
+                   uint32_t shards, size_t threads, uint64_t query_count) {
+  ShardedEngineOptions options;
+  options.shards = shards;
+  options.engine = StreamOptions(threads);
+  ShardedEngine engine(options);
+
+  ShardRun run;
+  run.shards = shards;
+  double tick_ms_sum = 0;
+  for (const auto& posts : ticks) {
+    WallTimer timer;
+    auto r = engine.IngestText(posts);
+    if (!r.ok()) {
+      std::fprintf(stderr, "ingest failed: %s\n",
+                   r.status().ToString().c_str());
+      std::exit(1);
+    }
+    tick_ms_sum += timer.ElapsedMillis();
+  }
+  run.ingest_ms_total = tick_ms_sum;
+  run.tick_ms_mean = ticks.empty() ? 0 : tick_ms_sum / ticks.size();
+  const EngineStats stats = engine.stats();
+  run.clusters = stats.clusters;
+  run.edges = stats.edges;
+
+  std::vector<double> latencies_us;
+  latencies_us.reserve(query_count);
+  for (uint64_t n = 0; n < query_count; ++n) {
+    WallTimer timer;
+    auto r = engine.Query(QueryVariant(n));
+    if (!r.ok()) {
+      std::fprintf(stderr, "query failed: %s\n",
+                   r.status().ToString().c_str());
+      std::exit(1);
+    }
+    latencies_us.push_back(timer.ElapsedMillis() * 1e3);
+    const ShardMergeStats& merge = r.value().merge;
+    for (const uint64_t pulled : merge.paths_pulled) {
+      run.merge_pulled += pulled;
+    }
+    for (const uint64_t avail : merge.paths_available) {
+      run.merge_available += avail;
+    }
+    run.early_terminations += merge.early_terminations;
+  }
+  run.queries = query_count;
+  run.query_p50_us = Percentile(latencies_us, 0.50);
+  run.query_p99_us = Percentile(latencies_us, 0.99);
+  return run;
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace stabletext
+
+int main(int argc, char** argv) {
+  using namespace stabletext;
+  using namespace stabletext::bench;
+
+  BenchArgs args = ParseArgs(argc, argv, "BENCH_sharded.json");
+  Header("sharded multi-writer ingest and threshold-merged queries",
+         "serving-engine scale-out (not a paper table)",
+         "per-tick ingest and query p50/p99 at 1/2/4 shards");
+
+  const uint32_t ticks_total = Pick<uint32_t>(24, 96);
+  const uint64_t query_count = Pick<uint64_t>(96, 384);
+  CorpusGenOptions corpus;
+  corpus.days = 7;
+  corpus.posts_per_day = Pick<uint32_t>(150, 600);
+  corpus.vocabulary = Pick<uint32_t>(1200, 8000);
+  corpus.min_words_per_post = 12;
+  corpus.max_words_per_post = 24;
+  corpus.micro_events = Pick<uint32_t>(20, 120);
+  corpus.script = EventScript::PaperWeek();
+  CorpusGenerator generator(corpus);
+  std::vector<std::vector<std::string>> ticks;
+  ticks.reserve(ticks_total);
+  for (uint32_t t = 0; t < ticks_total; ++t) {
+    ticks.push_back(generator.GenerateDay(t % corpus.days));
+  }
+
+  std::vector<ShardRun> runs;
+  for (const uint32_t shards : {1u, 2u, 4u}) {
+    std::printf("running %u shard(s)...\n", shards);
+    std::fflush(stdout);
+    ShardRun best;
+    for (int rep = 0; rep < args.repetitions; ++rep) {
+      ShardRun r = RunShards(ticks, shards, args.threads, query_count);
+      if (rep == 0 || r.ingest_ms_total < best.ingest_ms_total) {
+        best = r;
+      }
+    }
+    runs.push_back(best);
+  }
+
+  const unsigned cpus = std::thread::hardware_concurrency();
+  std::printf("%8s %10s %14s %16s %14s %14s %18s\n", "shards",
+              "nodes/edges", "tick_ms", "ingest_ms_total", "query_p50_us",
+              "query_p99_us", "merge pulled/avail");
+  for (const ShardRun& r : runs) {
+    std::printf("%8u %5zu/%-5zu %14.3f %16.0f %14.1f %14.1f %11llu/%llu\n",
+                r.shards, r.clusters, r.edges, r.tick_ms_mean,
+                r.ingest_ms_total, r.query_p50_us, r.query_p99_us,
+                static_cast<unsigned long long>(r.merge_pulled),
+                static_cast<unsigned long long>(r.merge_available));
+  }
+  std::printf(
+      "\n%u cpu(s); 4-shard vs 1-shard ingest: x%.2f%s\n", cpus,
+      runs[0].ingest_ms_total > 0
+          ? runs.back().ingest_ms_total / runs[0].ingest_ms_total
+          : 0,
+      cpus < 4 ? " (container has fewer cores than shards: fan-out "
+                 "cannot win wall-clock here)"
+               : "");
+
+  std::vector<std::string> rows;
+  for (const ShardRun& r : runs) {
+    Json row;
+    row.Put("shards", r.shards)
+        .Put("ticks", ticks_total)
+        .Put("tick_ms_mean", r.tick_ms_mean)
+        .Put("ingest_ms_total", r.ingest_ms_total)
+        .Put("queries", r.queries)
+        .Put("query_p50_us", r.query_p50_us)
+        .Put("query_p99_us", r.query_p99_us)
+        .Put("merge_paths_pulled", r.merge_pulled)
+        .Put("merge_paths_available", r.merge_available)
+        .Put("merge_early_terminations", r.early_terminations)
+        .Put("clusters", r.clusters)
+        .Put("edges", r.edges);
+    rows.push_back(row.ToString());
+  }
+  Json j;
+  j.Put("bench", "sharded")
+      .Put("threads", static_cast<uint64_t>(args.threads))
+      .Put("cpus", static_cast<uint64_t>(cpus))
+      .Put("posts_per_day", corpus.posts_per_day)
+      .Raw("shard_runs", Json::Array(rows));
+  if (cpus < 4) {
+    j.Put("caveat",
+          "container exposes fewer CPUs than shards; the multi-writer "
+          "fan-out serializes on one core, so 4-shard ingest cannot "
+          "beat the 1-shard baseline in wall-clock here. The sharding "
+          "determinism machinery is test-covered by "
+          "sharded_engine_test.");
+  }
+  WriteJsonFile(args.json_path, j.ToString());
+  return 0;
+}

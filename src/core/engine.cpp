@@ -176,8 +176,16 @@ Result<uint32_t> Engine::IngestDocuments(
   return IngestDocumentsLocked(documents);
 }
 
+Result<uint32_t> Engine::IngestDocumentsGlobal(
+    const std::vector<Document>& documents,
+    uint64_t global_document_count) {
+  AssumeRole role(writer_role_);
+  return IngestDocumentsLocked(documents, global_document_count);
+}
+
 Result<uint32_t> Engine::IngestDocumentsLocked(
-    const std::vector<Document>& documents) {
+    const std::vector<Document>& documents,
+    uint64_t document_count_override) {
   if (graph_.frozen()) {
     return Status::InvalidArgument(
         "engine is compacted; create a new engine to ingest");
@@ -187,7 +195,7 @@ Result<uint32_t> Engine::IngestDocumentsLocked(
   // would otherwise be unspecified).
   const size_t vocab_before = dict_.size();
   const auto interned = InternDocuments(documents);
-  auto r = IngestInterned(interned, dict_.size());
+  auto r = IngestInterned(interned, dict_.size(), document_count_override);
   if (!r.ok() && broken_.ok()) {
     // Clustering failed before anything was adopted: roll the interning
     // back so a failed tick leaves no trace in keyword-id assignment (a
@@ -201,12 +209,16 @@ Result<uint32_t> Engine::IngestDocumentsLocked(
 
 Result<std::shared_ptr<SnapshotInterval>> Engine::ClusterInterval(
     uint32_t interval, const std::vector<std::vector<KeywordId>>& interned,
-    size_t vocab_snapshot) {
+    size_t vocab_snapshot, uint64_t document_count_override) {
   auto slot = std::make_shared<SnapshotInterval>();
   slot->vocab_size = vocab_snapshot;
+  IntervalClustererOptions clustering = options_.clustering;
+  if (document_count_override != 0) {
+    clustering.document_count_override = document_count_override;
+  }
   // RunInterned never touches the dictionary (see IntervalClusterer):
   // this stage is safe on a worker while the previous interval commits.
-  IntervalClusterer clusterer(&dict_, options_.clustering, &slot->io);
+  IntervalClusterer clusterer(&dict_, clustering, &slot->io);
   auto result =
       clusterer.RunInterned(interval, interned, vocab_snapshot, pool_.get());
   if (!result.ok()) return result.status();
@@ -502,9 +514,10 @@ Status Engine::ReplayInterval(const std::string& blob) {
 
 Result<uint32_t> Engine::IngestInterned(
     const std::vector<std::vector<KeywordId>>& interned,
-    size_t vocab_snapshot) {
+    size_t vocab_snapshot, uint64_t document_count_override) {
   const uint32_t interval = static_cast<uint32_t>(slots_.size());
-  auto slot = ClusterInterval(interval, interned, vocab_snapshot);
+  auto slot = ClusterInterval(interval, interned, vocab_snapshot,
+                              document_count_override);
   if (!slot.ok()) return slot.status();
   return CommitInterval(std::move(slot).value());
 }

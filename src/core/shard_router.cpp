@@ -1,0 +1,38 @@
+#include "core/shard_router.h"
+
+namespace stabletext {
+
+uint64_t ShardHashKeyword(std::string_view keyword) {
+  // FNV-1a 64: tiny, allocation-free, and stable — this value is a
+  // persistence contract (shard directory membership), not just a load
+  // balancer, so no std::hash (implementation-defined) here.
+  uint64_t h = 14695981039346656037ull;
+  for (const char c : keyword) {
+    h ^= static_cast<uint8_t>(c);
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+uint32_t ShardOfKeyword(std::string_view keyword, uint32_t shards) {
+  if (shards <= 1) return 0;
+  return static_cast<uint32_t>(ShardHashKeyword(keyword) % shards);
+}
+
+uint32_t ShardOfDocument(const Document& document, uint32_t shards) {
+  if (shards <= 1 || document.keywords.empty()) return 0;
+  return ShardOfKeyword(document.keywords.front(), shards);
+}
+
+RoutedTick RouteTick(const std::vector<Document>& documents,
+                     uint32_t shards) {
+  RoutedTick routed;
+  routed.shards.resize(shards == 0 ? 1 : shards);
+  routed.total_documents = documents.size();
+  for (const Document& doc : documents) {
+    routed.shards[ShardOfDocument(doc, shards)].push_back(doc);
+  }
+  return routed;
+}
+
+}  // namespace stabletext

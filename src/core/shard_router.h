@@ -1,0 +1,61 @@
+// Shard routing: the stable partition function behind ShardedEngine.
+//
+// Documents are routed by their minimum keyword (Document::keywords is
+// distinct and sorted, so that is keywords.front()) through a fixed
+// FNV-1a 64 hash mod the shard count. The function is a pure property of
+// the keyword bytes — independent of ingest order, thread count, shard
+// snapshot state, or process lifetime — so the same corpus always lands
+// on the same shards and a recovered fleet re-routes identically.
+//
+// Statistics note (why routing is by keyword, and when shard-local
+// clustering equals global clustering): the chi-squared and rho pruning
+// statistics of Section 3 depend on per-interval keyword counts a_u,
+// pair counts a_uv, and the interval's total document count n. Routing
+// keeps whole documents, so a keyword's counts split across shards in
+// general; on a partition-respecting corpus — every document's keywords
+// hash to a single shard — each keyword's full count lands on one shard
+// and, with the global document count override
+// (Engine::IngestDocumentsGlobal), the shard-local statistics equal the
+// global ones exactly. That is the correctness contract
+// sharded_engine_test.cpp pins. Arbitrary corpora get a documented
+// relaxation instead (see README "Sharding").
+
+#ifndef STABLETEXT_CORE_SHARD_ROUTER_H_
+#define STABLETEXT_CORE_SHARD_ROUTER_H_
+
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+#include "text/document.h"
+
+namespace stabletext {
+
+/// FNV-1a 64-bit over the keyword bytes. Stable across platforms and
+/// releases: persisted shard directories depend on it.
+uint64_t ShardHashKeyword(std::string_view keyword);
+
+/// Shard owning `keyword` in an N-shard fleet. `shards` must be >= 1.
+uint32_t ShardOfKeyword(std::string_view keyword, uint32_t shards);
+
+/// Shard a document routes to: the shard of its minimum (first) keyword.
+/// Keyword-free documents go to shard 0 — they carry no co-occurrence
+/// signal, but every shard must still see the tick boundary.
+uint32_t ShardOfDocument(const Document& document, uint32_t shards);
+
+/// One tick's documents, fanned out per shard. Order within each shard
+/// preserves the input order (determinism: shard 0 of a 1-shard fleet is
+/// byte-identical to an unsharded engine).
+struct RoutedTick {
+  std::vector<std::vector<Document>> shards;
+  uint64_t total_documents = 0;
+};
+
+/// Routes one tick. Every shard gets an entry (possibly empty): shards
+/// advance their epoch in lockstep even on ticks they receive nothing.
+RoutedTick RouteTick(const std::vector<Document>& documents,
+                     uint32_t shards);
+
+}  // namespace stabletext
+
+#endif  // STABLETEXT_CORE_SHARD_ROUTER_H_

@@ -1,0 +1,407 @@
+#include "core/sharded_engine.h"
+
+#include <algorithm>
+#include <atomic>
+#include <fstream>
+#include <map>
+#include <utility>
+
+#include "text/corpus.h"
+#include "text/document.h"
+
+namespace stabletext {
+
+namespace fs = std::filesystem;
+
+namespace {
+
+const char kShardManifest[] = "SHARDS";
+
+/// Reads "<dir>/SHARDS" (the persisted shard count). 0 = absent/unreadable.
+uint32_t ReadShardManifest(const std::string& dir) {
+  std::ifstream in(fs::path(dir) / kShardManifest);
+  uint32_t shards = 0;
+  if (in >> shards) return shards;
+  return 0;
+}
+
+Status WriteShardManifest(const std::string& dir, uint32_t shards) {
+  const fs::path path = fs::path(dir) / kShardManifest;
+  std::ofstream out(path, std::ios::trunc);
+  out << shards << "\n";
+  out.flush();
+  if (!out.good()) {
+    return Status::IOError("cannot write shard manifest " + path.string());
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+EngineOptions ShardedEngine::ShardOptions(
+    const ShardedEngineOptions& options, uint32_t i) {
+  EngineOptions o = options.engine;
+  if (options.shards > 1) {
+    // The outer pool is the parallelism: one writer task per shard. An
+    // inner pool per shard would oversubscribe N-fold.
+    o.threads = 1;
+  }
+  if (o.durability.enabled && !o.durability.dir.empty()) {
+    o.durability.dir =
+        (fs::path(o.durability.dir) / ("shard-" + std::to_string(i)))
+            .string();
+  }
+  return o;
+}
+
+ShardedEngine::ShardedEngine(ShardedEngineOptions options)
+    : ShardedEngine(std::move(options), /*durable=*/false) {}
+
+ShardedEngine::ShardedEngine(ShardedEngineOptions options, bool durable)
+    : options_(std::move(options)) {
+  if (options_.shards == 0) options_.shards = 1;
+  if (options_.shards > 1) {
+    pool_ = std::make_unique<ThreadPool>(options_.shards);
+  }
+  if (!durable) {
+    for (uint32_t i = 0; i < options_.shards; ++i) {
+      engines_.push_back(
+          std::make_unique<Engine>(ShardOptions(options_, i)));
+    }
+    AssumeRole role(writer_role_);
+    PublishSharded();
+  }
+  // Durable path: Recover() fills engines_ and publishes.
+}
+
+Result<std::unique_ptr<ShardedEngine>> ShardedEngine::Recover(
+    ShardedEngineOptions options) {
+  if (options.shards == 0) options.shards = 1;
+  if (!options.engine.durability.enabled ||
+      options.engine.durability.dir.empty()) {
+    return Status::InvalidArgument(
+        "ShardedEngine::Recover requires durability.enabled and a data "
+        "directory");
+  }
+  const std::string dir = options.engine.durability.dir;
+  std::error_code ec;
+  fs::create_directories(dir, ec);
+  if (ec) {
+    return Status::IOError("cannot create durability dir " + dir);
+  }
+  // The partition function is a persistence contract: reopening with a
+  // different shard count would silently re-route keywords across
+  // incompatible shard histories.
+  const uint32_t persisted = ReadShardManifest(dir);
+  if (persisted == 0) {
+    ST_RETURN_IF_ERROR(WriteShardManifest(dir, options.shards));
+  } else if (persisted != options.shards) {
+    return Status::InvalidArgument(
+        "shard directory " + dir + " was created with " +
+        std::to_string(persisted) + " shards, reopened with " +
+        std::to_string(options.shards));
+  }
+
+  auto sharded = std::unique_ptr<ShardedEngine>(
+      new ShardedEngine(std::move(options), /*durable=*/true));
+  const uint32_t shards = sharded->options_.shards;
+  sharded->engines_.resize(shards);
+  uint64_t min_epoch = UINT64_MAX;
+  for (uint32_t i = 0; i < shards; ++i) {
+    auto engine = Engine::Recover(ShardOptions(sharded->options_, i));
+    ST_RETURN_IF_ERROR(engine.status());
+    sharded->engines_[i] = std::move(engine).value();
+    min_epoch =
+        std::min(min_epoch, sharded->engines_[i]->snapshot()->epoch);
+  }
+  // A crash between the per-shard commits and the barrier leaves shards
+  // at most one epoch apart. Truncate the leaders back to the fleet's
+  // minimum common committed epoch so the restored vector is consistent.
+  for (uint32_t i = 0; i < shards; ++i) {
+    if (sharded->engines_[i]->snapshot()->epoch == min_epoch) continue;
+    sharded->engines_[i].reset();
+    EngineOptions capped = ShardOptions(sharded->options_, i);
+    capped.durability.recover_epoch_cap = min_epoch;
+    auto engine = Engine::Recover(std::move(capped));
+    ST_RETURN_IF_ERROR(engine.status());
+    sharded->engines_[i] = std::move(engine).value();
+    if (sharded->engines_[i]->snapshot()->epoch != min_epoch) {
+      return Status::DataLoss(
+          "shard " + std::to_string(i) + " recovered epoch " +
+          std::to_string(sharded->engines_[i]->snapshot()->epoch) +
+          ", fleet minimum is " + std::to_string(min_epoch));
+    }
+  }
+  AssumeRole role(sharded->writer_role_);
+  sharded->PublishSharded();
+  return sharded;
+}
+
+void ShardedEngine::SetPublishCallback(PublishCallback cb) {
+  AssumeRole role(writer_role_);
+  on_publish_ = std::move(cb);
+}
+
+RoutedTick ShardedEngine::TokenizeAndRoute(
+    uint32_t interval, const std::vector<std::string>& posts) const {
+  // Caller-thread, document order: routing (and downstream keyword-id
+  // assignment inside each shard) never depends on scheduling.
+  DocumentProcessor processor;
+  std::vector<Document> documents(posts.size());
+  for (size_t i = 0; i < posts.size(); ++i) {
+    documents[i] = processor.Process(interval, posts[i]);
+  }
+  return RouteTick(documents, shard_count());
+}
+
+Result<uint32_t> ShardedEngine::IngestText(
+    const std::vector<std::string>& posts) {
+  AssumeRole role(writer_role_);
+  ST_RETURN_IF_ERROR(broken_);
+  return CommitTick(TokenizeAndRoute(interval_count(), posts));
+}
+
+Result<uint32_t> ShardedEngine::IngestDocuments(
+    const std::vector<Document>& documents) {
+  AssumeRole role(writer_role_);
+  ST_RETURN_IF_ERROR(broken_);
+  return CommitTick(RouteTick(documents, shard_count()));
+}
+
+Result<uint32_t> ShardedEngine::IngestTicks(
+    const std::vector<std::vector<std::string>>& ticks,
+    const Engine::TickCallback& on_tick) {
+  AssumeRole role(writer_role_);
+  return IngestTicksLocked(ticks, on_tick);
+}
+
+Result<uint32_t> ShardedEngine::IngestTicksLocked(
+    const std::vector<std::vector<std::string>>& ticks,
+    const Engine::TickCallback& on_tick) {
+  ST_RETURN_IF_ERROR(broken_);
+  const uint32_t base = interval_count();
+  RoutedTick next;
+  if (!ticks.empty()) next = TokenizeAndRoute(base, ticks[0]);
+  uint32_t done = 0;
+  for (size_t t = 0; t < ticks.size(); ++t) {
+    RoutedTick current = std::move(next);
+    next = RoutedTick();
+    if (pool_ != nullptr && t + 1 < ticks.size()) {
+      // Overlap: while the shards of tick t run on the pool, the caller
+      // tokenizes and routes tick t+1, then joins the barrier inside
+      // CommitTick's WaitAll (stealing shard tasks if any are queued).
+      std::vector<std::future<void>> futures;
+      futures.reserve(engines_.size());
+      std::vector<Status> statuses(engines_.size(), Status::OK());
+      std::vector<uint32_t> intervals(engines_.size(), 0);
+      SubmitTick(current, &futures, &statuses, &intervals);
+      next = TokenizeAndRoute(base + static_cast<uint32_t>(t) + 1,
+                              ticks[t + 1]);
+      auto r = BarrierTick(&futures, statuses, intervals);
+      ST_RETURN_IF_ERROR(r.status());
+      ++done;
+      if (on_tick) ST_RETURN_IF_ERROR(on_tick(r.value(), ticks[t]));
+      continue;
+    }
+    if (t + 1 < ticks.size()) {
+      next = TokenizeAndRoute(base + static_cast<uint32_t>(t) + 1,
+                              ticks[t + 1]);
+    }
+    auto r = CommitTick(std::move(current));
+    ST_RETURN_IF_ERROR(r.status());
+    ++done;
+    if (on_tick) ST_RETURN_IF_ERROR(on_tick(r.value(), ticks[t]));
+  }
+  return done;
+}
+
+Result<uint32_t> ShardedEngine::IngestCorpusFile(
+    const std::filesystem::path& path,
+    const Engine::TickCallback& on_tick) {
+  AssumeRole role(writer_role_);
+  CorpusReader reader;
+  ST_RETURN_IF_ERROR(reader.Open(path.string()));
+  std::map<uint32_t, std::vector<std::string>> by_interval;
+  uint32_t interval;
+  std::string text;
+  while (reader.Next(&interval, &text)) {
+    by_interval[interval].push_back(text);
+  }
+  ST_RETURN_IF_ERROR(reader.status());
+  uint32_t expected = interval_count();
+  std::vector<std::vector<std::string>> ticks;
+  ticks.reserve(by_interval.size());
+  for (auto& [iv, posts] : by_interval) {
+    if (iv != expected) {
+      return Status::InvalidArgument(
+          "corpus intervals must be contiguous from the fleet's next "
+          "interval");
+    }
+    ++expected;
+    ticks.push_back(std::move(posts));
+  }
+  return IngestTicksLocked(ticks, on_tick);
+}
+
+void ShardedEngine::SubmitTick(const RoutedTick& routed,
+                               std::vector<std::future<void>>* futures,
+                               std::vector<Status>* statuses,
+                               std::vector<uint32_t>* intervals) {
+  for (uint32_t s = 0; s < engines_.size(); ++s) {
+    Engine* engine = engines_[s].get();
+    const std::vector<Document>* docs = &routed.shards[s];
+    const uint64_t n = routed.total_documents;
+    Status* status = &(*statuses)[s];
+    uint32_t* out_interval = &(*intervals)[s];
+    futures->push_back(pool_->Submit([engine, docs, n, status,
+                                      out_interval] {
+      // One task per shard: this task is the shard's writer for the
+      // tick (Engine::IngestDocumentsGlobal assumes the shard's own
+      // writer role). All outputs are per-shard slots — disjoint.
+      auto r = engine->IngestDocumentsGlobal(*docs, n);
+      if (r.ok()) {
+        *out_interval = r.value();
+      } else {
+        *status = r.status();
+      }
+    }));
+  }
+}
+
+Result<uint32_t> ShardedEngine::BarrierTick(
+    std::vector<std::future<void>>* futures,
+    const std::vector<Status>& statuses,
+    const std::vector<uint32_t>& intervals) {
+  pool_->WaitAll(*futures);
+  for (const Status& status : statuses) {
+    if (!status.ok()) {
+      // One shard failed its commit: the epoch vector can no longer
+      // advance consistently (some shards may have committed the tick).
+      broken_ = status;
+      return status;
+    }
+  }
+  PublishSharded();
+  return intervals.empty() ? 0 : intervals[0];
+}
+
+Result<uint32_t> ShardedEngine::CommitTick(RoutedTick routed) {
+  ST_RETURN_IF_ERROR(broken_);
+  if (pool_ == nullptr) {
+    auto r = engines_[0]->IngestDocumentsGlobal(routed.shards[0],
+                                                routed.total_documents);
+    if (!r.ok()) {
+      broken_ = r.status();
+      return broken_;
+    }
+    PublishSharded();
+    return r.value();
+  }
+  std::vector<std::future<void>> futures;
+  futures.reserve(engines_.size());
+  std::vector<Status> statuses(engines_.size(), Status::OK());
+  std::vector<uint32_t> intervals(engines_.size(), 0);
+  SubmitTick(routed, &futures, &statuses, &intervals);
+  return BarrierTick(&futures, statuses, intervals);
+}
+
+void ShardedEngine::PublishSharded() {
+  auto snap = std::make_shared<ShardedSnapshot>();
+  snap->shards.reserve(engines_.size());
+  for (const auto& engine : engines_) {
+    snap->shards.push_back(engine->snapshot());
+  }
+  snap->epoch = snap->shards.empty() ? 0 : snap->shards[0]->epoch;
+  std::shared_ptr<const ShardedSnapshot> published = std::move(snap);
+  std::atomic_store(&snapshot_, published);
+  if (on_publish_) on_publish_(published);
+}
+
+std::shared_ptr<const ShardedSnapshot> ShardedEngine::snapshot() const {
+  return std::atomic_load(&snapshot_);
+}
+
+Result<ShardedQueryResult> ShardedEngine::Query(
+    const stabletext::Query& query) const {
+  return QueryAt(snapshot(), query);
+}
+
+Result<ShardedQueryResult> ShardedEngine::QueryAt(
+    const std::shared_ptr<const ShardedSnapshot>& snap,
+    const stabletext::Query& query) const {
+  if (snap == nullptr || snap->shards.size() != engines_.size()) {
+    return Status::InvalidArgument(
+        "QueryAt needs a snapshot of this sharded engine");
+  }
+  // Scatter: each shard answers on its pinned snapshot (through its own
+  // query cache). Gather: threshold-merge the best-first streams.
+  std::vector<QueryResult> results;
+  results.reserve(engines_.size());
+  for (uint32_t s = 0; s < engines_.size(); ++s) {
+    auto r = engines_[s]->QueryAt(snap->shards[s], query);
+    ST_RETURN_IF_ERROR(r.status());
+    results.push_back(std::move(r).value());
+  }
+  std::vector<const QueryResult*> streams;
+  streams.reserve(results.size());
+  for (const QueryResult& result : results) streams.push_back(&result);
+
+  ShardedQueryResult out;
+  out.epoch = snap->epoch;
+  const std::vector<MergedChainRef> refs =
+      ThresholdMergeTopK(streams, query, &out.merge);
+  out.chains.reserve(refs.size());
+  out.chain_shard.reserve(refs.size());
+  for (const MergedChainRef& ref : refs) {
+    out.chains.push_back(results[ref.shard].chains[ref.rank]);
+    out.chain_shard.push_back(ref.shard);
+  }
+  out.warm_online = !results.empty();
+  for (const QueryResult& result : results) {
+    out.warm_online = out.warm_online && result.warm_online;
+  }
+  return out;
+}
+
+std::vector<EngineStats> ShardedEngine::shard_stats() const {
+  std::vector<EngineStats> stats;
+  stats.reserve(engines_.size());
+  for (const auto& engine : engines_) stats.push_back(engine->stats());
+  return stats;
+}
+
+EngineStats ShardedEngine::stats() const {
+  EngineStats agg;
+  const std::vector<EngineStats> per = shard_stats();
+  if (per.empty()) return agg;
+  // The epoch vector is consistent, so intervals comes from any shard;
+  // extensive counters sum; the barrier pays the slowest shard's
+  // publish/checkpoint, so those report the max.
+  agg.intervals = per[0].intervals;
+  agg.recovered_epoch = per[0].recovered_epoch;
+  for (const EngineStats& s : per) {
+    agg.clusters += s.clusters;
+    agg.edges += s.edges;
+    agg.keywords += s.keywords;
+    agg.graph_bytes += s.graph_bytes;
+    agg.io += s.io;
+    agg.query_cache_hits += s.query_cache_hits;
+    agg.query_cache_misses += s.query_cache_misses;
+    agg.shared_chunk_count += s.shared_chunk_count;
+    agg.copied_chunk_count += s.copied_chunk_count;
+    agg.resident_bytes += s.resident_bytes;
+    agg.wal_bytes += s.wal_bytes;
+    agg.publish_ns = std::max(agg.publish_ns, s.publish_ns);
+    agg.checkpoint_ns = std::max(agg.checkpoint_ns, s.checkpoint_ns);
+    agg.recovered_epoch = std::min(agg.recovered_epoch, s.recovered_epoch);
+  }
+  return agg;
+}
+
+std::string ShardedEngine::RenderChain(const StableClusterChain& chain,
+                                       uint32_t shard,
+                                       size_t max_keywords) const {
+  return engines_[shard]->RenderChain(chain, max_keywords);
+}
+
+}  // namespace stabletext

@@ -1,0 +1,240 @@
+// ShardedEngine: N independent Engines behind one ingest/query facade —
+// the multi-writer scale-out of the serving engine. The keyword space is
+// partitioned by a stable hash (core/shard_router.h): each arriving tick
+// is routed once on the caller thread and then fanned out, one task per
+// shard, onto an outer thread pool where every shard clusters, joins and
+// publishes its partition concurrently. There is no shared writer lock
+// anywhere on the fan-out path: a shard's tick touches only that shard's
+// Engine (whose single-writer discipline the per-engine ThreadRole
+// capability still checks), so N writers really do commit in parallel.
+// The only synchronization is the barrier at the end of the tick, where
+// the facade waits for every shard, verifies the statuses, and publishes
+// one ShardedSnapshot — so the sharded epoch stays a single monotone
+// sequence and a reader never observes shard A at tick t with shard B at
+// tick t-1.
+//
+// Statistics: every shard runs the Section 3 chi-squared/rho tests
+// against the tick-global document count (Engine::IngestDocumentsGlobal),
+// not its partition's size, so partitioning does not shift the pruning
+// thresholds. On a partition-respecting corpus (every document's
+// keywords hash to one shard) the shard-local counts equal the global
+// ones and clustering is exact; see shard_router.h for the contract and
+// README "Sharding" for the relaxation on arbitrary corpora.
+//
+// Queries scatter-gather: each shard answers on its pinned snapshot at
+// the consistent epoch vector, and the per-shard best-first chain lists
+// are combined by the TA-style threshold merge (stable/shard_merge.h),
+// which stops pulling from a shard once its next-best possible score is
+// at or below the global k-th. ShardedQueryResult::merge carries the
+// measured early-termination counters.
+//
+// shards == 1 routes everything to shard 0 in arrival order and runs on
+// the caller thread: byte-identical to a plain Engine (pinned by
+// sharded_engine_test.cpp).
+
+#ifndef STABLETEXT_CORE_SHARDED_ENGINE_H_
+#define STABLETEXT_CORE_SHARDED_ENGINE_H_
+
+#include <filesystem>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/engine.h"
+#include "core/shard_router.h"
+#include "stable/shard_merge.h"
+#include "util/annotated_mutex.h"
+#include "util/thread_pool.h"
+
+namespace stabletext {
+
+/// Options for the sharded facade.
+struct ShardedEngineOptions {
+  /// Number of independent engine shards (>= 1).
+  uint32_t shards = 1;
+  /// Per-shard engine template. Applied to every shard with two
+  /// derivations: with shards > 1 each shard runs threads = 1 (the outer
+  /// pool IS the parallelism — one writer task per shard), and
+  /// durability.dir becomes "<dir>/shard-<i>". shards == 1 uses the
+  /// template verbatim.
+  EngineOptions engine;
+};
+
+/// The consistent read view of the fleet at one sharded epoch: every
+/// shard's snapshot at the same committed-interval count. Immutable;
+/// hold the shared_ptr to pin the whole vector.
+struct ShardedSnapshot {
+  uint64_t epoch = 0;
+  std::vector<std::shared_ptr<const GraphSnapshot>> shards;
+};
+
+/// \brief Answer to one scatter-gather query.
+///
+/// `chains[i]` came from shard `chain_shard[i]`; its node ids (and the
+/// borrowed Cluster pointers) are local to that shard. Render through
+/// ShardedEngine::RenderChain(chain, shard).
+struct ShardedQueryResult {
+  std::vector<StableClusterChain> chains;  ///< Merged top-k, best first.
+  std::vector<uint32_t> chain_shard;       ///< Producing shard per chain.
+  uint64_t epoch = 0;
+  /// True when every shard answered from warm streaming-finder state.
+  bool warm_online = false;
+  /// Threshold-merge early-termination counters for this query.
+  ShardMergeStats merge;
+};
+
+/// \brief N-shard multi-writer engine with threshold-merged queries.
+///
+/// Thread contract mirrors Engine: Ingest* are writers and must be
+/// externally exclusive with each other; Query/QueryAt/snapshot/stats/
+/// shard_stats/RenderChain may run concurrently with them from any
+/// number of threads. Each query reads one published ShardedSnapshot —
+/// a consistent epoch vector. The writer side is machine-checked with
+/// the same ThreadRole capability pattern as Engine.
+class ShardedEngine {
+ public:
+  /// Non-durable construction. Durable fleets must be built with
+  /// Recover() (same rule as Engine: a constructor cannot report a
+  /// failed recovery).
+  explicit ShardedEngine(ShardedEngineOptions options = {});
+
+  /// \brief Opens (or creates) a durable fleet from its data directory.
+  ///
+  /// Each shard recovers from "<dir>/shard-<i>" independently; a crash
+  /// between the per-shard commits and the barrier can leave shards at
+  /// most one epoch apart, so recovery truncates every shard to the
+  /// fleet's minimum common committed epoch
+  /// (DurabilityOptions::recover_epoch_cap) and the restored fleet
+  /// resumes from one consistent epoch vector. The shard count is
+  /// persisted in "<dir>/SHARDS" and validated on reopen — recovering a
+  /// directory with a different --shards value is an error, not a
+  /// silent re-partition.
+  static Result<std::unique_ptr<ShardedEngine>> Recover(
+      ShardedEngineOptions options);
+
+  /// Tokenizes, routes and commits one tick of raw posts across every
+  /// shard. Returns the interval index (identical on all shards).
+  Result<uint32_t> IngestText(const std::vector<std::string>& posts);
+
+  /// Same, for already-preprocessed documents.
+  Result<uint32_t> IngestDocuments(const std::vector<Document>& documents);
+
+  /// Ingests a batch of ticks in order. While the shards of tick t run
+  /// on the pool, the caller thread tokenizes and routes tick t+1, then
+  /// joins the barrier. Per-tick commit semantics match IngestText;
+  /// `on_tick` runs after each tick's sharded publish.
+  Result<uint32_t> IngestTicks(
+      const std::vector<std::vector<std::string>>& ticks,
+      const Engine::TickCallback& on_tick = nullptr);
+
+  /// Streams a corpus file (CorpusWriter format; intervals contiguous
+  /// from the fleet's next interval) through IngestTicks.
+  Result<uint32_t> IngestCorpusFile(
+      const std::filesystem::path& path,
+      const Engine::TickCallback& on_tick = nullptr);
+
+  /// Scatter-gathers `query` on the latest published epoch vector.
+  Result<ShardedQueryResult> Query(const stabletext::Query& query) const;
+
+  /// Scatter-gathers `query` on a pinned epoch vector. Per-shard answers
+  /// go through each shard's query cache exactly like Engine::QueryAt.
+  Result<ShardedQueryResult> QueryAt(
+      const std::shared_ptr<const ShardedSnapshot>& snap,
+      const stabletext::Query& query) const;
+
+  /// The latest published epoch vector. Never null; epoch 0 before the
+  /// first ingest.
+  std::shared_ptr<const ShardedSnapshot> snapshot() const;
+
+  /// Invoked on the writer thread after every sharded publish (barrier
+  /// commit), with the vector just made visible. Same O(1) rule as
+  /// Engine::PublishCallback.
+  using PublishCallback =
+      std::function<void(const std::shared_ptr<const ShardedSnapshot>&)>;
+
+  /// Installs (or clears) the publish callback. Writer-side: must not
+  /// race Ingest*.
+  void SetPublishCallback(PublishCallback cb);
+
+  /// Fleet-aggregate stats: counters are summed across shards;
+  /// publish_ns and checkpoint_ns report the slowest shard (the barrier
+  /// pays for the maximum, not the sum); intervals is the sharded epoch.
+  EngineStats stats() const;
+
+  /// Per-shard point-in-time stats, shard order.
+  std::vector<EngineStats> shard_stats() const;
+
+  uint32_t interval_count() const {
+    return static_cast<uint32_t>(snapshot()->epoch);
+  }
+  uint32_t shard_count() const {
+    return static_cast<uint32_t>(engines_.size());
+  }
+  /// The underlying shard engine (tests, introspection). Writer-side
+  /// rules of Engine's borrowed accessors apply.
+  Engine* shard(uint32_t i) { return engines_[i].get(); }
+  const Engine* shard(uint32_t i) const { return engines_[i].get(); }
+
+  /// Renders a merged chain through its producing shard's word table.
+  std::string RenderChain(const StableClusterChain& chain, uint32_t shard,
+                          size_t max_keywords = 8) const;
+
+ private:
+  ShardedEngine(ShardedEngineOptions options, bool durable);
+
+  /// Per-shard EngineOptions for shard `i` (threads/durability.dir
+  /// derivations; see ShardedEngineOptions::engine).
+  static EngineOptions ShardOptions(const ShardedEngineOptions& options,
+                                    uint32_t i);
+
+  Result<uint32_t> IngestTicksLocked(
+      const std::vector<std::vector<std::string>>& ticks,
+      const Engine::TickCallback& on_tick) REQUIRES(writer_role_);
+  /// Fans one routed tick to every shard (pool barrier), verifies the
+  /// statuses and publishes the new epoch vector.
+  Result<uint32_t> CommitTick(RoutedTick routed) REQUIRES(writer_role_);
+  /// The fan-out half of CommitTick: one pool task per shard, outputs
+  /// written to per-shard slots. `routed` must outlive the barrier.
+  void SubmitTick(const RoutedTick& routed,
+                  std::vector<std::future<void>>* futures,
+                  std::vector<Status>* statuses,
+                  std::vector<uint32_t>* intervals) REQUIRES(writer_role_);
+  /// The barrier half: waits for every shard (stealing queued tasks),
+  /// verifies statuses, publishes the new epoch vector.
+  Result<uint32_t> BarrierTick(std::vector<std::future<void>>* futures,
+                               const std::vector<Status>& statuses,
+                               const std::vector<uint32_t>& intervals)
+      REQUIRES(writer_role_);
+  /// Collects the shards' current snapshots into a ShardedSnapshot and
+  /// atomically publishes it (then fires on_publish_).
+  void PublishSharded() REQUIRES(writer_role_);
+  /// Tokenizes one tick of raw posts (caller thread; deterministic
+  /// document order) and routes it.
+  RoutedTick TokenizeAndRoute(uint32_t interval,
+                              const std::vector<std::string>& posts) const;
+
+  // Single-writer capability for the facade's own writer state; the
+  // shard engines carry their own (asserted per shard task).
+  ThreadRole writer_role_;
+
+  ShardedEngineOptions options_;
+  std::vector<std::unique_ptr<Engine>> engines_;
+  // Outer fan-out pool, one worker per shard; null when shards == 1
+  // (everything runs on the caller thread — the byte-identity path).
+  std::unique_ptr<ThreadPool> pool_;
+
+  // Published epoch vector; swapped with std::atomic_store at every
+  // barrier commit.
+  std::shared_ptr<const ShardedSnapshot> snapshot_;
+
+  PublishCallback on_publish_ GUARDED_BY(writer_role_);
+  // Non-OK after a tick failed on any shard: the fleet's epoch vector
+  // can no longer advance consistently, so further ingest is refused
+  // while queries keep serving the last published vector.
+  Status broken_ GUARDED_BY(writer_role_);
+};
+
+}  // namespace stabletext
+
+#endif  // STABLETEXT_CORE_SHARDED_ENGINE_H_

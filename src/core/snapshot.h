@@ -91,6 +91,8 @@ struct EngineStats {
   uint64_t subscriptions_active = 0;  ///< Standing queries registered.
   uint64_t pushes_sent = 0;           ///< Per-epoch DELTA frames pushed.
   uint64_t queries_rejected = 0;      ///< Admission-control RETRYs.
+  uint64_t queries_failed = 0;        ///< Queries that errored or whose
+                                      ///< worker died mid-query.
 };
 
 /// One committed interval's immutable outputs, shared between the writer

@@ -13,26 +13,11 @@ namespace {
 constexpr size_t kReadChunk = 16 * 1024;
 }  // namespace
 
-std::vector<WireChain> ToWireChains(const GraphSnapshot& snapshot,
-                                    const QueryResult& result,
-                                    uint8_t flags) {
-  std::vector<WireChain> out;
-  out.reserve(result.chains.size());
-  for (const StableClusterChain& chain : result.chains) {
-    WireChain wire;
-    wire.nodes = chain.path.nodes;
-    wire.weight = chain.path.weight;
-    wire.length = chain.path.length;
-    if (flags & kFlagRender) {
-      wire.rendered = snapshot.RenderChain(chain);
-    }
-    out.push_back(std::move(wire));
-  }
-  return out;
-}
-
 Server::Server(Engine* engine, ServerOptions options)
-    : engine_(engine), options_(std::move(options)) {}
+    : backend_(MakeServingBackend(engine)), options_(std::move(options)) {}
+
+Server::Server(ShardedEngine* engine, ServerOptions options)
+    : backend_(MakeServingBackend(engine)), options_(std::move(options)) {}
 
 Server::~Server() { Shutdown(); }
 
@@ -70,9 +55,9 @@ Status Server::Start() {
       worker_count, [this](size_t) { WorkerLoop(); });
   notifier_ = std::make_unique<ReaderFleet>(
       1, [this](size_t) { NotifierLoop(); });
-  engine_->SetPublishCallback(
-      [this](const std::shared_ptr<const GraphSnapshot>& snap) {
-        OnPublish(snap);
+  backend_->SetPublishCallback(
+      [this](const std::shared_ptr<const ServingView>& view) {
+        OnPublish(view);
       });
   running_.store(true, std::memory_order_release);
   loop_thread_ = std::thread([this] { RunLoop(); });
@@ -103,7 +88,7 @@ void Server::Shutdown() {
   notifier_->Join();
   // Writer-side deregistration: the caller guarantees ingest is
   // quiescent across Shutdown (see the lifecycle note in the header).
-  engine_->SetPublishCallback(nullptr);
+  backend_->SetPublishCallback(nullptr);
   running_.store(false, std::memory_order_release);
 }
 
@@ -112,6 +97,7 @@ void Server::FillServingStats(EngineStats* stats) const {
   stats->pushes_sent = pushes_sent_.load(std::memory_order_relaxed);
   stats->queries_rejected =
       queries_rejected_.load(std::memory_order_relaxed);
+  stats->queries_failed = queries_failed();
 }
 
 void Server::RunLoop() {
@@ -245,12 +231,12 @@ void Server::HandleFrame(Connection* conn, const Frame& frame) {
   switch (frame.type) {
     case MsgType::kPing:
       Reply(conn, MsgType::kPong, frame.request_id,
-            EncodeU64Body(engine_->snapshot()->epoch));
+            EncodeU64Body(backend_->Pin()->epoch()));
       return;
     case MsgType::kStats: {
-      const EngineStats engine_stats = engine_->stats();
+      const EngineStats engine_stats = backend_->stats();
       WireStats stats;
-      stats.epoch = engine_->snapshot()->epoch;
+      stats.epoch = backend_->Pin()->epoch();
       stats.intervals = engine_stats.intervals;
       stats.clusters = engine_stats.clusters;
       stats.edges = engine_stats.edges;
@@ -264,6 +250,8 @@ void Server::HandleFrame(Connection* conn, const Frame& frame) {
           queries_rejected_.load(std::memory_order_relaxed);
       stats.queries_served =
           queries_served_.load(std::memory_order_relaxed);
+      stats.queries_failed = queries_failed();
+      stats.shards = backend_->shard_stats();
       Reply(conn, MsgType::kStatsResult, frame.request_id,
             EncodeStatsBody(stats));
       return;
@@ -372,58 +360,53 @@ void Server::WorkerLoop() {
     }
     if (options_.worker_test_hook) options_.worker_test_hook();
     // Pin the latest epoch for this query; the finder runs entirely on
-    // the snapshot, concurrent with ingest and the other workers.
-    const std::shared_ptr<const GraphSnapshot> snap = engine_->snapshot();
-    auto result = engine_->QueryAt(snap, job.query);
+    // the pinned view, concurrent with ingest and the other workers.
+    const std::shared_ptr<const ServingView> view = backend_->Pin();
+    auto result = view->RunQuery(job.query, job.flags);
     std::string frame;
     if (result.ok()) {
-      WireResult wire;
-      wire.epoch = result.value().epoch;
-      wire.warm_online = result.value().warm_online;
-      wire.chains = ToWireChains(*snap, result.value(), job.flags);
       frame = EncodeFrame(MsgType::kResult, job.request_id,
-                          EncodeResultBody(wire));
+                          EncodeResultBody(result.value()));
       queries_served_.fetch_add(1, std::memory_order_relaxed);
     } else {
       frame = EncodeFrame(MsgType::kError, job.request_id,
                           EncodeErrorBody(result.status()));
+      queries_errored_.fetch_add(1, std::memory_order_relaxed);
     }
     EnqueueOutbound(job.connection_id, std::move(frame),
                     /*completes_query=*/true);
   }
 }
 
-void Server::OnPublish(
-    const std::shared_ptr<const GraphSnapshot>& snapshot) {
+void Server::OnPublish(const std::shared_ptr<const ServingView>& view) {
   if (draining_.load(std::memory_order_acquire)) return;
   {
     MutexLock lock(snap_mu_);
-    snapshots_.push_back(snapshot);
+    snapshots_.push_back(view);
   }
   snap_cv_.NotifyOne();
 }
 
 void Server::NotifierLoop() {
   for (;;) {
-    std::shared_ptr<const GraphSnapshot> snap;
+    std::shared_ptr<const ServingView> view;
     {
       MutexLock lock(snap_mu_);
       while (!stop_notifier_ && snapshots_.empty()) snap_cv_.Wait(lock);
       if (snapshots_.empty()) return;  // stop_notifier_ and drained.
-      snap = std::move(snapshots_.front());
+      view = std::move(snapshots_.front());
       snapshots_.pop_front();
       notifier_busy_ = true;
     }
     // Every epoch is processed (never coalesced): subscribers see the
     // exact per-epoch delta sequence a serial replay would compute.
     for (const auto& sub : registry_.Snapshot()) {
-      auto result = engine_->QueryAt(snap, sub->query);
+      auto result = view->RunQuery(sub->query, sub->flags);
       if (!result.ok()) continue;  // Validated at SUBSCRIBE.
-      std::vector<WireChain> now =
-          ToWireChains(*snap, result.value(), sub->flags);
+      std::vector<WireChain> now = std::move(result.value().chains);
       WireDelta delta = DiffTopK(sub->last, now);
       delta.subscription_id = sub->id;
-      delta.epoch = snap->epoch;
+      delta.epoch = view->epoch();
       sub->last = std::move(now);
       EnqueueOutbound(sub->connection_id,
                       EncodeFrame(MsgType::kDelta, 0,

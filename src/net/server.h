@@ -1,8 +1,9 @@
-// TCP serving layer in front of an Engine: a poll-based event loop on
-// one thread (non-blocking sockets, no thread-per-connection), a worker
-// pool built on ReaderFleet executing admitted QUERY requests against
-// pinned epochs, and a notifier thread that turns every published epoch
-// into per-subscription DELTA pushes (net/subscription.h).
+// TCP serving layer in front of an Engine or a ShardedEngine (via
+// net/serving_backend.h): a poll-based event loop on one thread
+// (non-blocking sockets, no thread-per-connection), a worker pool built
+// on ReaderFleet executing admitted QUERY requests against pinned
+// epochs, and a notifier thread that turns every published epoch into
+// per-subscription DELTA pushes (net/subscription.h).
 //
 // Admission control: QUERY frames pass a bounded admission gate —
 // at most `max_inflight` admitted-but-unanswered queries plus a
@@ -39,6 +40,7 @@
 #include "core/engine.h"
 #include "net/event_loop.h"
 #include "net/protocol.h"
+#include "net/serving_backend.h"
 #include "net/subscription.h"
 #include "util/annotated_mutex.h"
 #include "util/status.h"
@@ -70,6 +72,9 @@ class Server {
   /// `engine` must outlive the server and must not be ingesting yet
   /// when Start() runs (see the lifecycle note above).
   Server(Engine* engine, ServerOptions options);
+  /// Same, fronting a sharded fleet: queries scatter-gather through the
+  /// threshold merge, STATS frames carry per-shard slices.
+  Server(ShardedEngine* engine, ServerOptions options);
   ~Server();
 
   Server(const Server&) = delete;
@@ -90,6 +95,12 @@ class Server {
   uint64_t pushes_sent() const { return pushes_sent_.load(); }
   uint64_t queries_rejected() const { return queries_rejected_.load(); }
   uint64_t queries_served() const { return queries_served_.load(); }
+  /// Queries that returned an error reply plus workers that died
+  /// mid-query (ReaderFleet::failed — their query never got a reply).
+  uint64_t queries_failed() const {
+    return queries_errored_.load(std::memory_order_relaxed) +
+           (workers_ ? workers_->failed() : 0);
+  }
   size_t subscriptions_active() const { return registry_.size(); }
 
   /// Folds the serving-layer counters into an EngineStats (the fields
@@ -126,7 +137,7 @@ class Server {
   void RunLoop();
   void WorkerLoop();
   void NotifierLoop();
-  void OnPublish(const std::shared_ptr<const GraphSnapshot>& snapshot);
+  void OnPublish(const std::shared_ptr<const ServingView>& view);
 
   // Loop-thread-affine handlers and helpers: REQUIRES(loop_.role) makes
   // "only the loop thread touches connection state" compile-checked.
@@ -150,7 +161,9 @@ class Server {
   bool DrainComplete();
   bool AnyPendingOutput() const REQUIRES(loop_.role);
 
-  Engine* const engine_;
+  // The served engine, behind the backend abstraction (owned; the
+  // engine itself is borrowed and must outlive the server).
+  const std::unique_ptr<ServingBackend> backend_;
   const ServerOptions options_;
 
   EventLoop loop_;
@@ -177,10 +190,10 @@ class Server {
   Mutex out_mu_;
   std::deque<Outbound> outbound_ GUARDED_BY(out_mu_);
 
-  // Published epochs awaiting notifier processing.
+  // Published epoch views awaiting notifier processing.
   Mutex snap_mu_;
   CondVar snap_cv_;
-  std::deque<std::shared_ptr<const GraphSnapshot>> snapshots_
+  std::deque<std::shared_ptr<const ServingView>> snapshots_
       GUARDED_BY(snap_mu_);
   bool notifier_busy_ GUARDED_BY(snap_mu_) = false;
   bool stop_notifier_ GUARDED_BY(snap_mu_) = false;
@@ -193,13 +206,8 @@ class Server {
   std::atomic<uint64_t> pushes_sent_{0};
   std::atomic<uint64_t> queries_rejected_{0};
   std::atomic<uint64_t> queries_served_{0};
+  std::atomic<uint64_t> queries_errored_{0};
 };
-
-/// Renders a QueryResult for the wire: paths, weights, lengths, plus
-/// snapshot-rendered chain text when `flags` has kFlagRender.
-std::vector<WireChain> ToWireChains(const GraphSnapshot& snapshot,
-                                    const QueryResult& result,
-                                    uint8_t flags);
 
 }  // namespace net
 }  // namespace stabletext

@@ -1,0 +1,172 @@
+#include "net/serving_backend.h"
+
+#include <utility>
+
+namespace stabletext {
+namespace net {
+
+std::vector<WireChain> ToWireChains(const GraphSnapshot& snapshot,
+                                    const QueryResult& result,
+                                    uint8_t flags) {
+  std::vector<WireChain> out;
+  out.reserve(result.chains.size());
+  for (const StableClusterChain& chain : result.chains) {
+    WireChain wire;
+    wire.nodes = chain.path.nodes;
+    wire.weight = chain.path.weight;
+    wire.length = chain.path.length;
+    if (flags & kFlagRender) {
+      wire.rendered = snapshot.RenderChain(chain);
+    }
+    out.push_back(std::move(wire));
+  }
+  return out;
+}
+
+namespace {
+
+class EngineView : public ServingView {
+ public:
+  EngineView(const Engine* engine,
+             std::shared_ptr<const GraphSnapshot> snap)
+      : engine_(engine), snap_(std::move(snap)) {}
+
+  uint64_t epoch() const override { return snap_->epoch; }
+
+  Result<WireResult> RunQuery(const FinderQuery& query,
+                              uint8_t flags) const override {
+    auto result = engine_->QueryAt(snap_, query);
+    ST_RETURN_IF_ERROR(result.status());
+    WireResult wire;
+    wire.epoch = result.value().epoch;
+    wire.warm_online = result.value().warm_online;
+    wire.chains = ToWireChains(*snap_, result.value(), flags);
+    return wire;
+  }
+
+ private:
+  const Engine* const engine_;
+  const std::shared_ptr<const GraphSnapshot> snap_;
+};
+
+class EngineBackend : public ServingBackend {
+ public:
+  explicit EngineBackend(Engine* engine) : engine_(engine) {}
+
+  std::shared_ptr<const ServingView> Pin() const override {
+    return std::make_shared<EngineView>(engine_, engine_->snapshot());
+  }
+
+  EngineStats stats() const override { return engine_->stats(); }
+
+  std::vector<WireShardStats> shard_stats() const override { return {}; }
+
+  void SetPublishCallback(ViewCallback cb) override {
+    if (!cb) {
+      engine_->SetPublishCallback(nullptr);
+      return;
+    }
+    Engine* engine = engine_;
+    engine_->SetPublishCallback(
+        [engine, cb = std::move(cb)](
+            const std::shared_ptr<const GraphSnapshot>& snap) {
+          cb(std::make_shared<EngineView>(engine, snap));
+        });
+  }
+
+ private:
+  Engine* const engine_;
+};
+
+class ShardedView : public ServingView {
+ public:
+  ShardedView(const ShardedEngine* engine,
+              std::shared_ptr<const ShardedSnapshot> snap)
+      : engine_(engine), snap_(std::move(snap)) {}
+
+  uint64_t epoch() const override { return snap_->epoch; }
+
+  Result<WireResult> RunQuery(const FinderQuery& query,
+                              uint8_t flags) const override {
+    auto result = engine_->QueryAt(snap_, query);
+    ST_RETURN_IF_ERROR(result.status());
+    const ShardedQueryResult& merged = result.value();
+    WireResult wire;
+    wire.epoch = merged.epoch;
+    wire.warm_online = merged.warm_online;
+    wire.chains.reserve(merged.chains.size());
+    for (size_t i = 0; i < merged.chains.size(); ++i) {
+      WireChain chain;
+      chain.nodes = merged.chains[i].path.nodes;
+      chain.weight = merged.chains[i].path.weight;
+      chain.length = merged.chains[i].path.length;
+      if (flags & kFlagRender) {
+        // Node ids (and word tables) are shard-local: render through
+        // the producing shard.
+        chain.rendered = engine_->RenderChain(merged.chains[i],
+                                              merged.chain_shard[i]);
+      }
+      wire.chains.push_back(std::move(chain));
+    }
+    return wire;
+  }
+
+ private:
+  const ShardedEngine* const engine_;
+  const std::shared_ptr<const ShardedSnapshot> snap_;
+};
+
+class ShardedBackend : public ServingBackend {
+ public:
+  explicit ShardedBackend(ShardedEngine* engine) : engine_(engine) {}
+
+  std::shared_ptr<const ServingView> Pin() const override {
+    return std::make_shared<ShardedView>(engine_, engine_->snapshot());
+  }
+
+  EngineStats stats() const override { return engine_->stats(); }
+
+  std::vector<WireShardStats> shard_stats() const override {
+    std::vector<WireShardStats> out;
+    const std::vector<EngineStats> per = engine_->shard_stats();
+    out.reserve(per.size());
+    for (const EngineStats& s : per) {
+      WireShardStats shard;
+      shard.clusters = s.clusters;
+      shard.edges = s.edges;
+      shard.keywords = s.keywords;
+      shard.resident_bytes = s.resident_bytes;
+      out.push_back(shard);
+    }
+    return out;
+  }
+
+  void SetPublishCallback(ViewCallback cb) override {
+    if (!cb) {
+      engine_->SetPublishCallback(nullptr);
+      return;
+    }
+    ShardedEngine* engine = engine_;
+    engine_->SetPublishCallback(
+        [engine, cb = std::move(cb)](
+            const std::shared_ptr<const ShardedSnapshot>& snap) {
+          cb(std::make_shared<ShardedView>(engine, snap));
+        });
+  }
+
+ private:
+  ShardedEngine* const engine_;
+};
+
+}  // namespace
+
+std::unique_ptr<ServingBackend> MakeServingBackend(Engine* engine) {
+  return std::make_unique<EngineBackend>(engine);
+}
+
+std::unique_ptr<ServingBackend> MakeServingBackend(ShardedEngine* engine) {
+  return std::make_unique<ShardedBackend>(engine);
+}
+
+}  // namespace net
+}  // namespace stabletext

@@ -1,0 +1,84 @@
+// ServingBackend: the server's engine abstraction. net::Server serves
+// whatever can pin an immutable epoch view and answer queries on it —
+// a single Engine (pinned GraphSnapshot) or a ShardedEngine (pinned
+// ShardedSnapshot, an epoch *vector*, with the threshold merge behind
+// RunQuery). The server's worker, notifier and stats paths are written
+// against these two interfaces only, so sharding never leaks into the
+// event loop or the admission gate.
+//
+// Threading mirrors the engines' contract: Pin()/stats()/shard_stats()
+// and every ServingView method are reader-safe (any thread, concurrent
+// with ingest); SetPublishCallback is writer-side (install before
+// ingest starts, clear after it stops), exactly like
+// Engine::SetPublishCallback, which it wraps.
+
+#ifndef STABLETEXT_NET_SERVING_BACKEND_H_
+#define STABLETEXT_NET_SERVING_BACKEND_H_
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "core/engine.h"
+#include "core/sharded_engine.h"
+#include "net/protocol.h"
+#include "util/status.h"
+
+namespace stabletext {
+namespace net {
+
+/// \brief One pinned epoch: queries against it see one consistent state
+/// no matter how far ingest has advanced. Immutable; hold the
+/// shared_ptr to pin everything the epoch references.
+class ServingView {
+ public:
+  virtual ~ServingView() = default;
+
+  /// The pinned (sharded: common) committed-interval count.
+  virtual uint64_t epoch() const = 0;
+
+  /// Answers `query` at this view, rendered for the wire (chain text
+  /// filled in when `flags` has kFlagRender). Single engine: one finder
+  /// run through the query cache. Sharded: scatter-gather with the
+  /// threshold merge.
+  virtual Result<WireResult> RunQuery(const FinderQuery& query,
+                                      uint8_t flags) const = 0;
+};
+
+/// \brief What net::Server needs from the thing it serves.
+class ServingBackend {
+ public:
+  using ViewCallback =
+      std::function<void(const std::shared_ptr<const ServingView>&)>;
+
+  virtual ~ServingBackend() = default;
+
+  /// Pins the latest published epoch. Never null.
+  virtual std::shared_ptr<const ServingView> Pin() const = 0;
+
+  /// Point-in-time engine stats (sharded: fleet aggregate).
+  virtual EngineStats stats() const = 0;
+
+  /// Per-shard stat slices for STATS frames; empty for a single engine.
+  virtual std::vector<WireShardStats> shard_stats() const = 0;
+
+  /// Installs (or, with nullptr, clears) the publish hook. Writer-side.
+  virtual void SetPublishCallback(ViewCallback cb) = 0;
+};
+
+/// Backend over a single Engine. `engine` must outlive the backend.
+std::unique_ptr<ServingBackend> MakeServingBackend(Engine* engine);
+
+/// Backend over a ShardedEngine. `engine` must outlive the backend.
+std::unique_ptr<ServingBackend> MakeServingBackend(ShardedEngine* engine);
+
+/// Renders a QueryResult for the wire: paths, weights, lengths, plus
+/// snapshot-rendered chain text when `flags` has kFlagRender.
+std::vector<WireChain> ToWireChains(const GraphSnapshot& snapshot,
+                                    const QueryResult& result,
+                                    uint8_t flags);
+
+}  // namespace net
+}  // namespace stabletext
+
+#endif  // STABLETEXT_NET_SERVING_BACKEND_H_

@@ -1,0 +1,90 @@
+#include "stable/shard_merge.h"
+
+#include <algorithm>
+#include <queue>
+
+namespace stabletext {
+
+namespace {
+
+double ChainScore(const QueryResult& result, size_t rank,
+                  FinderMode mode) {
+  const StablePath& path = result.chains[rank].path;
+  return mode == FinderMode::kNormalized ? path.stability() : path.weight;
+}
+
+/// Heap entry: the next unpulled chain of one shard's stream.
+struct Head {
+  double score = 0;
+  uint32_t shard = 0;
+  size_t rank = 0;
+};
+
+/// Max-heap order with the documented tie-break: higher score first,
+/// then lower shard index, then lower rank. (std::priority_queue keeps
+/// the *largest* under `less`, so this returns true when a is worse.)
+struct HeadWorse {
+  bool operator()(const Head& a, const Head& b) const {
+    if (a.score != b.score) return a.score < b.score;
+    if (a.shard != b.shard) return a.shard > b.shard;
+    return a.rank > b.rank;
+  }
+};
+
+}  // namespace
+
+std::vector<MergedChainRef> ThresholdMergeTopK(
+    const std::vector<const QueryResult*>& shard_results,
+    const FinderQuery& query, ShardMergeStats* stats) {
+  const size_t shards = shard_results.size();
+  ShardMergeStats local;
+  local.paths_pulled.assign(shards, 0);
+  local.paths_available.assign(shards, 0);
+
+  // Seed the heap with each shard's best chain. Streams are sorted, so
+  // a shard's head is an upper bound on everything it still holds: the
+  // heap top is always the global best unpulled chain, and popping k of
+  // them IS the TA stopping rule — every other stream's bound is below
+  // the k-th emitted score the moment we stop.
+  std::priority_queue<Head, std::vector<Head>, HeadWorse> heap;
+  for (uint32_t s = 0; s < shards; ++s) {
+    const QueryResult* result = shard_results[s];
+    const size_t available = result == nullptr ? 0 : result->chains.size();
+    local.paths_available[s] = available;
+    if (available > 0) {
+      heap.push(Head{ChainScore(*result, 0, query.mode), s, 0});
+      local.paths_pulled[s] = 1;
+    }
+  }
+
+  std::vector<MergedChainRef> merged;
+  const size_t k = query.k;
+  merged.reserve(std::min(k, shards * 4));
+  while (!heap.empty() && merged.size() < k) {
+    const Head best = heap.top();
+    heap.pop();
+    merged.push_back(MergedChainRef{best.shard, best.rank});
+    const size_t next = best.rank + 1;
+    if (next < local.paths_available[best.shard]) {
+      heap.push(Head{ChainScore(*shard_results[best.shard], next,
+                                query.mode),
+                     best.shard, next});
+      local.paths_pulled[best.shard] = next + 1;
+    } else {
+      ++local.shards_exhausted;
+    }
+  }
+  local.paths_merged = merged.size();
+
+  // Anything still on the heap (plus the unpulled tail behind it) was
+  // never needed: that shard terminated early.
+  for (uint32_t s = 0; s < shards; ++s) {
+    if (local.paths_pulled[s] < local.paths_available[s]) {
+      ++local.early_terminations;
+    }
+  }
+  if (stats != nullptr) *stats = std::move(local);
+  return merged;
+}
+
+}  // namespace stabletext

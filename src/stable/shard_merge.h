@@ -1,0 +1,69 @@
+// Threshold merge for scatter-gather queries (ShardedEngine's read
+// path). Each shard answers the query independently, producing a
+// best-first chain list under the finder's total order; the merge pulls
+// from the per-shard streams with a k-way heap, which is exactly the
+// sorted-access half of the Threshold Algorithm (Section 4.4's TA,
+// applied across shards instead of across edge lists): once k chains are
+// emitted, every stream whose next-best possible score is at or below
+// the global k-th is never pulled again. The counters record how much of
+// each shard's list the merge actually consumed, so early termination is
+// measured, not assumed.
+//
+// Tie-break relaxation (documented, pinned by sharded_engine_test): a
+// single engine breaks score ties by node sequence (PathBetter); node
+// ids are shard-local, so the merged order breaks ties by
+// (shard index, local rank) instead. Chains with distinct scores are
+// ordered identically to a single engine; equal-score chains may appear
+// in a different relative order.
+
+#ifndef STABLETEXT_STABLE_SHARD_MERGE_H_
+#define STABLETEXT_STABLE_SHARD_MERGE_H_
+
+#include <cstdint>
+#include <cstddef>
+#include <vector>
+
+#include "core/snapshot.h"
+#include "stable/finder.h"
+
+namespace stabletext {
+
+/// Early-termination accounting for one merged query.
+struct ShardMergeStats {
+  /// Chains consumed from each shard's stream.
+  std::vector<uint64_t> paths_pulled;
+  /// Chains each shard had available.
+  std::vector<uint64_t> paths_available;
+  /// Chains emitted into the merged top-k.
+  uint64_t paths_merged = 0;
+  /// Shards whose stream ran dry before the merge stopped.
+  uint32_t shards_exhausted = 0;
+  /// Shards abandoned with chains still unpulled — the merge stopped
+  /// before reading them. This is the measured TA win.
+  uint32_t early_terminations = 0;
+};
+
+/// A merged chain: which shard produced it and its rank in that shard's
+/// best-first list. The chain itself (with its shard-local node ids)
+/// stays in the shard's QueryResult.
+struct MergedChainRef {
+  uint32_t shard = 0;
+  size_t rank = 0;
+};
+
+/// \brief Merges per-shard best-first answers into the global top-k.
+///
+/// `shard_results` are the per-shard answers to the same `query`, one
+/// per shard, already sorted best-first (finders guarantee this). The
+/// score is query.mode-dependent: path weight for kKlStable, stability
+/// for kNormalized — matching the order the finders sorted by. Returns
+/// at most query.k refs, best first under (score desc, shard asc,
+/// rank asc). `stats`, when non-null, is overwritten with this merge's
+/// counters.
+std::vector<MergedChainRef> ThresholdMergeTopK(
+    const std::vector<const QueryResult*>& shard_results,
+    const FinderQuery& query, ShardMergeStats* stats);
+
+}  // namespace stabletext
+
+#endif  // STABLETEXT_STABLE_SHARD_MERGE_H_

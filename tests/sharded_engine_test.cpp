@@ -1,0 +1,516 @@
+// ShardedEngine contract tests.
+//
+// 1. shards == 1 is byte-identical to a plain Engine: same graph bytes,
+//    same answers from all five finder algorithms.
+// 2. On a partition-respecting corpus (every document's keywords hash to
+//    one shard) the merged scatter-gather top-k equals the single-engine
+//    answer modulo the documented tie-break relaxation — asserted here
+//    as equality of the rendered-chain multisets, which is tie-order
+//    independent.
+// 3. Readers run concurrently with sharded multi-writer ingest (the
+//    TSan target) and only ever observe consistent epoch vectors.
+// 4. A 2-shard durable fleet whose shards crashed one epoch apart
+//    recovers to the minimum common committed epoch on every shard.
+// 5. The threshold merge measurably early-terminates shard streams.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/engine.h"
+#include "core/shard_router.h"
+#include "core/sharded_engine.h"
+#include "gen/corpus_generator.h"
+#include "stable/shard_merge.h"
+#include "storage/temp_dir.h"
+#include "text/document.h"
+#include "util/strings.h"
+#include "util/thread_pool.h"
+
+namespace stabletext {
+namespace {
+
+CorpusGenOptions WeekCorpus() {
+  CorpusGenOptions opt;
+  opt.days = 5;
+  opt.posts_per_day = 300;
+  opt.vocabulary = 1500;
+  opt.min_words_per_post = 12;
+  opt.max_words_per_post = 28;
+  opt.micro_events = 30;
+  opt.seed = 11;
+  opt.script = EventScript::PaperWeek();
+  return opt;
+}
+
+EngineOptions TestOptions() {
+  EngineOptions opt;
+  opt.gap = 1;
+  opt.clustering.pruning.rho_threshold = 0.15;
+  opt.clustering.pruning.min_pair_support = 3;
+  opt.affinity.theta = 0.05;
+  return opt;
+}
+
+std::string GraphFingerprint(const ClusterGraph& graph) {
+  std::string out = StringPrintf("nodes=%zu edges=%zu intervals=%u\n",
+                                 graph.node_count(), graph.edge_count(),
+                                 graph.interval_count());
+  for (NodeId v = 0; v < graph.node_count(); ++v) {
+    for (const ClusterGraphEdge& e : graph.Children(v)) {
+      out += StringPrintf("%u->%u %.17g\n", v, e.target, e.weight);
+    }
+  }
+  return out;
+}
+
+// Byte-exact rendering of a chain list: node sequences + full-precision
+// weights. Only comparable when both sides share one node-id space
+// (shards == 1 vs plain Engine).
+std::string ChainsFingerprint(const std::vector<StableClusterChain>& chains) {
+  std::string out;
+  for (const StableClusterChain& chain : chains) {
+    for (NodeId n : chain.path.nodes) out += StringPrintf("%u-", n);
+    out += StringPrintf(" w=%.17g len=%u\n", chain.path.weight,
+                        chain.path.length);
+  }
+  return out;
+}
+
+Query MakeQuery(FinderAlgorithm algorithm, size_t k, uint32_t l) {
+  Query q;
+  q.algorithm = algorithm;
+  q.k = k;
+  q.l = l;
+  return q;
+}
+
+// Tie-order-independent view of an answer: the sorted multiset of
+// rendered chains (keyword sets per interval + weight + length). Node
+// ids are shard-local and never compared across engines.
+std::vector<std::string> RenderedSet(const Engine& engine,
+                                     const QueryResult& result) {
+  std::vector<std::string> out;
+  for (const StableClusterChain& chain : result.chains) {
+    out.push_back(engine.RenderChain(chain));
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+std::vector<std::string> RenderedSet(const ShardedEngine& engine,
+                                     const ShardedQueryResult& result) {
+  std::vector<std::string> out;
+  for (size_t i = 0; i < result.chains.size(); ++i) {
+    out.push_back(
+        engine.RenderChain(result.chains[i], result.chain_shard[i]));
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+// A corpus that respects the shard partition: every post's words stem to
+// keywords that all hash to the same shard, so shard-local statistics
+// equal the global ones and sharded clustering is exact (the contract in
+// shard_router.h). Each shard gets two planted keyword groups that
+// recur every tick (stable chains) plus one-shot noise words (pruned by
+// min_pair_support).
+class PartitionedCorpus {
+ public:
+  PartitionedCorpus(uint32_t shards, uint32_t ticks) : shards_(shards) {
+    BuildPools();
+    ticks_.resize(ticks);
+    for (uint32_t t = 0; t < ticks; ++t) {
+      for (uint32_t s = 0; s < shards; ++s) {
+        for (uint32_t g = 0; g < kGroupsPerShard; ++g) {
+          // Distinct per-(shard, group) support counts keep chain
+          // weights distinct across shards — fewer k-boundary ties.
+          const uint32_t posts = 7 + 2 * g + s;
+          for (uint32_t p = 0; p < posts; ++p) {
+            std::string post;
+            for (uint32_t w = 0; w < kGroupWords; ++w) {
+              post += pools_[s][g * kGroupWords + w] + " ";
+            }
+            // One unique-per-tick noise word: its pairs never reach
+            // min_pair_support.
+            post += NoiseWord(s, t * 101 + g * 31 + p);
+            ticks_[t].push_back(post);
+          }
+        }
+      }
+    }
+  }
+
+  const std::vector<std::vector<std::string>>& ticks() const {
+    return ticks_;
+  }
+
+ private:
+  static constexpr uint32_t kGroupsPerShard = 2;
+  static constexpr uint32_t kGroupWords = 3;
+
+  // Generates consonant-vowel words, keeps those that survive the text
+  // pipeline as a single keyword, and buckets them by shard.
+  void BuildPools() {
+    static const char kConsonants[] = "bcdfgjklmnpqrstvwz";
+    static const char kVowels[] = "aeiou";
+    DocumentProcessor processor;
+    pools_.resize(shards_);
+    noise_.resize(shards_);
+    for (const char c1 : std::string(kConsonants)) {
+      for (const char v1 : std::string(kVowels)) {
+        for (const char c2 : std::string(kConsonants)) {
+          for (const char v2 : std::string(kVowels)) {
+            const std::string word = {c1, v1, c2, v2, c1, v1};
+            const Document doc = processor.Process(0, word);
+            if (doc.keywords.size() != 1) continue;
+            const uint32_t s = ShardOfKeyword(doc.keywords[0], shards_);
+            if (pools_[s].size() < kGroupsPerShard * kGroupWords) {
+              pools_[s].push_back(word);
+            } else {
+              noise_[s].push_back(word);
+            }
+          }
+        }
+      }
+    }
+    for (uint32_t s = 0; s < shards_; ++s) {
+      ASSERT_GE(pools_[s].size(), kGroupsPerShard * kGroupWords)
+          << "shard " << s << " pool too small";
+      ASSERT_GE(noise_[s].size(), 64u) << "shard " << s;
+    }
+  }
+
+  std::string NoiseWord(uint32_t shard, uint32_t n) const {
+    return noise_[shard][n % noise_[shard].size()];
+  }
+
+  const uint32_t shards_;
+  std::vector<std::vector<std::string>> pools_;   // [shard][word]
+  std::vector<std::vector<std::string>> noise_;   // [shard][word]
+  std::vector<std::vector<std::string>> ticks_;   // [tick][post]
+};
+
+TEST(ShardedEngineTest, SingleShardByteIdenticalToEngine) {
+  CorpusGenerator gen(WeekCorpus());
+
+  Engine plain(TestOptions());
+  ShardedEngineOptions sharded_options;
+  sharded_options.shards = 1;
+  sharded_options.engine = TestOptions();
+  ShardedEngine sharded(sharded_options);
+
+  for (uint32_t day = 0; day < WeekCorpus().days; ++day) {
+    const std::vector<std::string> posts = gen.GenerateDay(day);
+    auto p = plain.IngestText(posts);
+    ASSERT_TRUE(p.ok()) << p.status().ToString();
+    auto s = sharded.IngestText(posts);
+    ASSERT_TRUE(s.ok()) << s.status().ToString();
+  }
+  ASSERT_EQ(plain.interval_count(), sharded.interval_count());
+
+  EXPECT_EQ(GraphFingerprint(plain.graph()),
+            GraphFingerprint(sharded.shard(0)->graph()));
+
+  for (const FinderAlgorithm algorithm :
+       {FinderAlgorithm::kBfs, FinderAlgorithm::kDfs,
+        FinderAlgorithm::kBruteForce, FinderAlgorithm::kOnline}) {
+    SCOPED_TRACE(StringPrintf("algorithm=%d", static_cast<int>(algorithm)));
+    auto want = plain.Query(MakeQuery(algorithm, 4, 2));
+    auto got = sharded.Query(MakeQuery(algorithm, 4, 2));
+    ASSERT_TRUE(want.ok()) << want.status().ToString();
+    ASSERT_TRUE(got.ok()) << got.status().ToString();
+    EXPECT_EQ(ChainsFingerprint(want.value().chains),
+              ChainsFingerprint(got.value().chains));
+    for (const uint32_t shard : got.value().chain_shard) {
+      EXPECT_EQ(shard, 0u);
+    }
+  }
+}
+
+// The fifth finder, TA, only supports g = 0 — its byte-identity check
+// runs on a dedicated gap-0 engine pair.
+TEST(ShardedEngineTest, SingleShardByteIdenticalToEngineTaFinder) {
+  CorpusGenerator gen(WeekCorpus());
+  EngineOptions engine_options = TestOptions();
+  engine_options.gap = 0;
+
+  Engine plain(engine_options);
+  ShardedEngineOptions sharded_options;
+  sharded_options.shards = 1;
+  sharded_options.engine = engine_options;
+  ShardedEngine sharded(sharded_options);
+
+  for (uint32_t day = 0; day < WeekCorpus().days; ++day) {
+    const std::vector<std::string> posts = gen.GenerateDay(day);
+    auto p = plain.IngestText(posts);
+    ASSERT_TRUE(p.ok()) << p.status().ToString();
+    auto s = sharded.IngestText(posts);
+    ASSERT_TRUE(s.ok()) << s.status().ToString();
+  }
+
+  auto want = plain.Query(MakeQuery(FinderAlgorithm::kTa, 4, 0));
+  auto got = sharded.Query(MakeQuery(FinderAlgorithm::kTa, 4, 0));
+  ASSERT_TRUE(want.ok()) << want.status().ToString();
+  ASSERT_TRUE(got.ok()) << got.status().ToString();
+  EXPECT_EQ(ChainsFingerprint(want.value().chains),
+            ChainsFingerprint(got.value().chains));
+}
+
+TEST(ShardedEngineTest, MergedTopKMatchesSingleEngineOnPartitionedCorpus) {
+  for (const uint32_t shards : {uint32_t{2}, uint32_t{4}}) {
+    SCOPED_TRACE(StringPrintf("shards=%u", shards));
+    PartitionedCorpus corpus(shards, /*ticks=*/4);
+    if (::testing::Test::HasFatalFailure()) return;
+
+    Engine plain(TestOptions());
+    ShardedEngineOptions sharded_options;
+    sharded_options.shards = shards;
+    sharded_options.engine = TestOptions();
+    ShardedEngine sharded(sharded_options);
+
+    for (const auto& posts : corpus.ticks()) {
+      auto p = plain.IngestText(posts);
+      ASSERT_TRUE(p.ok()) << p.status().ToString();
+      auto s = sharded.IngestText(posts);
+      ASSERT_TRUE(s.ok()) << s.status().ToString();
+    }
+
+    // k large enough to hold every surviving chain: the answer is then
+    // the full chain set and equality is independent of tie order.
+    const Query query = MakeQuery(FinderAlgorithm::kBfs, 32, 2);
+    auto want = plain.Query(query);
+    auto got = sharded.Query(query);
+    ASSERT_TRUE(want.ok()) << want.status().ToString();
+    ASSERT_TRUE(got.ok()) << got.status().ToString();
+    ASSERT_FALSE(want.value().chains.empty());
+    EXPECT_EQ(RenderedSet(plain, want.value()),
+              RenderedSet(sharded, got.value()));
+
+    // And at a tight k the merged prefix carries the same scores as the
+    // single-engine prefix (chains may differ only within score ties).
+    const Query tight = MakeQuery(FinderAlgorithm::kBfs, 3, 2);
+    auto want_tight = plain.Query(tight);
+    auto got_tight = sharded.Query(tight);
+    ASSERT_TRUE(want_tight.ok()) << want_tight.status().ToString();
+    ASSERT_TRUE(got_tight.ok()) << got_tight.status().ToString();
+    ASSERT_EQ(want_tight.value().chains.size(),
+              got_tight.value().chains.size());
+    for (size_t i = 0; i < want_tight.value().chains.size(); ++i) {
+      EXPECT_NEAR(want_tight.value().chains[i].path.weight,
+                  got_tight.value().chains[i].path.weight, 1e-9);
+    }
+  }
+}
+
+TEST(ShardedEngineTest, ReadersStayConsistentDuringShardedIngest) {
+  PartitionedCorpus corpus(/*shards=*/2, /*ticks=*/6);
+  if (::testing::Test::HasFatalFailure()) return;
+
+  ShardedEngineOptions options;
+  options.shards = 2;
+  options.engine = TestOptions();
+  ShardedEngine engine(options);
+
+  std::atomic<bool> done{false};
+  std::atomic<uint64_t> queries{0};
+  std::atomic<uint64_t> inconsistent{0};
+  const Query query = MakeQuery(FinderAlgorithm::kBfs, 4, 2);
+  ReaderFleet fleet(3, [&](size_t) {
+    while (!done.load(std::memory_order_acquire)) {
+      auto snap = engine.snapshot();
+      // The consistency invariant: every shard of a published snapshot
+      // sits at the same committed epoch.
+      for (const auto& shard : snap->shards) {
+        if (shard->epoch != snap->epoch) {
+          inconsistent.fetch_add(1, std::memory_order_relaxed);
+        }
+      }
+      auto r = engine.QueryAt(snap, query);
+      if (r.ok()) queries.fetch_add(1, std::memory_order_relaxed);
+    }
+  });
+
+  for (const auto& posts : corpus.ticks()) {
+    auto r = engine.IngestText(posts);
+    ASSERT_TRUE(r.ok()) << r.status().ToString();
+  }
+  done.store(true, std::memory_order_release);
+  fleet.Join();
+
+  EXPECT_EQ(fleet.failed(), 0u);
+  EXPECT_EQ(inconsistent.load(), 0u);
+  EXPECT_GT(queries.load(), 0u);
+  EXPECT_EQ(engine.interval_count(), 6u);
+}
+
+TEST(ShardedEngineTest, RecoverTruncatesToConsistentEpochVector) {
+  TempDir dir("sharded");
+  PartitionedCorpus corpus(/*shards=*/2, /*ticks=*/4);
+  if (::testing::Test::HasFatalFailure()) return;
+
+  ShardedEngineOptions options;
+  options.shards = 2;
+  options.engine = TestOptions();
+  options.engine.durability.enabled = true;
+  options.engine.durability.dir = dir.path();
+  options.engine.durability.checkpoint_interval = 2;
+
+  std::vector<std::string> want_graphs;
+  std::vector<std::string> want_answer;
+  const Query query = MakeQuery(FinderAlgorithm::kBfs, 8, 2);
+  {
+    auto made = ShardedEngine::Recover(options);
+    ASSERT_TRUE(made.ok()) << made.status().ToString();
+    ShardedEngine& engine = *made.value();
+    for (const auto& posts : corpus.ticks()) {
+      auto r = engine.IngestText(posts);
+      ASSERT_TRUE(r.ok()) << r.status().ToString();
+    }
+    ASSERT_EQ(engine.interval_count(), 4u);
+    for (uint32_t s = 0; s < 2; ++s) {
+      want_graphs.push_back(GraphFingerprint(engine.shard(s)->graph()));
+    }
+    auto r = engine.Query(query);
+    ASSERT_TRUE(r.ok()) << r.status().ToString();
+    want_answer = RenderedSet(engine, r.value());
+  }
+
+  // Simulate a crash between the per-shard commits and the barrier:
+  // shard 1 committed epoch 5, shard 0 never did. (Reopening one shard
+  // directory with a plain durable Engine is exactly what the fan-out
+  // worker does.)
+  {
+    EngineOptions ahead = TestOptions();
+    ahead.threads = 1;
+    ahead.durability.enabled = true;
+    ahead.durability.dir = dir.path() + "/shard-1";
+    ahead.durability.checkpoint_interval = 2;
+    auto made = Engine::Recover(ahead);
+    ASSERT_TRUE(made.ok()) << made.status().ToString();
+    ASSERT_EQ(made.value()->interval_count(), 4u);
+    auto r = made.value()->IngestText(corpus.ticks()[0]);
+    ASSERT_TRUE(r.ok()) << r.status().ToString();
+    ASSERT_EQ(made.value()->interval_count(), 5u);
+  }
+
+  // Recovery truncates shard 1 back to the fleet minimum, epoch 4, and
+  // restores the exact pre-crash state.
+  auto recovered = ShardedEngine::Recover(options);
+  ASSERT_TRUE(recovered.ok()) << recovered.status().ToString();
+  ShardedEngine& engine = *recovered.value();
+  EXPECT_EQ(engine.interval_count(), 4u);
+  auto snap = engine.snapshot();
+  for (const auto& shard : snap->shards) {
+    EXPECT_EQ(shard->epoch, 4u);
+  }
+  for (uint32_t s = 0; s < 2; ++s) {
+    EXPECT_EQ(GraphFingerprint(engine.shard(s)->graph()), want_graphs[s]);
+  }
+  auto r = engine.Query(query);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ(RenderedSet(engine, r.value()), want_answer);
+
+  // And the fleet keeps ingesting from the consistent vector.
+  auto next = engine.IngestText(corpus.ticks()[1]);
+  ASSERT_TRUE(next.ok()) << next.status().ToString();
+  EXPECT_EQ(engine.interval_count(), 5u);
+}
+
+TEST(ShardedEngineTest, RecoverRejectsShardCountMismatch) {
+  TempDir dir("sharded-manifest");
+  ShardedEngineOptions options;
+  options.shards = 2;
+  options.engine = TestOptions();
+  options.engine.durability.enabled = true;
+  options.engine.durability.dir = dir.path();
+  {
+    auto made = ShardedEngine::Recover(options);
+    ASSERT_TRUE(made.ok()) << made.status().ToString();
+  }
+  options.shards = 4;
+  auto reopened = ShardedEngine::Recover(options);
+  EXPECT_FALSE(reopened.ok());
+  EXPECT_EQ(reopened.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(ShardedEngineTest, ThresholdMergeEarlyTerminatesShardStreams) {
+  PartitionedCorpus corpus(/*shards=*/2, /*ticks=*/4);
+  if (::testing::Test::HasFatalFailure()) return;
+
+  ShardedEngineOptions options;
+  options.shards = 2;
+  options.engine = TestOptions();
+  ShardedEngine engine(options);
+  for (const auto& posts : corpus.ticks()) {
+    auto r = engine.IngestText(posts);
+    ASSERT_TRUE(r.ok()) << r.status().ToString();
+  }
+
+  // Wide k: every stream drains, nothing is abandoned early.
+  auto wide = engine.Query(MakeQuery(FinderAlgorithm::kBfs, 32, 2));
+  ASSERT_TRUE(wide.ok()) << wide.status().ToString();
+  const ShardMergeStats& all = wide.value().merge;
+  ASSERT_EQ(all.paths_pulled.size(), 2u);
+  EXPECT_EQ(all.early_terminations, 0u);
+  EXPECT_EQ(all.shards_exhausted, 2u);
+  uint64_t total_available = 0;
+  for (const uint64_t n : all.paths_available) total_available += n;
+  ASSERT_GE(total_available, 4u)
+      << "corpus must give each shard several chains";
+
+  // Tight k: no shard stream is ever pulled past its contribution.
+  auto tight = engine.Query(MakeQuery(FinderAlgorithm::kBfs, 1, 2));
+  ASSERT_TRUE(tight.ok()) << tight.status().ToString();
+  const ShardMergeStats& merge = tight.value().merge;
+  ASSERT_EQ(merge.paths_pulled.size(), 2u);
+  EXPECT_EQ(merge.paths_merged, 1u);
+  for (uint32_t s = 0; s < 2; ++s) {
+    EXPECT_LE(merge.paths_pulled[s], merge.paths_available[s]);
+  }
+}
+
+// Deterministic early-termination check against synthetic shard
+// streams: one shard dominates the scores, so the merge must abandon
+// the other after its seed pull.
+TEST(ShardMergeTest, ThresholdMergeAbandonsDominatedStream) {
+  auto make_result = [](std::vector<double> weights) {
+    QueryResult result;
+    for (const double w : weights) {
+      StableClusterChain chain;
+      chain.path.weight = w;
+      chain.path.length = 2;
+      chain.path.nodes = {0, 1, 2};
+      result.chains.push_back(std::move(chain));
+    }
+    return result;
+  };
+  const QueryResult strong = make_result({5.0, 4.0, 3.0});
+  const QueryResult weak = make_result({1.0, 0.5});
+
+  FinderQuery query;
+  query.k = 3;
+  ShardMergeStats stats;
+  const std::vector<MergedChainRef> merged =
+      ThresholdMergeTopK({&strong, &weak}, query, &stats);
+
+  ASSERT_EQ(merged.size(), 3u);
+  for (size_t i = 0; i < merged.size(); ++i) {
+    EXPECT_EQ(merged[i].shard, 0u);
+    EXPECT_EQ(merged[i].rank, i);
+  }
+  EXPECT_EQ(stats.paths_merged, 3u);
+  ASSERT_EQ(stats.paths_pulled.size(), 2u);
+  EXPECT_EQ(stats.paths_pulled[0], 3u);
+  // The weak shard was seeded once and never pulled again: its second
+  // chain stayed behind — measured early termination.
+  EXPECT_EQ(stats.paths_pulled[1], 1u);
+  EXPECT_EQ(stats.early_terminations, 1u);
+}
+
+}  // namespace
+}  // namespace stabletext
